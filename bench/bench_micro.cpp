@@ -1,0 +1,100 @@
+/// bench_micro: google-benchmark microbenchmarks of the substrate and the
+/// skeletons. These measure *host wall-clock* of the functional simulator
+/// (useful for keeping the simulator itself fast); the figure harnesses
+/// report *simulated* device time. Custom counters expose the simulated
+/// throughput per iteration.
+
+#include <benchmark/benchmark.h>
+
+#include "mgs/baselines/cub.hpp"
+#include "mgs/core/scan_sp.hpp"
+#include "mgs/core/tuning.hpp"
+#include "mgs/simt/warp.hpp"
+#include "mgs/util/random.hpp"
+
+namespace mc = mgs::core;
+namespace st = mgs::simt;
+
+namespace {
+
+void BM_WarpScanInclusive(benchmark::State& state) {
+  st::WarpReg<int> x;
+  for (int l = 0; l < st::kWarpSize; ++l) x[l] = l;
+  mgs::sim::KernelStats stats;
+  for (auto _ : state) {
+    auto y = x;
+    st::warp_scan_inclusive(y, mc::Plus<int>{}, stats);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * st::kWarpSize);
+}
+BENCHMARK(BM_WarpScanInclusive);
+
+void BM_ShflUp(benchmark::State& state) {
+  st::WarpReg<int> x;
+  x.fill(3);
+  mgs::sim::KernelStats stats;
+  for (auto _ : state) {
+    auto y = st::shfl_up(x, static_cast<int>(state.range(0)), stats);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_ShflUp)->Arg(1)->Arg(16);
+
+void BM_ScanSpSimulated(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  st::Device dev(0, mgs::sim::k80_spec());
+  auto plan = mc::derive_spl(dev.spec(), 4).plan;
+  plan.s13.k = 4;
+  auto in = dev.alloc<int>(n);
+  auto out = dev.alloc<int>(n);
+  const auto data = mgs::util::random_i32(static_cast<std::size_t>(n), 1);
+  std::copy(data.begin(), data.end(), in.host_span().begin());
+  double simulated = 0.0;
+  for (auto _ : state) {
+    simulated = mc::scan_sp<int>(dev, in, out, n, 1, plan,
+                                 mc::ScanKind::kInclusive)
+                    .seconds;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["simulated_GBps"] =
+      2.0 * static_cast<double>(n) * 4.0 / simulated / 1e9;
+}
+BENCHMARK(BM_ScanSpSimulated)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CubModelSimulated(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  st::Device dev(0, mgs::sim::k80_spec());
+  auto in = dev.alloc<std::int32_t>(n);
+  auto out = dev.alloc<std::int32_t>(n);
+  double simulated = 0.0;
+  for (auto _ : state) {
+    simulated = mgs::baselines::cub_scan<std::int32_t>(
+                    dev, in, out, 0, n, mc::ScanKind::kInclusive)
+                    .seconds;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["simulated_GBps"] =
+      2.0 * static_cast<double>(n) * 4.0 / simulated / 1e9;
+}
+BENCHMARK(BM_CubModelSimulated)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_LaunchOverheadHost(benchmark::State& state) {
+  st::Device dev(0, mgs::sim::k80_spec());
+  auto buf = dev.alloc<int>(1 << 12);
+  auto view = buf.view();
+  st::LaunchConfig cfg;
+  cfg.grid = {32, 1, 1};
+  cfg.block = {128, 1, 1};
+  for (auto _ : state) {
+    st::launch(dev, cfg, [&](st::BlockCtx& ctx) {
+      view.store(ctx.block_idx().x, ctx.block_idx().x, ctx.stats());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_LaunchOverheadHost);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/// bench_table3: regenerate the paper's Table 3 -- SM occupancy
+/// configurations on Kepler compute capability 3.7 -- directly from the
+/// occupancy calculator, plus the same sweep for the other device presets
+/// (showing why Premise 1 picks 4 warps/block on the K80).
+
+#include "common.hpp"
+
+using namespace mgs;
+
+namespace {
+
+void print_for(const sim::DeviceSpec& spec, bool csv) {
+  std::printf("\n== %s (cc %d.%d) ==\n", spec.name.c_str(), spec.cc_major,
+              spec.cc_minor);
+  util::Table table({"warps/block", "regs/thread", "smem/block (B)",
+                     "SM warp occupancy", "SM blocks", "limited by"});
+  // The paper's Table 3 rows: registers scale down to 64, shared memory
+  // scales with the tile beyond 4 warps. (255 registers is the cc 3.x
+  // per-thread cap; the hardware allocates it as the paper's "256".)
+  const int regs_rows[] = {255, 128, 64, 64, 64, 64};
+  const std::int64_t smem_rows[] = {7168, 7168, 7168, 14336, 28672, 49152};
+  int row = 0;
+  for (int warps = 1; warps <= 32; warps *= 2, ++row) {
+    const int regs = std::min(regs_rows[row], spec.max_regs_per_thread);
+    const std::int64_t smem =
+        std::min(smem_rows[row], spec.shared_mem_per_block);
+    const auto r = sim::occupancy(spec, warps * spec.warp_size, regs, smem);
+    table.add_row({std::to_string(warps), std::to_string(regs),
+                   std::to_string(smem),
+                   util::fmt_double(r.warp_occupancy * 100, 0) + "%",
+                   std::to_string(r.blocks_per_sm),
+                   sim::to_string(r.limiter)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = bench::parse_bench_config(
+      argc, argv,
+      "Reproduces Table 3: SM occupancy configurations per warps/block.");
+
+  std::printf("Table 3 reproduction -- performance parameters per SM\n");
+  std::printf("(paper values for cc 3.7: 25/50/100/100/100/100%% occupancy,\n");
+  std::printf(" 16/16/16/8/4/2 blocks; the bold row is 4 warps+64 regs)\n");
+  print_for(sim::k80_spec(), cfg.csv);
+  print_for(sim::maxwell_spec(), cfg.csv);
+  print_for(sim::pascal_spec(), cfg.csv);
+
+  const auto choice = core::derive_spl(sim::k80_spec(), 4);
+  std::printf("\nPremise 1+2 derivation on the K80:\n  %s\n",
+              choice.rationale.c_str());
+  std::printf("  -> (s=%d, p=%d, l=%d), the paper's Section 3.2 values.\n",
+              choice.plan.s13.s_log2(), choice.plan.s13.p_log2(),
+              choice.plan.s13.l_log2());
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// quickstart: the smallest end-to-end use of the library.
+///
+/// Builds the paper's test platform (one TSUBAME-KFC node, 8 simulated
+/// K80 GPUs on 2 PCIe networks), derives the tuned kernel parameters from
+/// the premises, asks the planner which proposal fits a batch of scans,
+/// runs it, and verifies the result against a serial reference.
+///
+///   $ ./quickstart [--n 1048576] [--g 8]
+
+#include <cstdio>
+
+#include "mgs/baselines/reference.hpp"
+#include "mgs/core/api.hpp"
+#include "mgs/util/cli.hpp"
+#include "mgs/util/random.hpp"
+#include "mgs/util/table.hpp"
+
+using namespace mgs;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.describe("n", "elements per problem (default 1 Mi)");
+  cli.describe("g", "problems in the batch (default 8)");
+  if (cli.help_requested()) {
+    cli.print_help("Quickstart: tuned multi-GPU batch scan + verification.");
+    return 0;
+  }
+  cli.reject_unknown();
+  const std::int64_t n = cli.get_int("n", 1 << 20);
+  const std::int64_t g = cli.get_int("g", 8);
+
+  // 1. The machine: Table 1's node, simulated.
+  topo::Cluster cluster = topo::tsubame_kfc_cluster(/*nodes=*/1);
+  std::printf("Platform: %d x %s, %d PCIe networks\n",
+              cluster.num_devices(), cluster.config().gpu.name.c_str(),
+              cluster.config().networks_per_node);
+
+  // 2. Tuning: Premises 1-2 fix (s, p, l); the K search space comes from
+  //    Premise 3 (Equation 1).
+  const core::TuningChoice tuning = core::derive_spl(cluster.config().gpu, 4);
+  std::printf("Tuned plan: %s\n", tuning.plan.describe().c_str());
+  std::printf("Why: %s\n\n", tuning.rationale.c_str());
+
+  // 3. Planning: Premise 4 picks the proposal for this problem shape.
+  const core::PlannerChoice choice =
+      core::choose_proposal(cluster, {n, g, sizeof(int)});
+  std::printf("Planner: %s (M=%d, W=%d, V=%d, Y=%d)\n  %s\n\n",
+              core::to_string(choice.proposal), choice.m, choice.w, choice.v,
+              choice.y, choice.rationale.c_str());
+
+  // 4. Run the batch scan (MP-PC here: every group stays on one PCIe
+  //    network, so all communication is peer-to-peer).
+  const auto data = util::random_i32(static_cast<std::size_t>(n * g), 1);
+  auto plan = tuning.plan;
+  plan.s13.k = 4;
+  const auto part = core::make_mppc_partition(cluster, choice.y, choice.v, g);
+  auto batches = core::distribute_mppc<int>(cluster, part, data, n);
+  const core::RunResult result = core::scan_mppc<int>(
+      cluster, part, batches, n, plan, core::ScanKind::kInclusive);
+
+  std::printf("Simulated run: %s for %s (%.2f GB/s)\n",
+              util::fmt_time_us(result.seconds).c_str(),
+              util::fmt_bytes(result.payload_bytes).c_str(),
+              result.throughput_gbps());
+  for (const auto& [phase, seconds] : result.breakdown.entries()) {
+    std::printf("  %-12s %s\n", phase.c_str(),
+                util::fmt_time_us(seconds).c_str());
+  }
+
+  // 5. Verify against the serial reference.
+  const auto got = core::collect_mppc<int>(part, batches, n);
+  const auto want = baselines::reference_batch_scan<int>(
+      data, n, g, core::ScanKind::kInclusive);
+  if (got != want) {
+    std::printf("\nFAILED: scan result does not match the reference!\n");
+    return 1;
+  }
+  std::printf("\nOK: all %lld problems match the serial reference.\n",
+              static_cast<long long>(g));
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure reproduction into bench_results/.
+# Usage: scripts/run_experiments.sh [TOTAL_LOG2] (default 26; paper used 28)
+set -euo pipefail
+
+TOTAL=${1:-26}
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="$ROOT/bench_results"
+BIN="$ROOT/build/bench"
+
+mkdir -p "$OUT"
+cmake --build "$ROOT/build" >/dev/null
+
+for b in bench_table3 bench_fig9_mps bench_fig10_mppc bench_fig11_g1 \
+         bench_fig12_batch bench_fig13_multinode bench_fig14_breakdown \
+         bench_mn_combos bench_tuning_ablation bench_cascade_ablation; do
+  echo "== $b (total=2^$TOTAL) =="
+  "$BIN/$b" --total-log2 "$TOTAL" | tee "$OUT/$b.txt"
+  echo
+done
+
+echo "All outputs in $OUT/"

@@ -1,0 +1,74 @@
+#pragma once
+/// \file common.hpp
+/// Shared machinery for the baseline-library models. Each baseline is a
+/// *functional* re-implementation of the published algorithm on the same
+/// simulated substrate as our proposals, plus a per-invocation host-API
+/// overhead constant calibrated from the paper's relative measurements
+/// (temp-buffer allocation, plan lookup, host synchronization -- whatever
+/// the real library pays per call). See DESIGN.md, "Substitutions".
+
+#include <functional>
+#include <string>
+
+#include "mgs/core/plan.hpp"
+#include "mgs/simt/device.hpp"
+#include "mgs/simt/launch.hpp"
+#include "mgs/simt/warp.hpp"
+
+namespace mgs::baselines {
+
+/// Identity and cost calibration of one library model.
+struct BaselineTraits {
+  std::string name;
+  /// Host-side cost of any single invocation (dispatch, plan lookup).
+  double per_call_overhead_us = 10.0;
+  /// Additional cost per invocation when the library is called in a tight
+  /// loop (the paper's G-invocation methodology): temporary-storage
+  /// cudaMalloc/cudaFree churn, where each cudaFree synchronizes the
+  /// device before the next call can be enqueued. A single cold call does
+  /// not pay this, which is why the libraries look reasonable at G = 1
+  /// (Figure 11) yet collapse by orders of magnitude in batch mode
+  /// (Figure 12).
+  double loop_extra_us = 0.0;
+  bool native_batch = false;  ///< true: one invocation scans G problems
+                              ///< (only CUDPP's multiScan in 2018)
+};
+
+/// Charge one invocation's host overhead: the device stream stalls for
+/// the host work (allocation/synchronization) before the kernels run.
+inline void charge_host_overhead(simt::Device& dev,
+                                 const BaselineTraits& traits,
+                                 core::RunResult& result) {
+  const double s = traits.per_call_overhead_us * 1e-6;
+  dev.clock().advance(s);
+  result.breakdown.add("HostAPI", s);
+}
+
+/// Run a single-problem scanner G times (the paper's methodology for
+/// Thrust / ModernGPU / CUB / LightScan, none of which had batch support:
+/// "the corresponding function is also invoked G times"). Calls after the
+/// first pay the library's loop_extra_us (see BaselineTraits).
+template <typename T, typename ScanFn>
+core::RunResult run_per_problem_batch(simt::Device& dev,
+                                      const simt::DeviceBuffer<T>& in,
+                                      simt::DeviceBuffer<T>& out,
+                                      std::int64_t n, std::int64_t g,
+                                      const BaselineTraits& traits,
+                                      ScanFn scan_one) {
+  core::RunResult total;
+  total.payload_bytes = 2ull * static_cast<std::uint64_t>(n) * g * sizeof(T);
+  const double start = dev.clock().now();
+  for (std::int64_t p = 0; p < g; ++p) {
+    if (p > 0 && traits.loop_extra_us > 0.0) {
+      const double s = traits.loop_extra_us * 1e-6;
+      dev.clock().advance(s);
+      total.breakdown.add("HostLoopChurn", s);
+    }
+    core::RunResult r = scan_one(dev, in, out, p * n, n);
+    total.breakdown.merge(r.breakdown);
+  }
+  total.seconds = dev.clock().now() - start;
+  return total;
+}
+
+}  // namespace mgs::baselines

@@ -1,0 +1,156 @@
+#pragma once
+/// \file lightscan.hpp
+/// LightScan model (Liu & Aluru 2016): a chained scan -- one pass over the
+/// data where tile b blocks until tile b-1 delivers its inclusive carry,
+/// then forwards its own. DRAM traffic is ~2N like CUB, but the carry
+/// chain serializes one hop per tile (modeled as a fixed per-tile chain
+/// latency added to the kernel time), and the host-side per-invocation
+/// cost is the largest of the five libraries (persistent-kernel setup and
+/// host synchronization), which is why LightScan fares worst of all in
+/// the paper's batch experiment (549x at n=13, Figure 12).
+
+#include <thread>
+
+#include "mgs/baselines/common.hpp"
+#include "mgs/core/op.hpp"
+
+namespace mgs::baselines {
+
+inline BaselineTraits lightscan_traits() {
+  // Persistent-kernel spin-up over the full device; host-side
+  // re-negotiation between back-to-back calls is the worst of the five
+  // libraries (calibrated from the paper's Figure 12 extremes:
+  // LightScan/CUB ~ 39x per invocation at n=13).
+  return {"LightScan", 25.0, /*loop_extra_us=*/600.0, /*native_batch=*/false};
+}
+
+/// Chain-hop latency per tile: the time for a carry to cross DRAM/L2 from
+/// one SM to the next (~an L2 round trip on Kepler).
+inline constexpr double kLightScanChainHopUs = 0.05;
+
+template <typename T, typename Op = core::Plus<T>>
+core::RunResult lightscan_scan(simt::Device& dev,
+                               const simt::DeviceBuffer<T>& in,
+                               simt::DeviceBuffer<T>& out, std::int64_t offset,
+                               std::int64_t n, core::ScanKind kind,
+                               Op op = {}) {
+  MGS_REQUIRE(n > 0, "lightscan_scan: empty input");
+  MGS_REQUIRE(offset >= 0 && in.size() >= offset + n && out.size() >= offset + n,
+              "lightscan_scan: range out of bounds");
+  constexpr int kThreads = 128;
+  constexpr std::int64_t kTile = 4096;
+  const std::int64_t blocks = util::div_up(
+      static_cast<std::uint64_t>(n), static_cast<std::uint64_t>(kTile));
+
+  core::RunResult result;
+  result.payload_bytes = 2ull * static_cast<std::uint64_t>(n) * sizeof(T);
+  const double start = dev.clock().now();
+  charge_host_overhead(dev, lightscan_traits(), result);
+
+  auto carry = dev.alloc<T>(blocks);
+  auto ready = dev.alloc<std::int32_t>(blocks);  // zero-initialized
+
+  const auto inv = in.view();
+  const auto outv = out.view();
+  const auto cv = carry.view();
+  const auto rv = ready.view();
+
+  simt::LaunchConfig cfg;
+  cfg.name = "lightscan_chained";
+  cfg.grid = {static_cast<int>(blocks), 1, 1};
+  cfg.block = {kThreads, 1, 1};
+  cfg.regs_per_thread = 48;
+  cfg.smem_per_block = kThreads * static_cast<std::int64_t>(sizeof(T));
+  auto t = simt::launch(dev, cfg, [=](simt::BlockCtx& ctx) {
+    const std::int64_t b = ctx.block_idx().x;
+    const std::int64_t base = offset + b * kTile;
+    const std::int64_t len = std::min<std::int64_t>(kTile, n - b * kTile);
+
+    // Load and locally scan the tile while (conceptually) the carry is in
+    // flight -- LightScan overlaps the wait with the local scan.
+    std::vector<T> tile(static_cast<std::size_t>(len));
+    for (std::int64_t i = 0; i < len; i += 4 * simt::kWarpSize) {
+      const std::int64_t cnt =
+          std::min<std::int64_t>(4 * simt::kWarpSize, len - i);
+      if (cnt == 4 * simt::kWarpSize) {
+        const auto q = inv.load4_warp(base + i, ctx.stats());
+        for (int l = 0; l < simt::kWarpSize; ++l) {
+          for (int e = 0; e < 4; ++e) {
+            tile[static_cast<std::size_t>(i + 4 * l + e)] = q[l][e];
+          }
+        }
+      } else {
+        for (std::int64_t j = 0; j < cnt; ++j) {
+          tile[static_cast<std::size_t>(i + j)] =
+              inv.load(base + i + j, ctx.stats());
+        }
+      }
+    }
+    T total = Op::identity();
+    for (std::int64_t i = 0; i < len; ++i) {
+      total = op(total, tile[static_cast<std::size_t>(i)]);
+    }
+    ctx.count_alu(2 * static_cast<std::uint64_t>(len));
+
+    // Receive the carry from the predecessor (tile 0 starts the chain).
+    T excl = Op::identity();
+    if (b > 0) {
+      while (rv.atomic_peek(b - 1) == 0) std::this_thread::yield();
+      excl = cv.atomic_peek(b - 1);
+      // Fixed model cost for the flag poll + carry read.
+      ctx.stats().bytes_read += sizeof(std::int32_t) + sizeof(T);
+      ctx.stats().mem_transactions += 2;
+      ctx.count_alu(8);
+    }
+    // Forward the inclusive carry.
+    cv.store(b, op(excl, total), ctx.stats());
+    rv.atomic_store(b, 1, ctx.stats());
+
+    // Write the scanned tile.
+    T acc = excl;
+    for (std::int64_t i = 0; i < len; i += 4 * simt::kWarpSize) {
+      const std::int64_t cnt =
+          std::min<std::int64_t>(4 * simt::kWarpSize, len - i);
+      if (cnt == 4 * simt::kWarpSize) {
+        simt::WarpReg<simt::Vec4<T>> q;
+        for (int l = 0; l < simt::kWarpSize; ++l) {
+          for (int e = 0; e < 4; ++e) {
+            const T x = tile[static_cast<std::size_t>(i + 4 * l + e)];
+            if (kind == core::ScanKind::kInclusive) {
+              acc = op(acc, x);
+              q[l][e] = acc;
+            } else {
+              q[l][e] = acc;
+              acc = op(acc, x);
+            }
+          }
+        }
+        outv.store4_warp(base + i, q, ctx.stats());
+      } else {
+        for (std::int64_t j = 0; j < cnt; ++j) {
+          const T x = tile[static_cast<std::size_t>(i + j)];
+          if (kind == core::ScanKind::kInclusive) {
+            acc = op(acc, x);
+            outv.store(base + i + j, acc, ctx.stats());
+          } else {
+            outv.store(base + i + j, acc, ctx.stats());
+            acc = op(acc, x);
+          }
+        }
+      }
+      ctx.count_alu(static_cast<std::uint64_t>(cnt));
+    }
+  });
+  result.breakdown.add("lightscan_chained", t.seconds);
+
+  // Carry-chain serialization: one hop per tile boundary.
+  const double chain_s =
+      kLightScanChainHopUs * 1e-6 * static_cast<double>(blocks > 0 ? blocks - 1 : 0);
+  dev.clock().advance(chain_s);
+  result.breakdown.add("lightscan_chain", chain_s);
+
+  result.seconds = dev.clock().now() - start;
+  return result;
+}
+
+}  // namespace mgs::baselines

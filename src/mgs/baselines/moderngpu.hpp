@@ -1,0 +1,156 @@
+#pragma once
+/// \file moderngpu.hpp
+/// ModernGPU 2.0 scan model: a well-vectorized two-kernel reduce-then-scan
+/// (tile reductions, single-CTA spine scan, tile scan with carry). DRAM
+/// traffic is ~3N (the downsweep re-reads the input), against CUB's ~2N.
+/// ModernGPU's per-invocation cost is high: every call goes through the
+/// context's kernel-selection and temporary allocation machinery, which
+/// is why its batch-of-small-problems numbers collapse in the paper
+/// (245x at n=13, Figure 12).
+
+#include "mgs/baselines/common.hpp"
+#include "mgs/core/op.hpp"
+
+namespace mgs::baselines {
+
+inline BaselineTraits moderngpu_traits() {
+  // Kernel selection + temp allocation per call; the context's allocator
+  // churn dominates in tight loops (calibrated from the paper's Figure 12
+  // extremes: ModernGPU/CUB ~ 17x per invocation at n=13, yet ModernGPU
+  // is competitive at G = 1 in Figure 11).
+  return {"ModernGPU", 20.0, /*loop_extra_us=*/260.0, /*native_batch=*/false};
+}
+
+template <typename T, typename Op = core::Plus<T>>
+core::RunResult moderngpu_scan(simt::Device& dev,
+                               const simt::DeviceBuffer<T>& in,
+                               simt::DeviceBuffer<T>& out, std::int64_t offset,
+                               std::int64_t n, core::ScanKind kind,
+                               Op op = {}) {
+  MGS_REQUIRE(n > 0, "moderngpu_scan: empty input");
+  MGS_REQUIRE(offset >= 0 && in.size() >= offset + n &&
+                  out.size() >= offset + n,
+              "moderngpu_scan: range out of bounds");
+  constexpr int kThreads = 256;
+  constexpr std::int64_t kTile = 4096;  // nt=256, vt=16
+  const std::int64_t blocks = util::div_up(
+      static_cast<std::uint64_t>(n), static_cast<std::uint64_t>(kTile));
+
+  core::RunResult result;
+  result.payload_bytes = 2ull * static_cast<std::uint64_t>(n) * sizeof(T);
+  const double start = dev.clock().now();
+  charge_host_overhead(dev, moderngpu_traits(), result);
+
+  auto partials = dev.alloc<T>(blocks);
+  const auto inv = in.view();
+  const auto outv = out.view();
+  const auto pv = partials.view();
+
+  // Helper shared by both passes: vectorized tile traversal.
+  auto for_tile_quads = [](std::int64_t len, auto&& fn) {
+    for (std::int64_t i = 0; i < len; i += 4 * simt::kWarpSize) {
+      fn(i, std::min<std::int64_t>(4 * simt::kWarpSize, len - i));
+    }
+  };
+
+  // Kernel 1: tile reductions (vec4 loads).
+  simt::LaunchConfig c1;
+  c1.name = "mgpu_reduce_tiles";
+  c1.grid = {static_cast<int>(blocks), 1, 1};
+  c1.block = {kThreads, 1, 1};
+  c1.regs_per_thread = 40;
+  auto t1 = simt::launch(dev, c1, [=](simt::BlockCtx& ctx) {
+    const std::int64_t b = ctx.block_idx().x;
+    const std::int64_t base = offset + b * kTile;
+    const std::int64_t len = std::min<std::int64_t>(kTile, n - b * kTile);
+    T total = Op::identity();
+    for_tile_quads(len, [&](std::int64_t i, std::int64_t cnt) {
+      if (cnt == 4 * simt::kWarpSize) {
+        const auto q = inv.load4_warp(base + i, ctx.stats());
+        for (int l = 0; l < simt::kWarpSize; ++l) {
+          total = op(total, op(op(q[l].x, q[l].y), op(q[l].z, q[l].w)));
+        }
+        ctx.count_alu(4 * simt::kWarpSize);
+      } else {
+        for (std::int64_t j = 0; j < cnt; ++j) {
+          total = op(total, inv.load(base + i + j, ctx.stats()));
+        }
+        ctx.count_alu(static_cast<std::uint64_t>(cnt));
+      }
+    });
+    pv.store(b, total, ctx.stats());
+  });
+  result.breakdown.add("mgpu_reduce_tiles", t1.seconds);
+
+  // Spine scan: one CTA, exclusive over the partials (warp loads).
+  simt::LaunchConfig c2;
+  c2.name = "mgpu_spine_scan";
+  c2.grid = {1, 1, 1};
+  c2.block = {kThreads, 1, 1};
+  c2.regs_per_thread = 32;
+  auto t2 = simt::launch(dev, c2, [=](simt::BlockCtx& ctx) {
+    T acc = Op::identity();
+    for (std::int64_t b0 = 0; b0 < blocks; b0 += simt::kWarpSize) {
+      const int cnt = static_cast<int>(
+          std::min<std::int64_t>(simt::kWarpSize, blocks - b0));
+      auto r = pv.load_warp_partial(b0, cnt, Op::identity(), ctx.stats());
+      simt::WarpReg<T> inc = r;
+      simt::warp_scan_inclusive(inc, op, ctx.stats());
+      simt::WarpReg<T> excl{};
+      for (int l = 0; l < simt::kWarpSize; ++l) {
+        excl[l] = (l == 0) ? acc : op(acc, inc[l - 1]);
+      }
+      ctx.count_alu(simt::kWarpSize);
+      pv.store_warp_partial(b0, cnt, excl, ctx.stats());
+      if (cnt > 0) acc = op(acc, inc[cnt - 1]);
+    }
+  });
+  result.breakdown.add("mgpu_spine_scan", t2.seconds);
+
+  // Kernel 2 (downsweep): tile scan with carry, vec4 in and out.
+  simt::LaunchConfig c3 = c1;
+  c3.name = "mgpu_scan_tiles";
+  auto t3 = simt::launch(dev, c3, [=](simt::BlockCtx& ctx) {
+    const std::int64_t b = ctx.block_idx().x;
+    const std::int64_t base = offset + b * kTile;
+    const std::int64_t len = std::min<std::int64_t>(kTile, n - b * kTile);
+    T acc = pv.load(b, ctx.stats());
+    for_tile_quads(len, [&](std::int64_t i, std::int64_t cnt) {
+      if (cnt == 4 * simt::kWarpSize) {
+        auto q = inv.load4_warp(base + i, ctx.stats());
+        for (int l = 0; l < simt::kWarpSize; ++l) {
+          for (int e = 0; e < 4; ++e) {
+            const T x = q[l][e];
+            if (kind == core::ScanKind::kInclusive) {
+              acc = op(acc, x);
+              q[l][e] = acc;
+            } else {
+              q[l][e] = acc;
+              acc = op(acc, x);
+            }
+          }
+        }
+        ctx.count_alu(4 * simt::kWarpSize);
+        outv.store4_warp(base + i, q, ctx.stats());
+      } else {
+        for (std::int64_t j = 0; j < cnt; ++j) {
+          const T x = inv.load(base + i + j, ctx.stats());
+          if (kind == core::ScanKind::kInclusive) {
+            acc = op(acc, x);
+            outv.store(base + i + j, acc, ctx.stats());
+          } else {
+            outv.store(base + i + j, acc, ctx.stats());
+            acc = op(acc, x);
+          }
+        }
+        ctx.count_alu(static_cast<std::uint64_t>(cnt));
+      }
+    });
+  });
+  result.breakdown.add("mgpu_scan_tiles", t3.seconds);
+
+  result.seconds = dev.clock().now() - start;
+  return result;
+}
+
+}  // namespace mgs::baselines

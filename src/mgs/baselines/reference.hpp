@@ -1,0 +1,67 @@
+#pragma once
+/// \file reference.hpp
+/// Serial host reference scans: the correctness oracle every kernel and
+/// proposal is tested against.
+
+#include <span>
+#include <vector>
+
+#include "mgs/core/op.hpp"
+#include "mgs/util/check.hpp"
+
+namespace mgs::baselines {
+
+/// out[i] = op(in[0..i]) (inclusive) or op(in[0..i-1]) (exclusive, with
+/// out[0] = identity). in and out may alias.
+template <typename T, typename Op = core::Plus<T>>
+void reference_scan(std::span<const T> in, std::span<T> out,
+                    core::ScanKind kind, Op op = {}) {
+  MGS_CHECK(in.size() == out.size(), "reference_scan: size mismatch");
+  T acc = Op::identity();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const T x = in[i];
+    if (kind == core::ScanKind::kInclusive) {
+      acc = op(acc, x);
+      out[i] = acc;
+    } else {
+      out[i] = acc;
+      acc = op(acc, x);
+    }
+  }
+}
+
+/// Batched reference: G problems of N contiguous elements.
+template <typename T, typename Op = core::Plus<T>>
+std::vector<T> reference_batch_scan(std::span<const T> in, std::int64_t n,
+                                    std::int64_t g, core::ScanKind kind,
+                                    Op op = {}) {
+  MGS_CHECK(static_cast<std::int64_t>(in.size()) >= n * g,
+            "reference_batch_scan: input too small");
+  std::vector<T> out(static_cast<std::size_t>(n * g));
+  for (std::int64_t p = 0; p < g; ++p) {
+    reference_scan<T, Op>(in.subspan(static_cast<std::size_t>(p * n),
+                                     static_cast<std::size_t>(n)),
+                          std::span<T>(out).subspan(
+                              static_cast<std::size_t>(p * n),
+                              static_cast<std::size_t>(n)),
+                          kind, op);
+  }
+  return out;
+}
+
+/// Inclusive segmented reference: flags[i] != 0 restarts the running value
+/// at element i.
+template <typename T, typename Op = core::Plus<T>>
+std::vector<T> reference_segmented_scan(std::span<const T> in,
+                                        std::span<const T> flags, Op op = {}) {
+  MGS_CHECK(in.size() == flags.size(), "reference_segmented_scan: mismatch");
+  std::vector<T> out(in.size());
+  T acc = Op::identity();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc = (flags[i] != T{0}) ? in[i] : op(acc, in[i]);
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace mgs::baselines

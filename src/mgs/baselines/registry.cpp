@@ -1,0 +1,88 @@
+#include "mgs/baselines/registry.hpp"
+
+#include "mgs/baselines/cub.hpp"
+#include "mgs/baselines/cudpp.hpp"
+#include "mgs/baselines/lightscan.hpp"
+#include "mgs/baselines/moderngpu.hpp"
+#include "mgs/baselines/thrust.hpp"
+
+namespace mgs::baselines {
+
+namespace {
+
+using Buffer = simt::DeviceBuffer<std::int32_t>;
+
+/// Wrap a single-problem scanner as a G-invocation batch runner.
+template <typename ScanOne>
+BaselineRunner per_problem_runner(BaselineTraits traits, ScanOne scan_one) {
+  BaselineRunner r;
+  r.traits = std::move(traits);
+  const BaselineTraits traits_copy = r.traits;
+  r.run_batch = [scan_one, traits_copy](simt::Device& dev, const Buffer& in,
+                                        Buffer& out, std::int64_t n,
+                                        std::int64_t g, core::ScanKind kind) {
+    return run_per_problem_batch<std::int32_t>(
+        dev, in, out, n, g, traits_copy,
+        [&](simt::Device& d, const Buffer& i, Buffer& o, std::int64_t off,
+            std::int64_t len) { return scan_one(d, i, o, off, len, kind); });
+  };
+  return r;
+}
+
+std::vector<BaselineRunner> build_registry() {
+  std::vector<BaselineRunner> list;
+
+  BaselineRunner cudpp;
+  cudpp.traits = cudpp_traits();
+  cudpp.run_batch = [](simt::Device& dev, const Buffer& in, Buffer& out,
+                       std::int64_t n, std::int64_t g, core::ScanKind kind) {
+    return cudpp_multiscan<std::int32_t>(dev, in, out, n, g, kind);
+  };
+  list.push_back(std::move(cudpp));
+
+  list.push_back(per_problem_runner(
+      thrust_traits(),
+      [](simt::Device& d, const Buffer& i, Buffer& o, std::int64_t off,
+         std::int64_t len, core::ScanKind kind) {
+        return thrust_scan<std::int32_t>(d, i, o, off, len, kind);
+      }));
+
+  list.push_back(per_problem_runner(
+      moderngpu_traits(),
+      [](simt::Device& d, const Buffer& i, Buffer& o, std::int64_t off,
+         std::int64_t len, core::ScanKind kind) {
+        return moderngpu_scan<std::int32_t>(d, i, o, off, len, kind);
+      }));
+
+  list.push_back(per_problem_runner(
+      cub_traits(),
+      [](simt::Device& d, const Buffer& i, Buffer& o, std::int64_t off,
+         std::int64_t len, core::ScanKind kind) {
+        return cub_scan<std::int32_t>(d, i, o, off, len, kind);
+      }));
+
+  list.push_back(per_problem_runner(
+      lightscan_traits(),
+      [](simt::Device& d, const Buffer& i, Buffer& o, std::int64_t off,
+         std::int64_t len, core::ScanKind kind) {
+        return lightscan_scan<std::int32_t>(d, i, o, off, len, kind);
+      }));
+
+  return list;
+}
+
+}  // namespace
+
+const std::vector<BaselineRunner>& all_baselines() {
+  static const std::vector<BaselineRunner> registry = build_registry();
+  return registry;
+}
+
+const BaselineRunner& baseline_by_name(const std::string& name) {
+  for (const auto& b : all_baselines()) {
+    if (b.traits.name == name) return b;
+  }
+  throw util::Error("unknown baseline '" + name + "'");
+}
+
+}  // namespace mgs::baselines

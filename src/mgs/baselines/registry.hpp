@@ -1,0 +1,36 @@
+#pragma once
+/// \file registry.hpp
+/// Type-erased access to the five baseline-library models for int32 sums
+/// (the paper's element type), used by the benchmark harnesses. Batch runs
+/// follow the paper's methodology: CUDPP uses its native multiScan; every
+/// other library is invoked once per problem.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mgs/baselines/common.hpp"
+#include "mgs/core/op.hpp"
+#include "mgs/core/plan.hpp"
+
+namespace mgs::baselines {
+
+struct BaselineRunner {
+  BaselineTraits traits;
+  /// Scan G problems of N contiguous int32 elements (problem g at offset
+  /// g*N). Advances the device clock; returns the simulated result.
+  std::function<core::RunResult(
+      simt::Device&, const simt::DeviceBuffer<std::int32_t>&,
+      simt::DeviceBuffer<std::int32_t>&, std::int64_t n, std::int64_t g,
+      core::ScanKind)>
+      run_batch;
+};
+
+/// All five library models, in the paper's citation order.
+const std::vector<BaselineRunner>& all_baselines();
+
+/// Look up by name ("CUDPP", "Thrust", "ModernGPU", "CUB", "LightScan");
+/// throws util::Error for unknown names.
+const BaselineRunner& baseline_by_name(const std::string& name);
+
+}  // namespace mgs::baselines

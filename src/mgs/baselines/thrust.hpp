@@ -1,0 +1,120 @@
+#pragma once
+/// \file thrust.hpp
+/// Thrust 1.8.1 scan model: the three-pass reduce-then-scan of the era
+/// (per-tile reduction, scan of the partials, per-tile scan with carry).
+/// Two calibrated inefficiencies reproduce Thrust's measured standing in
+/// the paper (about 7.8x slower than the tuned proposals at G=1):
+///  * the downsweep pass uses scalar, non-vectorized element accesses
+///    (one DRAM transaction per element), and
+///  * every invocation allocates temporary storage with cudaMalloc
+///    (a large per-call host overhead -- Thrust had no temp-storage reuse
+///    API in 1.8).
+
+#include "mgs/baselines/common.hpp"
+#include "mgs/core/op.hpp"
+
+namespace mgs::baselines {
+
+inline BaselineTraits thrust_traits() {
+  // Dispatch + temp-storage allocation per call; in tight loops the
+  // cudaFree device sync adds more (calibrated from the paper's Figure 12
+  // extremes: Thrust/CUB ~ 5x per invocation at n=13).
+  return {"Thrust", 25.0, /*loop_extra_us=*/50.0, /*native_batch=*/false};
+}
+
+/// Scan in[offset, offset+n) into out[offset, offset+n).
+template <typename T, typename Op = core::Plus<T>>
+core::RunResult thrust_scan(simt::Device& dev,
+                            const simt::DeviceBuffer<T>& in,
+                            simt::DeviceBuffer<T>& out, std::int64_t offset,
+                            std::int64_t n, core::ScanKind kind, Op op = {}) {
+  MGS_REQUIRE(n > 0, "thrust_scan: empty input");
+  MGS_REQUIRE(offset >= 0 && in.size() >= offset + n &&
+                  out.size() >= offset + n,
+              "thrust_scan: range out of bounds");
+  constexpr int kThreads = 128;
+  constexpr std::int64_t kTile = 1024;
+  const std::int64_t blocks = util::div_up(
+      static_cast<std::uint64_t>(n), static_cast<std::uint64_t>(kTile));
+
+  core::RunResult result;
+  result.payload_bytes = 2ull * static_cast<std::uint64_t>(n) * sizeof(T);
+  const double start = dev.clock().now();
+  charge_host_overhead(dev, thrust_traits(), result);
+
+  auto partials = dev.alloc<T>(blocks);
+  const auto inv = in.view();
+  const auto outv = out.view();
+  const auto pv = partials.view();
+
+  // Pass 1: per-tile reduction (coalesced warp loads).
+  simt::LaunchConfig c1;
+  c1.name = "thrust_reduce_tiles";
+  c1.grid = {static_cast<int>(blocks), 1, 1};
+  c1.block = {kThreads, 1, 1};
+  c1.regs_per_thread = 40;
+  auto t1 = simt::launch(dev, c1, [=](simt::BlockCtx& ctx) {
+    const std::int64_t b = ctx.block_idx().x;
+    const std::int64_t base = offset + b * kTile;
+    const std::int64_t len = std::min<std::int64_t>(kTile, n - b * kTile);
+    T total = Op::identity();
+    for (std::int64_t i = 0; i < len; i += simt::kWarpSize) {
+      const int cnt =
+          static_cast<int>(std::min<std::int64_t>(simt::kWarpSize, len - i));
+      const auto r =
+          inv.load_warp_partial(base + i, cnt, Op::identity(), ctx.stats());
+      for (int l = 0; l < cnt; ++l) total = op(total, r[l]);
+      ctx.count_alu(static_cast<std::uint64_t>(cnt));
+    }
+    pv.store(b, total, ctx.stats());
+  });
+  result.breakdown.add("thrust_reduce_tiles", t1.seconds);
+
+  // Pass 2: one block scans the partials (exclusive), scalar accesses.
+  simt::LaunchConfig c2;
+  c2.name = "thrust_scan_partials";
+  c2.grid = {1, 1, 1};
+  c2.block = {kThreads, 1, 1};
+  c2.regs_per_thread = 32;
+  auto t2 = simt::launch(dev, c2, [=](simt::BlockCtx& ctx) {
+    T acc = Op::identity();
+    for (std::int64_t b = 0; b < blocks; ++b) {
+      const T x = pv.load(b, ctx.stats());
+      pv.store(b, acc, ctx.stats());
+      acc = op(acc, x);
+      ctx.count_alu(1);
+    }
+  });
+  result.breakdown.add("thrust_scan_partials", t2.seconds);
+
+  // Pass 3: per-tile serial scan with carry; scalar loads and stores
+  // (Thrust 1.8's downsweep was not vectorized).
+  simt::LaunchConfig c3;
+  c3.name = "thrust_scan_tiles";
+  c3.grid = {static_cast<int>(blocks), 1, 1};
+  c3.block = {kThreads, 1, 1};
+  c3.regs_per_thread = 40;
+  auto t3 = simt::launch(dev, c3, [=](simt::BlockCtx& ctx) {
+    const std::int64_t b = ctx.block_idx().x;
+    const std::int64_t base = offset + b * kTile;
+    const std::int64_t len = std::min<std::int64_t>(kTile, n - b * kTile);
+    T acc = pv.load(b, ctx.stats());
+    for (std::int64_t i = 0; i < len; ++i) {
+      const T x = inv.load(base + i, ctx.stats());
+      if (kind == core::ScanKind::kInclusive) {
+        acc = op(acc, x);
+        outv.store(base + i, acc, ctx.stats());
+      } else {
+        outv.store(base + i, acc, ctx.stats());
+        acc = op(acc, x);
+      }
+      ctx.count_alu(1);
+    }
+  });
+  result.breakdown.add("thrust_scan_tiles", t3.seconds);
+
+  result.seconds = dev.clock().now() - start;
+  return result;
+}
+
+}  // namespace mgs::baselines

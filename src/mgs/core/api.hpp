@@ -1,0 +1,18 @@
+#pragma once
+/// \file api.hpp
+/// Umbrella header: the complete public surface of the multi-GPU batch
+/// scan library. See README.md for a quickstart and DESIGN.md for the
+/// mapping between modules and the paper's sections.
+
+#include "mgs/core/op.hpp"           // operators, ScanKind
+#include "mgs/core/reduce.hpp"       // batched reduction primitive
+#include "mgs/core/plan.hpp"         // StagePlan / ScanPlan / RunResult
+#include "mgs/core/tuning.hpp"       // premises, K search, autotuner
+#include "mgs/core/scan_sp.hpp"      // single-GPU proposal
+#include "mgs/core/scan_mps.hpp"     // multi-GPU problem scattering
+#include "mgs/core/scan_mppc.hpp"    // prioritized communications
+#include "mgs/core/scan_multinode.hpp"  // MPI multi-node proposal
+#include "mgs/core/planner.hpp"      // Premise-4 proposal selection
+#include "mgs/core/segmented.hpp"    // segmented scan extension
+#include "mgs/core/autotuner.hpp"    // automatic (s,p,l,K) search
+#include "mgs/core/easy.hpp"         // one-call convenience scan

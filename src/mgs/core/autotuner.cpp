@@ -1,0 +1,83 @@
+#include "mgs/core/autotuner.hpp"
+
+#include "mgs/core/scan_sp.hpp"
+#include "mgs/core/tuning.hpp"
+#include "mgs/sim/occupancy.hpp"
+#include "mgs/util/math.hpp"
+
+namespace mgs::core {
+
+Autotuner::Autotuner(sim::DeviceSpec spec) : spec_(std::move(spec)) {}
+
+std::vector<ScanPlan> Autotuner::candidates(std::int64_t n,
+                                            std::int64_t g) const {
+  MGS_REQUIRE(n > 0 && g > 0, "Autotuner: N and G must be positive");
+  std::vector<ScanPlan> plans;
+  const ScanPlan base = derive_spl(spec_, 4).plan;
+
+  for (int p : {4, 8, 16}) {
+    for (int lx : {64, 128, 256}) {
+      ScanPlan plan = base;
+      plan.s13.p = p;
+      plan.s13.lx = lx;
+      if (plan.s13.regs_per_thread() > spec_.max_regs_per_thread) continue;
+      // Must be resident at all on this device.
+      try {
+        (void)sim::occupancy(spec_, plan.s13.threads(),
+                             plan.s13.regs_per_thread(),
+                             plan.s13.smem_bytes(4));
+      } catch (const util::Error&) {
+        continue;
+      }
+      // K space: Equation 1, additionally capped so at least one full
+      // block of work exists per problem.
+      const std::int64_t k_eq1 = k1_max_eq1(n, g, plan, spec_);
+      const std::int64_t k_fit = std::max<std::int64_t>(
+          1, n / plan.s13.tile());
+      const std::int64_t bound =
+          std::min({k_eq1, k_fit, std::int64_t{256}});
+      for (std::int64_t k = 1; k <= bound; k *= 2) {
+        plan.s13.k = static_cast<int>(k);
+        plans.push_back(plan);
+      }
+    }
+  }
+  MGS_CHECK(!plans.empty(), "Autotuner: empty candidate space");
+  return plans;
+}
+
+double Autotuner::measure(const ScanPlan& plan, std::int64_t n,
+                          std::int64_t g) const {
+  simt::Device dev(0, spec_);
+  auto in = dev.alloc<int>(n * g);
+  auto out = dev.alloc<int>(n * g);
+  return scan_sp<int>(dev, in, out, n, g, plan, ScanKind::kInclusive)
+      .seconds;
+}
+
+const AutotuneEntry& Autotuner::tune(std::int64_t n, std::int64_t g) {
+  const auto key = std::make_pair(n, g);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    return it->second;
+  }
+
+  report_.clear();
+  AutotuneEntry best;
+  bool first = true;
+  for (const ScanPlan& plan : candidates(n, g)) {
+    const double s = measure(plan, n, g);
+    report_.push_back({plan.s13.p, plan.s13.lx, plan.s13.k, s, false});
+    if (first || s < best.seconds) {
+      best.plan = plan;
+      best.seconds = s;
+      first = false;
+    }
+  }
+  for (auto& row : report_) {
+    row.best = row.p == best.plan.s13.p && row.lx == best.plan.s13.lx &&
+               row.k == best.plan.s13.k;
+  }
+  return cache_.emplace(key, best).first->second;
+}
+
+}  // namespace mgs::core

@@ -1,0 +1,62 @@
+#pragma once
+/// \file autotuner.hpp
+/// Automatic (s, p, l, K) search -- the automation the paper leaves as
+/// future work ("Currently, this search is not done automatically, but is
+/// part of the future work", Section 3.2). The search space is trimmed by
+/// the premises exactly as the paper prescribes (vector-width P >= 4,
+/// warp-multiple block sizes, K from Equation 1), and each candidate is
+/// measured with a real simulated run; results are memoized per (N, G).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mgs/core/plan.hpp"
+#include "mgs/sim/device_spec.hpp"
+
+namespace mgs::core {
+
+/// One evaluated configuration.
+struct AutotuneEntry {
+  ScanPlan plan;
+  double seconds = 0.0;
+};
+
+/// One row of the search report (for inspection / the ablation bench).
+struct AutotuneReportRow {
+  int p = 0;
+  int lx = 0;
+  int k = 0;
+  double seconds = 0.0;
+  bool best = false;
+};
+
+class Autotuner {
+ public:
+  explicit Autotuner(sim::DeviceSpec spec);
+
+  /// Best plan for a single-GPU batch of G problems of N elements.
+  /// First call for an (N, G) pair runs the search (cost: one simulated
+  /// scan per candidate, tens of candidates); later calls are cached.
+  const AutotuneEntry& tune(std::int64_t n, std::int64_t g);
+
+  /// Every candidate evaluated by the most recent uncached tune() call.
+  const std::vector<AutotuneReportRow>& last_report() const {
+    return report_;
+  }
+
+  std::size_t cache_size() const { return cache_.size(); }
+  void clear_cache() { cache_.clear(); }
+
+  /// The premise-trimmed candidate plans for (N, G) on this device.
+  std::vector<ScanPlan> candidates(std::int64_t n, std::int64_t g) const;
+
+ private:
+  double measure(const ScanPlan& plan, std::int64_t n, std::int64_t g) const;
+
+  sim::DeviceSpec spec_;
+  std::map<std::pair<std::int64_t, std::int64_t>, AutotuneEntry> cache_;
+  std::vector<AutotuneReportRow> report_;
+};
+
+}  // namespace mgs::core

@@ -1,0 +1,51 @@
+#pragma once
+/// \file easy.hpp
+/// One-call convenience API: scan a host range on a freshly simulated
+/// GPU with premise-derived parameters. Intended for downstream users
+/// who want the primitive, not the machinery; the proposals in
+/// scan_sp.hpp / scan_mps.hpp / scan_mppc.hpp expose full control.
+
+#include <span>
+#include <vector>
+
+#include "mgs/core/scan_sp.hpp"
+#include "mgs/core/tuning.hpp"
+
+namespace mgs::core {
+
+/// Result of the convenience scan: output data + the simulated run info.
+template <typename T>
+struct EasyScanResult {
+  std::vector<T> output;
+  RunResult run;
+};
+
+/// Scan `input` (a batch of `g` problems of input.size()/g contiguous
+/// elements) on one simulated GPU of the given spec. Parameters come
+/// from the premises; K defaults to 4 (a mid-space value; use the
+/// Autotuner for the empirically best K).
+template <typename T, typename Op = Plus<T>>
+EasyScanResult<T> scan(std::span<const T> input,
+                       ScanKind kind = ScanKind::kInclusive,
+                       std::int64_t g = 1, Op op = {},
+                       const sim::DeviceSpec& spec = sim::k80_spec()) {
+  MGS_REQUIRE(g > 0 && !input.empty() &&
+                  static_cast<std::int64_t>(input.size()) % g == 0,
+              "easy scan: input must split evenly into G problems");
+  const std::int64_t n = static_cast<std::int64_t>(input.size()) / g;
+
+  simt::Device dev(0, spec);
+  auto in = dev.alloc<T>(static_cast<std::int64_t>(input.size()));
+  auto out = dev.alloc<T>(static_cast<std::int64_t>(input.size()));
+  std::copy(input.begin(), input.end(), in.host_span().begin());
+
+  ScanPlan plan = derive_spl(spec, sizeof(T)).plan;
+  plan.s13.k = 4;
+
+  EasyScanResult<T> result;
+  result.run = scan_sp<T, Op>(dev, in, out, n, g, plan, kind, op);
+  result.output.assign(out.host_span().begin(), out.host_span().end());
+  return result;
+}
+
+}  // namespace mgs::core

@@ -1,0 +1,199 @@
+#pragma once
+/// \file kernels.hpp
+/// The three kernels of the large-size scan (Section 3.1, Figure 3):
+///
+///   Stage 1  Chunk Reduce       -- one block per chunk, reduction into the
+///                                  auxiliary array (one element per chunk);
+///   Stage 2  Intermediate Scan  -- exclusive scan of each problem's chunk
+///                                  totals, several problems per block;
+///   Stage 3  Scan + Addition    -- local chunk scan with the auxiliary
+///                                  element folded into every output.
+///
+/// Grids are two-dimensional: x indexes chunks within a problem (B_x),
+/// y indexes the batch (B_y = G). Launchers return the simulated timing.
+
+#include <algorithm>
+
+#include "mgs/core/skeleton.hpp"
+
+namespace mgs::core {
+
+/// Stage 1. `in` holds G portions of lay.n_local contiguous elements
+/// (problem g at offset g*n_local); `aux` receives the chunk reductions,
+/// problem-major (aux[g*bx + c]).
+template <typename T, typename Op>
+sim::KernelTime launch_chunk_reduce(simt::Device& dev,
+                                    const simt::DeviceBuffer<T>& in,
+                                    simt::DeviceBuffer<T>& aux,
+                                    const BatchLayout& lay,
+                                    const StagePlan& sp, Op op) {
+  MGS_CHECK(in.size() >= lay.elems_per_gpu(), "chunk_reduce: input too small");
+  MGS_CHECK(aux.size() >= lay.aux_elems(), "chunk_reduce: aux too small");
+  simt::LaunchConfig cfg;
+  cfg.name = "chunk_reduce";
+  cfg.grid = {static_cast<int>(lay.bx), static_cast<int>(lay.g), 1};
+  cfg.block = {sp.lx, sp.ly, 1};
+  cfg.regs_per_thread = sp.regs_per_thread();
+  cfg.smem_per_block = sp.smem_bytes(sizeof(T));
+  const auto inv = in.view();
+  const auto auxv = aux.view();
+  return simt::launch(dev, cfg, [=](simt::BlockCtx& ctx) {
+    const std::int64_t c = ctx.block_idx().x;
+    const std::int64_t g = ctx.block_idx().y;
+    const std::int64_t chunk_off = c * lay.chunk;
+    const std::int64_t len =
+        std::min<std::int64_t>(lay.chunk, lay.n_local - chunk_off);
+    const T total =
+        cascade_reduce(ctx, inv, g * lay.n_local + chunk_off, len, sp, op);
+    auxv.store(g * lay.bx + c, total, ctx.stats());
+  });
+}
+
+/// Stage 2, contiguous layout: `aux` holds `g` rows of `row_len` chunk
+/// totals (row r at offset r*row_len); each row is exclusively scanned in
+/// place. Several problems share a block (L_y^2 = s2.ly, B_x^2 = 1).
+template <typename T, typename Op>
+sim::KernelTime launch_intermediate_scan(simt::Device& dev,
+                                         simt::DeviceBuffer<T>& aux,
+                                         std::int64_t row_len, std::int64_t g,
+                                         const StagePlan& s2, Op op) {
+  MGS_CHECK(aux.size() >= row_len * g, "intermediate_scan: aux too small");
+  simt::LaunchConfig cfg;
+  cfg.name = "intermediate_scan";
+  cfg.grid = {1, static_cast<int>(util::div_up(
+                     static_cast<std::uint64_t>(g),
+                     static_cast<std::uint64_t>(s2.ly))),
+              1};
+  cfg.block = {s2.lx, s2.ly, 1};
+  cfg.regs_per_thread = s2.regs_per_thread();
+  cfg.smem_per_block = s2.smem_bytes(sizeof(T));
+  const auto auxv = aux.view();
+  return simt::launch(dev, cfg, [=](simt::BlockCtx& ctx) {
+    for (int r = 0; r < s2.ly; ++r) {
+      const std::int64_t row =
+          static_cast<std::int64_t>(ctx.block_idx().y) * s2.ly + r;
+      if (row >= g) break;
+      const std::int64_t row_base = row * row_len;
+      warp_row_scan_exclusive<T>(
+          ctx, row_len,
+          [&](std::int64_t i0, int n) {
+            return auxv.load_warp_partial(row_base + i0, n, Op::identity(),
+                                          ctx.stats());
+          },
+          [&](std::int64_t i0, int n, const simt::WarpReg<T>& v) {
+            auxv.store_warp_partial(row_base + i0, n, v, ctx.stats());
+          },
+          op);
+    }
+  });
+}
+
+/// Stage 2, strided layout (MPI_Gather output, rank-major): element i of
+/// problem row `row` lives at offset (i / bx)*(g*bx) + row*bx + (i % bx).
+/// Scalar (uncoalesced) accesses -- the honest price of the MPI layout.
+template <typename T, typename Op>
+sim::KernelTime launch_intermediate_scan_ranked(
+    simt::Device& dev, simt::DeviceBuffer<T>& aux, std::int64_t bx,
+    std::int64_t ranks, std::int64_t g, const StagePlan& s2, Op op) {
+  MGS_CHECK(aux.size() >= ranks * g * bx,
+            "intermediate_scan_ranked: aux too small");
+  simt::LaunchConfig cfg;
+  cfg.name = "intermediate_scan_ranked";
+  cfg.grid = {1, static_cast<int>(util::div_up(
+                     static_cast<std::uint64_t>(g),
+                     static_cast<std::uint64_t>(s2.ly))),
+              1};
+  cfg.block = {s2.lx, s2.ly, 1};
+  cfg.regs_per_thread = s2.regs_per_thread();
+  cfg.smem_per_block = s2.smem_bytes(sizeof(T));
+  const auto auxv = aux.view();
+  const std::int64_t row_len = ranks * bx;
+  return simt::launch(dev, cfg, [=](simt::BlockCtx& ctx) {
+    for (int r = 0; r < s2.ly; ++r) {
+      const std::int64_t row =
+          static_cast<std::int64_t>(ctx.block_idx().y) * s2.ly + r;
+      if (row >= g) break;
+      const auto offset_of = [&](std::int64_t i) {
+        return (i / bx) * (g * bx) + row * bx + (i % bx);
+      };
+      warp_row_scan_exclusive<T>(
+          ctx, row_len,
+          [&](std::int64_t i0, int n) {
+            simt::WarpReg<T> v;
+            for (int l = 0; l < simt::kWarpSize; ++l) {
+              v[l] = (l < n) ? auxv.load(offset_of(i0 + l), ctx.stats())
+                             : Op::identity();
+            }
+            return v;
+          },
+          [&](std::int64_t i0, int n, const simt::WarpReg<T>& v) {
+            for (int l = 0; l < n; ++l) {
+              auxv.store(offset_of(i0 + l), v[l], ctx.stats());
+            }
+          },
+          op);
+    }
+  });
+}
+
+/// Stage 3. `aux` holds the *exclusively scanned* chunk totals for this
+/// GPU's chunks, problem-major like Stage 1 wrote them. `in` and `out` may
+/// alias (in-place scan).
+template <typename T, typename Op>
+sim::KernelTime launch_scan_add(simt::Device& dev,
+                                const simt::DeviceBuffer<T>& in,
+                                simt::DeviceBuffer<T>& out,
+                                const simt::DeviceBuffer<T>& aux,
+                                const BatchLayout& lay, const StagePlan& sp,
+                                ScanKind kind, Op op) {
+  MGS_CHECK(in.size() >= lay.elems_per_gpu(), "scan_add: input too small");
+  MGS_CHECK(out.size() >= lay.elems_per_gpu(), "scan_add: output too small");
+  MGS_CHECK(aux.size() >= lay.aux_elems(), "scan_add: aux too small");
+  simt::LaunchConfig cfg;
+  cfg.name = "scan_add";
+  cfg.grid = {static_cast<int>(lay.bx), static_cast<int>(lay.g), 1};
+  cfg.block = {sp.lx, sp.ly, 1};
+  cfg.regs_per_thread = sp.regs_per_thread();
+  cfg.smem_per_block = sp.smem_bytes(sizeof(T));
+  const auto inv = in.view();
+  const auto outv = out.view();
+  const auto auxv = aux.view();
+  return simt::launch(dev, cfg, [=](simt::BlockCtx& ctx) {
+    const std::int64_t c = ctx.block_idx().x;
+    const std::int64_t g = ctx.block_idx().y;
+    const std::int64_t chunk_off = c * lay.chunk;
+    const std::int64_t len =
+        std::min<std::int64_t>(lay.chunk, lay.n_local - chunk_off);
+    const T carry_in = auxv.load(g * lay.bx + c, ctx.stats());
+    auto smem = ctx.shared<T>(sp.warps());
+    cascade_scan(ctx, inv, outv, g * lay.n_local + chunk_off, len, sp,
+                 carry_in, kind, op, smem);
+  });
+}
+
+/// Single-kernel path for problems that fit in one chunk (B_x = 1): a
+/// direct cascade scan with identity carry, skipping stages 1-2 entirely.
+template <typename T, typename Op>
+sim::KernelTime launch_direct_scan(simt::Device& dev,
+                                   const simt::DeviceBuffer<T>& in,
+                                   simt::DeviceBuffer<T>& out,
+                                   const BatchLayout& lay, const StagePlan& sp,
+                                   ScanKind kind, Op op) {
+  MGS_CHECK(lay.bx == 1, "direct_scan requires a single chunk per problem");
+  simt::LaunchConfig cfg;
+  cfg.name = "direct_scan";
+  cfg.grid = {1, static_cast<int>(lay.g), 1};
+  cfg.block = {sp.lx, sp.ly, 1};
+  cfg.regs_per_thread = sp.regs_per_thread();
+  cfg.smem_per_block = sp.smem_bytes(sizeof(T));
+  const auto inv = in.view();
+  const auto outv = out.view();
+  return simt::launch(dev, cfg, [=](simt::BlockCtx& ctx) {
+    const std::int64_t g = ctx.block_idx().y;
+    auto smem = ctx.shared<T>(sp.warps());
+    cascade_scan(ctx, inv, outv, g * lay.n_local, lay.n_local, sp,
+                 Op::identity(), kind, op, smem);
+  });
+}
+
+}  // namespace mgs::core

@@ -1,0 +1,43 @@
+#pragma once
+/// \file op.hpp
+/// Scan operators. The paper uses integer addition throughout; the library
+/// is generic over any associative operator with an identity (the skeleton
+/// relies on identity-filled lanes being neutral for partial tiles).
+
+#include <algorithm>
+#include <limits>
+
+namespace mgs::core {
+
+/// Whether element i of the output includes input element i.
+enum class ScanKind { kInclusive, kExclusive };
+
+inline const char* to_string(ScanKind k) {
+  return k == ScanKind::kInclusive ? "inclusive" : "exclusive";
+}
+
+template <typename T>
+struct Plus {
+  using value_type = T;
+  static constexpr T identity() { return T{}; }
+  constexpr T operator()(T a, T b) const { return a + b; }
+  static constexpr const char* name() { return "plus"; }
+};
+
+template <typename T>
+struct Max {
+  using value_type = T;
+  static constexpr T identity() { return std::numeric_limits<T>::lowest(); }
+  constexpr T operator()(T a, T b) const { return std::max(a, b); }
+  static constexpr const char* name() { return "max"; }
+};
+
+template <typename T>
+struct Min {
+  using value_type = T;
+  static constexpr T identity() { return std::numeric_limits<T>::max(); }
+  constexpr T operator()(T a, T b) const { return std::min(a, b); }
+  static constexpr const char* name() { return "min"; }
+};
+
+}  // namespace mgs::core

@@ -1,0 +1,53 @@
+#include "mgs/core/plan.hpp"
+
+#include <sstream>
+
+namespace mgs::core {
+
+void StagePlan::validate() const {
+  MGS_REQUIRE(p > 0 && util::is_pow2(static_cast<std::uint64_t>(p)),
+              "StagePlan: P must be a positive power of two");
+  MGS_REQUIRE(lx > 0 && util::is_pow2(static_cast<std::uint64_t>(lx)),
+              "StagePlan: Lx must be a positive power of two");
+  MGS_REQUIRE(ly > 0 && util::is_pow2(static_cast<std::uint64_t>(ly)),
+              "StagePlan: Ly must be a positive power of two");
+  MGS_REQUIRE(k > 0 && util::is_pow2(static_cast<std::uint64_t>(k)),
+              "StagePlan: K must be a positive power of two");
+  MGS_REQUIRE(lx % simt::kWarpSize == 0 || ly == 1,
+              "StagePlan: multi-problem blocks need warp-aligned Lx");
+}
+
+void ScanPlan::validate() const {
+  s13.validate();
+  s2.validate();
+  MGS_REQUIRE(s13.ly == 1,
+              "ScanPlan: stages 1/3 put every thread of a block on one "
+              "problem (L_y^{1,3} = 1)");
+  MGS_REQUIRE(s2.k == 1, "ScanPlan: K^2 = 1 (Premise 3)");
+}
+
+std::string ScanPlan::describe() const {
+  std::ostringstream os;
+  os << "stage1/3: (s=" << s13.s_log2() << ", p=" << s13.p_log2()
+     << ", l=" << s13.l_log2() << ", K=" << s13.k << ")"
+     << " [P=" << s13.p << ", Lx=" << s13.lx << ", chunk=" << s13.chunk()
+     << ", regs=" << s13.regs_per_thread() << "]"
+     << "; stage2: (lx=" << s2.lx << ", ly=" << s2.ly << ", p=" << s2.p << ")";
+  return os.str();
+}
+
+BatchLayout make_layout(std::int64_t n_local, std::int64_t g,
+                        const StagePlan& s13) {
+  MGS_REQUIRE(n_local > 0, "make_layout: empty problem portion");
+  MGS_REQUIRE(g > 0, "make_layout: batch must contain at least one problem");
+  BatchLayout lay;
+  lay.n_local = n_local;
+  lay.g = g;
+  lay.chunk = s13.chunk();
+  lay.bx = static_cast<std::int64_t>(
+      util::div_up(static_cast<std::uint64_t>(n_local),
+                   static_cast<std::uint64_t>(lay.chunk)));
+  return lay;
+}
+
+}  // namespace mgs::core

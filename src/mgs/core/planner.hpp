@@ -1,0 +1,48 @@
+#pragma once
+/// \file planner.hpp
+/// Proposal selection following Premise 4 (Section 4.2): which proposal to
+/// run and with how many nodes (M), GPUs (W), networks (Y) and GPUs per
+/// network (V), given the problem shape and the machine.
+
+#include <string>
+
+#include "mgs/topo/topology.hpp"
+
+namespace mgs::core {
+
+enum class Proposal {
+  kSingleGpu,   ///< Scan-SP: one GPU (or Case 1: independent GPUs)
+  kMps,         ///< Scan-MPS within one node
+  kMppc,        ///< Scan-MP-PC: per-network groups
+  kMultiNode,   ///< Scan-MPS across nodes via MPI
+};
+
+const char* to_string(Proposal p);
+
+struct PlannerInput {
+  std::int64_t n = 0;       ///< elements per problem
+  std::int64_t g = 1;       ///< problems in the batch
+  int elem_bytes = 4;
+};
+
+struct PlannerChoice {
+  Proposal proposal = Proposal::kSingleGpu;
+  int m = 1;  ///< nodes
+  int w = 1;  ///< GPUs per node
+  int v = 1;  ///< GPUs per PCIe network
+  int y = 1;  ///< PCIe networks per node
+  std::string rationale;
+};
+
+/// Decide the proposal and (M, W, V, Y). The decision follows Premise 4:
+///  * memory forces a floor on how many GPUs must share one problem;
+///  * P2P-only groups (MP-PC) are preferred whenever a problem fits within
+///    one PCIe network and the batch can be spread over networks;
+///  * host-staged or MPI scattering is used only when a single network
+///    cannot hold a problem, minimizing node count unless the data volume
+///    is large enough that MPI's constant overhead amortizes.
+/// Throws util::Error when even the whole cluster cannot hold the batch.
+PlannerChoice choose_proposal(const topo::Cluster& cluster,
+                              const PlannerInput& input);
+
+}  // namespace mgs::core

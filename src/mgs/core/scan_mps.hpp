@@ -1,0 +1,290 @@
+#pragma once
+/// \file scan_mps.hpp
+/// Scan-MPS: Multi-GPU Problem Scattering (Section 4.1, Figures 6-7).
+/// Every problem is split across all W participating GPUs; each GPU runs
+/// Stage 1 on its G portions, the chunk reductions converge on a master
+/// GPU for Stage 2, and the scanned prefixes return for Stage 3.
+
+#include <vector>
+
+#include "mgs/core/kernels.hpp"
+#include "mgs/core/plan.hpp"
+#include "mgs/topo/transfer.hpp"
+
+namespace mgs::core {
+
+/// Per-GPU problem portions: `in`/`out` hold G portions of n_local
+/// contiguous elements (portion of problem g at offset g*n_local).
+template <typename T>
+struct GpuBatch {
+  simt::DeviceBuffer<T> in;
+  simt::DeviceBuffer<T> out;
+};
+
+/// Split G host-resident problems of N elements across `gpus` (portion d
+/// of each problem to gpus[d]) and allocate matching outputs. Placement is
+/// untimed: the paper's evaluation starts with data already in GPU memory.
+template <typename T>
+std::vector<GpuBatch<T>> distribute_batch(topo::Cluster& cluster,
+                                          const std::vector<int>& gpus,
+                                          std::span<const T> host,
+                                          std::int64_t n, std::int64_t g) {
+  const int w = static_cast<int>(gpus.size());
+  MGS_REQUIRE(w > 0, "distribute_batch: need at least one GPU");
+  MGS_REQUIRE(n % w == 0, "distribute_batch: N must be divisible by W");
+  MGS_REQUIRE(static_cast<std::int64_t>(host.size()) >= n * g,
+              "distribute_batch: host data too small");
+  const std::int64_t n_local = n / w;
+  std::vector<GpuBatch<T>> batches;
+  batches.reserve(static_cast<std::size_t>(w));
+  for (int d = 0; d < w; ++d) {
+    GpuBatch<T> b;
+    b.in = cluster.device(gpus[static_cast<std::size_t>(d)])
+               .template alloc<T>(n_local * g);
+    b.out = cluster.device(gpus[static_cast<std::size_t>(d)])
+                .template alloc<T>(n_local * g);
+    auto dst = b.in.host_span();
+    for (std::int64_t gg = 0; gg < g; ++gg) {
+      for (std::int64_t i = 0; i < n_local; ++i) {
+        dst[static_cast<std::size_t>(gg * n_local + i)] =
+            host[static_cast<std::size_t>(gg * n + d * n_local + i)];
+      }
+    }
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+/// Reassemble the scanned problems from the per-GPU outputs (untimed).
+template <typename T>
+std::vector<T> collect_batch(const std::vector<GpuBatch<T>>& batches,
+                             std::int64_t n, std::int64_t g) {
+  const int w = static_cast<int>(batches.size());
+  MGS_REQUIRE(w > 0 && n % w == 0, "collect_batch: bad shape");
+  const std::int64_t n_local = n / w;
+  std::vector<T> host(static_cast<std::size_t>(n * g));
+  for (int d = 0; d < w; ++d) {
+    const auto src = batches[static_cast<std::size_t>(d)].out.host_span();
+    for (std::int64_t gg = 0; gg < g; ++gg) {
+      for (std::int64_t i = 0; i < n_local; ++i) {
+        host[static_cast<std::size_t>(gg * n + d * n_local + i)] =
+            src[static_cast<std::size_t>(gg * n_local + i)];
+      }
+    }
+  }
+  return host;
+}
+
+/// Run Scan-MPS over `gpus` (gpus[0] is the master). Batches must follow
+/// the distribute_batch layout. Returns the simulated makespan across the
+/// participating GPUs plus the phase breakdown.
+template <typename T, typename Op = Plus<T>>
+RunResult scan_mps(topo::Cluster& cluster, const std::vector<int>& gpus,
+                   std::vector<GpuBatch<T>>& batches, std::int64_t n,
+                   std::int64_t g, const ScanPlan& plan, ScanKind kind,
+                   Op op = {}) {
+  plan.validate();
+  const int w = static_cast<int>(gpus.size());
+  MGS_REQUIRE(w > 0 && static_cast<int>(batches.size()) == w,
+              "scan_mps: one batch per GPU required");
+  MGS_REQUIRE(n % w == 0, "scan_mps: N must be divisible by W");
+  const std::int64_t n_local = n / w;
+  const BatchLayout lay = make_layout(n_local, g, plan.s13);
+  MGS_REQUIRE(lay.bx >= 1,
+              "scan_mps: every GPU needs at least one chunk (Equation 2)");
+
+  RunResult result;
+  result.payload_bytes = 2ull * static_cast<std::uint64_t>(n) * g * sizeof(T);
+  topo::TransferEngine xfer(cluster);
+
+  auto phase_start = [&] {
+    double t = 0.0;
+    for (int d : gpus) t = std::max(t, cluster.device(d).clock().now());
+    return t;
+  };
+  const double t0 = phase_start();
+
+  // Per-GPU auxiliary arrays (problem-major), and the master's combined
+  // array: G rows of W*bx chunk totals ([g][d][c]).
+  std::vector<simt::DeviceBuffer<T>> aux_local;
+  aux_local.reserve(static_cast<std::size_t>(w));
+  for (int d = 0; d < w; ++d) {
+    aux_local.push_back(cluster.device(gpus[static_cast<std::size_t>(d)])
+                            .template alloc<T>(lay.aux_elems()));
+  }
+  const int master = gpus[0];
+  auto aux_all =
+      cluster.device(master).template alloc<T>(g * w * lay.bx);
+
+  // ---- Stage 1 on every GPU (concurrent; each device clock advances
+  // independently).
+  for (int d = 0; d < w; ++d) {
+    launch_chunk_reduce(cluster.device(gpus[static_cast<std::size_t>(d)]),
+                        batches[static_cast<std::size_t>(d)].in,
+                        aux_local[static_cast<std::size_t>(d)], lay, plan.s13,
+                        op);
+  }
+  const double t_stage1 = phase_start();
+  result.breakdown.add("Stage1", t_stage1 - t0);
+
+  // ---- Gather the chunk reductions on the master: per source GPU one
+  // strided 2-D copy (G rows of bx), problem-major on arrival.
+  for (int d = 0; d < w; ++d) {
+    xfer.copy_2d(aux_all, static_cast<std::int64_t>(d) * lay.bx,
+                 static_cast<std::int64_t>(w) * lay.bx,
+                 aux_local[static_cast<std::size_t>(d)], 0, lay.bx, g,
+                 lay.bx);
+  }
+  const double t_gather = phase_start();
+  result.breakdown.add("AuxGather", t_gather - t_stage1);
+
+  // ---- Stage 2 on the master only (empirically better than splitting
+  // it across GPUs, per Section 4.1).
+  launch_intermediate_scan(cluster.device(master), aux_all,
+                           static_cast<std::int64_t>(w) * lay.bx, g, plan.s2,
+                           op);
+  const double t_stage2 = phase_start();
+  result.breakdown.add("Stage2", t_stage2 - t_gather);
+
+  // ---- Scatter each GPU's slice of scanned prefixes back.
+  for (int d = 0; d < w; ++d) {
+    xfer.copy_2d(aux_local[static_cast<std::size_t>(d)], 0, lay.bx, aux_all,
+                 static_cast<std::int64_t>(d) * lay.bx,
+                 static_cast<std::int64_t>(w) * lay.bx, g, lay.bx);
+  }
+  const double t_scatter = phase_start();
+  result.breakdown.add("AuxScatter", t_scatter - t_stage2);
+
+  // ---- Stage 3 on every GPU.
+  for (int d = 0; d < w; ++d) {
+    launch_scan_add(cluster.device(gpus[static_cast<std::size_t>(d)]),
+                    batches[static_cast<std::size_t>(d)].in,
+                    batches[static_cast<std::size_t>(d)].out,
+                    aux_local[static_cast<std::size_t>(d)], lay, plan.s13,
+                    kind, op);
+  }
+  const double t_stage3 = phase_start();
+  result.breakdown.add("Stage3", t_stage3 - t_scatter);
+
+  result.seconds = t_stage3 - t0;
+  return result;
+}
+
+/// Scan-MPS variant with direct peer writes: when every participating GPU
+/// shares a PCIe network with the master, Stage 1 writes its chunk
+/// reductions straight into the master's combined auxiliary array through
+/// UVA peer access (Section 2: P2P copies are asynchronous and overlap
+/// with computation), eliminating the separate gather step. The scattered
+/// peer writes ride the P2P link pipelined behind the kernel; the model
+/// charges the link time minus the overlap with Stage 1.
+///
+/// Requires all GPUs on one PCIe network (throws util::Error otherwise);
+/// the scatter-back still uses explicit copies (Stage 3 needs the data
+/// resident before it starts).
+template <typename T, typename Op = Plus<T>>
+RunResult scan_mps_direct(topo::Cluster& cluster, const std::vector<int>& gpus,
+                          std::vector<GpuBatch<T>>& batches, std::int64_t n,
+                          std::int64_t g, const ScanPlan& plan, ScanKind kind,
+                          Op op = {}) {
+  plan.validate();
+  const int w = static_cast<int>(gpus.size());
+  MGS_REQUIRE(w > 0 && static_cast<int>(batches.size()) == w,
+              "scan_mps_direct: one batch per GPU required");
+  MGS_REQUIRE(n % w == 0, "scan_mps_direct: N must be divisible by W");
+  const int master = gpus[0];
+  for (int d : gpus) {
+    const auto link = cluster.link_between(master, d);
+    MGS_REQUIRE(link == topo::LinkType::kSelf || link == topo::LinkType::kP2P,
+                "scan_mps_direct: all GPUs must share the master's PCIe "
+                "network (peer access)");
+  }
+  const std::int64_t n_local = n / w;
+  const BatchLayout lay = make_layout(n_local, g, plan.s13);
+
+  RunResult result;
+  result.payload_bytes = 2ull * static_cast<std::uint64_t>(n) * g * sizeof(T);
+  topo::TransferEngine xfer(cluster);
+  auto phase_start = [&] {
+    double t = 0.0;
+    for (int d : gpus) t = std::max(t, cluster.device(d).clock().now());
+    return t;
+  };
+  const double t0 = phase_start();
+
+  auto aux_all = cluster.device(master).template alloc<T>(g * w * lay.bx);
+  const auto aux_view = aux_all.view();
+
+  // ---- Stage 1 with direct peer writes into the master's array.
+  for (int d = 0; d < w; ++d) {
+    simt::Device& dev = cluster.device(gpus[static_cast<std::size_t>(d)]);
+    simt::LaunchConfig cfg;
+    cfg.name = "chunk_reduce_p2p";
+    cfg.grid = {static_cast<int>(lay.bx), static_cast<int>(g), 1};
+    cfg.block = {plan.s13.lx, 1, 1};
+    cfg.regs_per_thread = plan.s13.regs_per_thread();
+    cfg.smem_per_block = plan.s13.smem_bytes(sizeof(T));
+    const auto inv = batches[static_cast<std::size_t>(d)].in.view();
+    const StagePlan sp = plan.s13;
+    const std::int64_t dd = d;
+    const auto t = simt::launch(dev, cfg, [=](simt::BlockCtx& ctx) {
+      const std::int64_t c = ctx.block_idx().x;
+      const std::int64_t gg = ctx.block_idx().y;
+      const std::int64_t chunk_off = c * lay.chunk;
+      const std::int64_t len =
+          std::min<std::int64_t>(lay.chunk, lay.n_local - chunk_off);
+      const T total =
+          cascade_reduce(ctx, inv, gg * lay.n_local + chunk_off, len, sp, op);
+      // UVA peer store into the master's [g][d][c] slot.
+      aux_view.store(gg * (w * lay.bx) + dd * lay.bx + c, total, ctx.stats());
+    });
+    if (gpus[static_cast<std::size_t>(d)] != master) {
+      // The peer writes ride the P2P link behind the kernel; only the
+      // non-overlapped remainder delays the pipeline.
+      const double wire = xfer.link_time(
+          gpus[static_cast<std::size_t>(d)], master,
+          static_cast<std::uint64_t>(g) * lay.bx * sizeof(T));
+      const double exposed = std::max(0.0, wire - 0.5 * t.seconds);
+      dev.clock().advance(exposed);
+      cluster.device(master).clock().sync_to(dev.clock().now());
+    }
+  }
+  const double t_stage1 = phase_start();
+  // The master may only start Stage 2 once every peer's writes landed.
+  cluster.device(master).clock().sync_to(t_stage1);
+  result.breakdown.add("Stage1+P2PWrites", t_stage1 - t0);
+
+  // ---- Stage 2 on the master.
+  launch_intermediate_scan(cluster.device(master), aux_all,
+                           static_cast<std::int64_t>(w) * lay.bx, g, plan.s2,
+                           op);
+  const double t_stage2 = phase_start();
+  result.breakdown.add("Stage2", t_stage2 - t_stage1);
+
+  // ---- Scatter slices back, then Stage 3 (same as regular MPS).
+  std::vector<simt::DeviceBuffer<T>> aux_local;
+  aux_local.reserve(static_cast<std::size_t>(w));
+  for (int d = 0; d < w; ++d) {
+    aux_local.push_back(cluster.device(gpus[static_cast<std::size_t>(d)])
+                            .template alloc<T>(lay.aux_elems()));
+    xfer.copy_2d(aux_local.back(), 0, lay.bx, aux_all,
+                 static_cast<std::int64_t>(d) * lay.bx,
+                 static_cast<std::int64_t>(w) * lay.bx, g, lay.bx);
+  }
+  const double t_scatter = phase_start();
+  result.breakdown.add("AuxScatter", t_scatter - t_stage2);
+
+  for (int d = 0; d < w; ++d) {
+    launch_scan_add(cluster.device(gpus[static_cast<std::size_t>(d)]),
+                    batches[static_cast<std::size_t>(d)].in,
+                    batches[static_cast<std::size_t>(d)].out,
+                    aux_local[static_cast<std::size_t>(d)], lay, plan.s13,
+                    kind, op);
+  }
+  const double t_end = phase_start();
+  result.breakdown.add("Stage3", t_end - t_scatter);
+
+  result.seconds = t_end - t0;
+  return result;
+}
+
+}  // namespace mgs::core

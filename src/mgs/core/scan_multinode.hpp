@@ -1,0 +1,112 @@
+#pragma once
+/// \file scan_multinode.hpp
+/// Multi-node Scan-MPS (Section 4.1, multi-node paragraph): one MPI rank
+/// per GPU across M nodes; the chunk reductions travel to rank 0 with
+/// MPI_Gather, Stage 2 runs on the master GPU, MPI_Scatter returns the
+/// scanned prefixes, and barriers bracket the pipeline.
+
+#include <vector>
+
+#include "mgs/core/kernels.hpp"
+#include "mgs/core/scan_mps.hpp"
+#include "mgs/msg/comm.hpp"
+
+namespace mgs::core {
+
+/// Run the multi-node proposal over the communicator's M*W ranks.
+/// `batches[r]` follows the distribute_batch layout for rank r (portion r
+/// of every problem). Returns makespan + breakdown including the MPI
+/// collectives (the data behind Figure 14).
+template <typename T, typename Op = Plus<T>>
+RunResult scan_mps_multinode(msg::Communicator& comm,
+                             std::vector<GpuBatch<T>>& batches,
+                             std::int64_t n, std::int64_t g,
+                             const ScanPlan& plan, ScanKind kind, Op op = {}) {
+  plan.validate();
+  const int ranks = comm.size();
+  MGS_REQUIRE(static_cast<int>(batches.size()) == ranks,
+              "scan_mps_multinode: one batch per rank required");
+  MGS_REQUIRE(n % ranks == 0, "scan_mps_multinode: N must divide by M*W");
+  const std::int64_t n_local = n / ranks;
+  const BatchLayout lay = make_layout(n_local, g, plan.s13);
+
+  topo::Cluster& cluster = comm.cluster();
+  RunResult result;
+  result.payload_bytes = 2ull * static_cast<std::uint64_t>(n) * g * sizeof(T);
+  comm.reset_breakdown();
+
+  auto phase_start = [&] {
+    double t = 0.0;
+    for (int r = 0; r < ranks; ++r) {
+      t = std::max(t, cluster.device(comm.device_of(r)).clock().now());
+    }
+    return t;
+  };
+  const double t0 = phase_start();
+
+  // Master allocates the combined array for Stage 2 (rank-major layout:
+  // rank r's contribution at offset r*g*bx, matching MPI_Gather).
+  simt::Device& master = cluster.device(comm.device_of(0));
+  auto aux_all = master.template alloc<T>(
+      static_cast<std::int64_t>(ranks) * g * lay.bx);
+  std::vector<simt::DeviceBuffer<T>> aux_local;
+  aux_local.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    aux_local.push_back(cluster.device(comm.device_of(r))
+                            .template alloc<T>(lay.aux_elems()));
+  }
+
+  // "After synchronizing all MPI processes, the first stage is executed."
+  comm.barrier();
+  const double t_sync = phase_start();
+
+  // ---- Stage 1 on every rank.
+  for (int r = 0; r < ranks; ++r) {
+    launch_chunk_reduce(cluster.device(comm.device_of(r)),
+                        batches[static_cast<std::size_t>(r)].in,
+                        aux_local[static_cast<std::size_t>(r)], lay, plan.s13,
+                        op);
+  }
+  const double t_stage1 = phase_start();
+  result.breakdown.add("Stage1", t_stage1 - t_sync);
+
+  // ---- MPI_Gather of the chunk reductions to rank 0.
+  std::vector<msg::Slice<T>> slices;
+  for (int r = 0; r < ranks; ++r) {
+    slices.push_back({&aux_local[static_cast<std::size_t>(r)], 0,
+                      lay.aux_elems()});
+  }
+  comm.gather(0, slices, aux_all, 0);
+
+  // ---- Stage 2 on the master GPU over the rank-major layout.
+  launch_intermediate_scan_ranked(master, aux_all, lay.bx, ranks, g, plan.s2,
+                                  op);
+  const double t_stage2_end = phase_start();
+  result.breakdown.add(
+      "Stage2", t_stage2_end - t_stage1 - comm.breakdown().get("MPI_Gather"));
+
+  // ---- MPI_Scatter the scanned prefixes back (each rank's region of the
+  // rank-major array is contiguous).
+  comm.scatter(0, aux_all, 0, slices);
+
+  // ---- Stage 3 on every rank.
+  const double t_stage3_begin = phase_start();
+  for (int r = 0; r < ranks; ++r) {
+    launch_scan_add(cluster.device(comm.device_of(r)),
+                    batches[static_cast<std::size_t>(r)].in,
+                    batches[static_cast<std::size_t>(r)].out,
+                    aux_local[static_cast<std::size_t>(r)], lay, plan.s13,
+                    kind, op);
+  }
+  const double t_stage3 = phase_start();
+  result.breakdown.add("Stage3", t_stage3 - t_stage3_begin);
+
+  comm.barrier();
+  const double t_end = phase_start();
+  result.breakdown.merge(comm.breakdown());
+
+  result.seconds = t_end - t0;
+  return result;
+}
+
+}  // namespace mgs::core

@@ -1,0 +1,49 @@
+#pragma once
+/// \file scan_sp.hpp
+/// Scan-SP: the paper's single-GPU proposal. G problems of N elements are
+/// solved in one invocation with the three-kernel pipeline (or a single
+/// direct kernel when a problem fits in one chunk).
+
+#include "mgs/core/kernels.hpp"
+#include "mgs/core/plan.hpp"
+
+namespace mgs::core {
+
+/// Run the batch scan on one device. `in` and `out` hold G problems of N
+/// contiguous elements each (problem g at offset g*N); they may alias.
+/// The device clock advances by the simulated duration; the returned
+/// RunResult reports it along with the per-stage breakdown.
+template <typename T, typename Op = Plus<T>>
+RunResult scan_sp(simt::Device& dev, const simt::DeviceBuffer<T>& in,
+                  simt::DeviceBuffer<T>& out, std::int64_t n, std::int64_t g,
+                  const ScanPlan& plan, ScanKind kind, Op op = {}) {
+  plan.validate();
+  MGS_REQUIRE(n > 0 && g > 0, "scan_sp: N and G must be positive");
+  MGS_REQUIRE(in.size() >= n * g && out.size() >= n * g,
+              "scan_sp: buffers must hold G*N elements");
+
+  const BatchLayout lay = make_layout(n, g, plan.s13);
+  RunResult result;
+  result.payload_bytes = 2ull * static_cast<std::uint64_t>(n) * g * sizeof(T);
+  const double start = dev.clock().now();
+
+  if (lay.bx == 1) {
+    const auto t = launch_direct_scan(dev, in, out, lay, plan.s13, kind, op);
+    result.breakdown.add("Stage3", t.seconds);
+  } else {
+    auto aux = dev.alloc<T>(lay.aux_elems());
+    const auto t1 = launch_chunk_reduce(dev, in, aux, lay, plan.s13, op);
+    result.breakdown.add("Stage1", t1.seconds);
+    const auto t2 =
+        launch_intermediate_scan(dev, aux, lay.bx, lay.g, plan.s2, op);
+    result.breakdown.add("Stage2", t2.seconds);
+    const auto t3 =
+        launch_scan_add(dev, in, out, aux, lay, plan.s13, kind, op);
+    result.breakdown.add("Stage3", t3.seconds);
+  }
+
+  result.seconds = dev.clock().now() - start;
+  return result;
+}
+
+}  // namespace mgs::core

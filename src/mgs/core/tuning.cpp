@@ -1,0 +1,128 @@
+#include "mgs/core/tuning.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mgs/util/math.hpp"
+
+namespace mgs::core {
+
+TuningChoice derive_spl(const sim::DeviceSpec& spec, int elem_bytes) {
+  MGS_REQUIRE(elem_bytes > 0, "derive_spl: element size must be positive");
+
+  // ---- Premise 1: the block shape where max block parallelism and 100%
+  // warp occupancy coincide. With `max_blocks` resident blocks each of
+  // `w` warps, the SM holds w*max_blocks warps; full occupancy needs
+  // w = max_warps / max_blocks (Table 3's bold row: 64/16 = 4 warps).
+  const int warps_per_block = std::max(1, spec.max_warps_per_sm /
+                                              spec.max_blocks_per_sm);
+  const int threads = warps_per_block * spec.warp_size;
+
+  // Register budget per thread so the register file still admits
+  // max_blocks blocks (cc 3.7: 128K / (16*128) = 64 registers).
+  //
+  // ---- Premise 2: largest P with 6P+16 registers within the budget;
+  // P >= 4 is required by the int4 load path. On register files too small
+  // to sustain P = 4 at 100% occupancy (e.g. Maxwell's 64K), the warp-
+  // occupancy target is relaxed step by step -- "the GPU hardware is able
+  // to provide highly satisfactory performance even at lower warp
+  // occupancy" (Premise 1, citing Volkov).
+  int p = 0;
+  int reg_budget = 0;
+  for (double occ_target : {1.0, 0.75, 0.5, 0.25}) {
+    const auto target_warps =
+        static_cast<std::int64_t>(occ_target * spec.max_warps_per_sm);
+    reg_budget = static_cast<int>(spec.registers_per_sm /
+                                  (target_warps * spec.warp_size));
+    if (6 * 4 + 16 > reg_budget) continue;
+    p = 4;
+    while (2 * p * 6 + 16 <= reg_budget) p *= 2;
+    break;
+  }
+  MGS_REQUIRE(p >= 4,
+              "derive_spl: register file too small for the vector loads");
+
+  TuningChoice choice;
+  choice.plan.s13.p = p;
+  choice.plan.s13.lx = threads;
+  choice.plan.s13.ly = 1;
+  choice.plan.s13.k = 1;
+
+  // Stage 2: one warp per problem row, several problems per block so the
+  // block still has Premise 1's thread count (L_y^2 > 1, B_x^2 = 1).
+  choice.plan.s2.p = p;
+  choice.plan.s2.lx = spec.warp_size;
+  choice.plan.s2.ly = std::max(1, threads / spec.warp_size);
+  choice.plan.s2.k = 1;
+
+  choice.plan.validate();
+
+  // Check the choice against the occupancy calculator (it must land on
+  // the bold row: max blocks and 100% warp occupancy simultaneously).
+  const sim::OccupancyResult occ =
+      sim::occupancy(spec, threads, choice.plan.s13.regs_per_thread(),
+                     choice.plan.s13.smem_bytes(elem_bytes));
+
+  std::ostringstream why;
+  why << "Premise 1: " << warps_per_block << " warps/block ("
+      << threads << " threads, l=" << choice.plan.s13.l_log2() << ") -> "
+      << occ.blocks_per_sm << " blocks/SM at "
+      << static_cast<int>(occ.warp_occupancy * 100) << "% warp occupancy"
+      << " on " << spec.name << ". Premise 2: P=" << p << " (p="
+      << choice.plan.s13.p_log2() << ") uses "
+      << choice.plan.s13.regs_per_thread() << " <= " << reg_budget
+      << " registers/thread. Shuffle scans keep shared memory at one "
+      << "element per warp (s<=5).";
+  choice.rationale = why.str();
+  return choice;
+}
+
+std::int64_t k1_max_eq1(std::int64_t n, std::int64_t g, const ScanPlan& plan,
+                        const sim::DeviceSpec& spec) {
+  MGS_REQUIRE(n > 0 && g > 0, "k1_max_eq1: N and G must be positive");
+  const std::int64_t denom = static_cast<std::int64_t>(spec.max_blocks_per_sm) *
+                             plan.s13.p * plan.s2.p * plan.s13.threads() *
+                             plan.s2.threads();
+  return std::max<std::int64_t>(1, n * g / denom);
+}
+
+std::int64_t k1_max_gpus(std::int64_t n, const StagePlan& s13,
+                         int gpus_per_problem) {
+  MGS_REQUIRE(n > 0 && gpus_per_problem > 0, "k1_max_gpus: bad arguments");
+  return std::max<std::int64_t>(
+      1, n / (static_cast<std::int64_t>(gpus_per_problem) * s13.tile()));
+}
+
+std::vector<int> k1_candidates(std::int64_t n, std::int64_t g,
+                               const ScanPlan& plan,
+                               const sim::DeviceSpec& spec,
+                               int gpus_per_problem) {
+  const std::int64_t bound =
+      std::min(k1_max_eq1(n, g, plan, spec),
+               k1_max_gpus(n, plan.s13, gpus_per_problem));
+  std::vector<int> ks;
+  for (std::int64_t k = 1; k <= bound; k *= 2) {
+    ks.push_back(static_cast<int>(k));
+    if (k > (std::int64_t{1} << 30)) break;
+  }
+  return ks;
+}
+
+AutotuneResult autotune_k(const std::vector<int>& candidates,
+                          const std::function<double(int)>& measure) {
+  MGS_REQUIRE(!candidates.empty(), "autotune_k: no candidates");
+  AutotuneResult result;
+  bool first = true;
+  for (int k : candidates) {
+    const double s = measure(k);
+    result.tried.emplace_back(k, s);
+    if (first || s < result.best_seconds) {
+      result.best_k = k;
+      result.best_seconds = s;
+      first = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace mgs::core

@@ -1,0 +1,73 @@
+#pragma once
+/// \file tuning.hpp
+/// The paper's tuning strategy (Sections 3.2 and 4.2):
+///
+///  * Premise 1 -- balance SM block and warp parallelism: pick the block
+///    shape where both the max-resident-blocks and 100% warp occupancy are
+///    reached simultaneously (the bold row of Table 3);
+///  * Premise 2 -- maximize per-thread work P within the register budget
+///    that Premise 1 implies;
+///  * Premise 3 -- Equation 1: the K search space trading Stage-2
+///    occupancy against auxiliary-array traffic;
+///  * Premise 4 -- Equations 2 and 3: chunk count must cover the
+///    participating GPUs (M*W for Scan-MPS, V for Scan-MP-PC).
+///
+/// The optimal K is found empirically over the premise-trimmed space
+/// (autotune_k), which the paper leaves as future work to automate.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mgs/core/plan.hpp"
+#include "mgs/sim/device_spec.hpp"
+#include "mgs/sim/occupancy.hpp"
+
+namespace mgs::core {
+
+/// (s, p, l) choice plus the reasoning that produced it.
+struct TuningChoice {
+  ScanPlan plan;
+  std::string rationale;
+};
+
+/// Premises 1 and 2: derive (s, p, l) for a device and element size.
+/// For cc 3.7 and 4-byte elements this yields exactly the paper's values:
+/// l = 7 (128 threads, 4 warps), p = 3 (P = 8, 64 registers), s <= 5.
+/// K is left at 1; set it from the K search below.
+TuningChoice derive_spl(const sim::DeviceSpec& spec, int elem_bytes);
+
+/// Equation 1 upper bound for K^1: Stage 2's block count must reach the
+/// architecture's max blocks per SM.
+///   K^1 <= G*N / (max_blocks * P^1 * P^2 * L^1 * L^2)
+std::int64_t k1_max_eq1(std::int64_t n, std::int64_t g, const ScanPlan& plan,
+                        const sim::DeviceSpec& spec);
+
+/// Equations 2/3 upper bound: each of the `gpus_per_problem` GPUs must
+/// receive at least one chunk of the problem:
+///   N / (K^1 * Lx^1 * P^1) >= gpus_per_problem
+std::int64_t k1_max_gpus(std::int64_t n, const StagePlan& s13,
+                         int gpus_per_problem);
+
+/// The premise-trimmed search space: all powers of two in
+/// [1, min(eq1, eq2/3)]. Never empty -- K = 1 is always admissible.
+std::vector<int> k1_candidates(std::int64_t n, std::int64_t g,
+                               const ScanPlan& plan,
+                               const sim::DeviceSpec& spec,
+                               int gpus_per_problem);
+
+/// Outcome of the empirical K search.
+struct AutotuneResult {
+  int best_k = 1;
+  double best_seconds = 0.0;
+  std::vector<std::pair<int, double>> tried;  ///< (K, simulated seconds)
+};
+
+/// Run `measure(K)` (which must return simulated seconds for a full scan
+/// with that K) for every candidate and keep the argmin. This is the
+/// "all possible K values that meet Eq. 1 are tested" step of Section 3.2,
+/// automated against the simulator.
+AutotuneResult autotune_k(const std::vector<int>& candidates,
+                          const std::function<double(int)>& measure);
+
+}  // namespace mgs::core

@@ -1,0 +1,77 @@
+#include "mgs/msg/comm.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "mgs/sim/profiler.hpp"
+
+namespace mgs::msg {
+
+Communicator::Communicator(topo::Cluster& cluster, std::vector<int> device_ids)
+    : cluster_(&cluster), device_ids_(std::move(device_ids)) {
+  MGS_REQUIRE(!device_ids_.empty(), "Communicator needs at least one rank");
+  std::set<int> seen;
+  for (int id : device_ids_) {
+    MGS_REQUIRE(id >= 0 && id < cluster_->num_devices(),
+                "Communicator: device id out of range");
+    MGS_REQUIRE(seen.insert(id).second,
+                "Communicator: duplicate device in rank list");
+  }
+}
+
+int Communicator::device_of(int rank) const {
+  MGS_CHECK(rank >= 0 && rank < size(), "rank out of range");
+  return device_ids_[static_cast<std::size_t>(rank)];
+}
+
+sim::Clock& Communicator::clock_of(int rank) {
+  return cluster_->device(device_of(rank)).clock();
+}
+
+double Communicator::collective_alpha() const {
+  return cluster_->config().links.mpi_overhead_us * 1e-6;
+}
+
+double Communicator::message_time(int src_rank, int dst_rank,
+                                  std::uint64_t bytes) const {
+  const topo::LinkSpec& links = cluster_->config().links;
+  // CUDA-aware MPI: the payload rides the best available link between the
+  // two GPUs; MPI adds its software overhead on top.
+  topo::TransferEngine probe(*cluster_);
+  const double wire =
+      probe.link_time(device_of(src_rank), device_of(dst_rank), bytes);
+  return links.mpi_overhead_us * 1e-6 + wire;
+}
+
+double Communicator::barrier() {
+  double start = 0.0;
+  std::vector<double> entry(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    entry[static_cast<std::size_t>(r)] = clock_of(r).now();
+    start = std::max(start, entry[static_cast<std::size_t>(r)]);
+  }
+  int levels = 0;
+  for (int n = size(); n > 1; n = (n + 1) / 2) ++levels;
+  const double completion = start + collective_alpha() * std::max(1, levels);
+  for (int r = 0; r < size(); ++r) clock_of(r).sync_to(completion);
+  // Record the *master's* dwell time (what Figure 14 plots).
+  breakdown_.add("MPI_Barrier", completion - entry[0]);
+  profile_collective("MPI_Barrier", start, completion, 0);
+  return completion;
+}
+
+void Communicator::profile_collective(const char* name, double start,
+                                      double completion,
+                                      std::uint64_t bytes) {
+  if (!sim::Profiler::instance().enabled()) return;
+  sim::ProfileRecord rec;
+  rec.name = name;
+  rec.kind = sim::EventKind::kCollective;
+  rec.device_id = device_of(0);
+  rec.start_seconds = start;
+  rec.duration_seconds = completion - start;
+  rec.bytes = bytes;
+  sim::Profiler::instance().record(std::move(rec));
+}
+
+}  // namespace mgs::msg

@@ -1,0 +1,90 @@
+#include "mgs/sim/cost_model.hpp"
+
+#include <algorithm>
+
+#include "mgs/util/check.hpp"
+#include "mgs/util/math.hpp"
+
+namespace mgs::sim {
+
+KernelStats& KernelStats::operator+=(const KernelStats& o) {
+  bytes_read += o.bytes_read;
+  bytes_written += o.bytes_written;
+  mem_transactions += o.mem_transactions;
+  alu_ops += o.alu_ops;
+  // Launch shape fields are per-launch, not additive; keep the first.
+  if (blocks == 0) {
+    blocks = o.blocks;
+    threads_per_block = o.threads_per_block;
+    regs_per_thread = o.regs_per_thread;
+    smem_per_block = o.smem_per_block;
+  } else {
+    blocks += o.blocks;
+  }
+  return *this;
+}
+
+KernelTime kernel_time(const DeviceSpec& spec, const KernelStats& stats) {
+  MGS_CHECK(stats.blocks > 0, "kernel_time: launch with zero blocks");
+  MGS_CHECK(stats.threads_per_block > 0,
+            "kernel_time: launch with zero threads per block");
+
+  KernelTime t;
+  t.occ = occupancy(spec, stats.threads_per_block, stats.regs_per_thread,
+                    stats.smem_per_block);
+
+  // Concurrency: how much of the device's latency-hiding capacity this
+  // launch engages. Two effects fold in:
+  //  (1) resident warps per SM (Premise 1's occupancy target), and
+  //  (2) whether the grid has enough blocks to fill all SMs at that
+  //      residency (small Stage-2 launches do not).
+  const int warps_per_block = static_cast<int>(util::div_up(
+      static_cast<std::uint64_t>(stats.threads_per_block),
+      static_cast<std::uint64_t>(spec.warp_size)));
+  const double resident_warps =
+      static_cast<double>(std::min<std::uint64_t>(
+          stats.blocks * static_cast<std::uint64_t>(warps_per_block),
+          static_cast<std::uint64_t>(t.occ.warps_per_sm) * spec.num_sms));
+  const double saturation_warps =
+      static_cast<double>(spec.saturation_warps_per_sm) * spec.num_sms;
+  t.concurrency = std::clamp(resident_warps / saturation_warps,
+                             spec.concurrency_floor, 1.0);
+
+  // Coalescing: ideal segment count over issued segment count.
+  const std::uint64_t ideal_txn = util::div_up(
+      stats.total_bytes(), static_cast<std::uint64_t>(spec.transaction_bytes));
+  t.coalescing =
+      stats.mem_transactions == 0
+          ? 1.0
+          : std::min(1.0, static_cast<double>(ideal_txn) /
+                              static_cast<double>(stats.mem_transactions));
+
+  const double mem_bw = spec.peak_bandwidth_bps() * spec.mem_efficiency_base *
+                        t.concurrency * t.coalescing;
+  t.mem_seconds =
+      stats.total_bytes() == 0
+          ? 0.0
+          : spec.dram_latency_us * 1e-6 +
+                static_cast<double>(stats.total_bytes()) / mem_bw;
+
+  const double alu_rate = spec.peak_alu_ops_per_sec() * t.concurrency;
+  t.alu_seconds = stats.alu_ops == 0
+                      ? 0.0
+                      : static_cast<double>(stats.alu_ops) / alu_rate;
+
+  t.overhead_seconds = spec.kernel_launch_overhead_us * 1e-6;
+  t.seconds = t.overhead_seconds + std::max(t.mem_seconds, t.alu_seconds);
+  t.effective_bandwidth_bps =
+      t.mem_seconds > 0.0
+          ? static_cast<double>(stats.total_bytes()) / t.mem_seconds
+          : 0.0;
+  return t;
+}
+
+double streaming_time(const DeviceSpec& spec, std::uint64_t bytes) {
+  const double bw = spec.peak_bandwidth_bps() * spec.mem_efficiency_base;
+  return spec.kernel_launch_overhead_us * 1e-6 +
+         static_cast<double>(bytes) / bw;
+}
+
+}  // namespace mgs::sim

@@ -1,0 +1,65 @@
+#pragma once
+/// \file cost_model.hpp
+/// First-order kernel timing model. Kernels in this project execute
+/// *functionally* on the host (see mgs/simt), while this model converts the
+/// measured work -- bytes moved, DRAM transactions, lane-ops -- into a
+/// simulated duration on the target DeviceSpec.
+///
+/// The model is deliberately simple and transparent:
+///
+///   t = launch_overhead + max(t_mem, t_alu)
+///   t_mem = bytes / (peak_bw * base_eff * concurrency * coalescing)
+///   t_alu = lane_ops / (peak_alu * concurrency)
+///
+/// where `concurrency` captures both per-SM occupancy (Premise 1) and
+/// grid-level underutilization (the paper's Stage-2-at-G=1 effect), and
+/// `coalescing` is ideal/actual 32-byte DRAM transactions (why the kernels
+/// read int4 vectors).
+
+#include <cstdint>
+
+#include "mgs/sim/device_spec.hpp"
+#include "mgs/sim/occupancy.hpp"
+
+namespace mgs::sim {
+
+/// Work counters accumulated while a kernel runs functionally.
+struct KernelStats {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  /// DRAM transactions actually issued (32-byte segments touched).
+  std::uint64_t mem_transactions = 0;
+  /// Lane-operations: shuffles, adds, predicated lane work.
+  std::uint64_t alu_ops = 0;
+
+  // Launch shape / resource usage (feeds the occupancy calculator).
+  std::uint64_t blocks = 0;
+  int threads_per_block = 0;
+  int regs_per_thread = 32;
+  std::int64_t smem_per_block = 0;
+
+  std::uint64_t total_bytes() const { return bytes_read + bytes_written; }
+  KernelStats& operator+=(const KernelStats& o);
+};
+
+/// Timing verdict for one kernel launch.
+struct KernelTime {
+  double seconds = 0.0;           ///< total, = overhead + max(mem, alu)
+  double mem_seconds = 0.0;
+  double alu_seconds = 0.0;
+  double overhead_seconds = 0.0;
+  double effective_bandwidth_bps = 0.0;  ///< bytes / mem_seconds
+  double concurrency = 0.0;       ///< 0..1 utilization factor used
+  double coalescing = 0.0;        ///< 0..1 transaction efficiency used
+  OccupancyResult occ;
+};
+
+/// Evaluate the model for one launch. Requires stats.blocks > 0.
+KernelTime kernel_time(const DeviceSpec& spec, const KernelStats& stats);
+
+/// Convenience: modeled duration of a straightforward streaming kernel that
+/// moves `bytes` at full occupancy and perfect coalescing (used by baseline
+/// models for passes we account analytically, e.g. cudaMemset).
+double streaming_time(const DeviceSpec& spec, std::uint64_t bytes);
+
+}  // namespace mgs::sim

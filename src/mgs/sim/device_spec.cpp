@@ -1,0 +1,78 @@
+#include "mgs/sim/device_spec.hpp"
+
+#include "mgs/util/check.hpp"
+
+namespace mgs::sim {
+
+DeviceSpec k80_spec() {
+  DeviceSpec s;
+  s.name = "Tesla K80 (GK210)";
+  s.cc_major = 3;
+  s.cc_minor = 7;
+  s.num_sms = 13;
+  s.max_warps_per_sm = 64;
+  s.max_blocks_per_sm = 16;
+  s.registers_per_sm = 128 * 1024;
+  s.shared_mem_per_sm = 112 * 1024;
+  s.shared_mem_per_block = 48 * 1024;
+  s.clock_ghz = 0.875;
+  s.cores_per_sm = 192;
+  s.peak_bandwidth_gbps = 240.0;
+  s.mem_efficiency_base = 0.72;
+  s.saturation_warps_per_sm = 24;
+  s.kernel_launch_overhead_us = 5.0;
+  s.memory_bytes = std::int64_t{12} * 1024 * 1024 * 1024;
+  return s;
+}
+
+DeviceSpec maxwell_spec() {
+  DeviceSpec s;
+  s.name = "GTX Titan X (GM200)";
+  s.cc_major = 5;
+  s.cc_minor = 2;
+  s.num_sms = 24;
+  s.max_warps_per_sm = 64;
+  s.max_blocks_per_sm = 32;
+  s.registers_per_sm = 64 * 1024;
+  s.shared_mem_per_sm = 96 * 1024;
+  s.shared_mem_per_block = 48 * 1024;
+  s.clock_ghz = 1.0;
+  s.cores_per_sm = 128;
+  s.peak_bandwidth_gbps = 336.0;
+  s.mem_efficiency_base = 0.78;
+  s.saturation_warps_per_sm = 20;
+  s.kernel_launch_overhead_us = 5.0;
+  s.memory_bytes = std::int64_t{12} * 1024 * 1024 * 1024;
+  return s;
+}
+
+DeviceSpec pascal_spec() {
+  DeviceSpec s;
+  s.name = "Tesla P100 (GP100)";
+  s.cc_major = 6;
+  s.cc_minor = 0;
+  s.num_sms = 56;
+  s.max_warps_per_sm = 64;
+  s.max_blocks_per_sm = 32;
+  s.registers_per_sm = 64 * 1024;
+  s.shared_mem_per_sm = 64 * 1024;
+  s.shared_mem_per_block = 48 * 1024;
+  s.clock_ghz = 1.328;
+  s.cores_per_sm = 64;
+  s.peak_bandwidth_gbps = 732.0;
+  s.mem_efficiency_base = 0.80;
+  s.saturation_warps_per_sm = 16;
+  s.kernel_launch_overhead_us = 4.0;
+  s.memory_bytes = std::int64_t{16} * 1024 * 1024 * 1024;
+  return s;
+}
+
+DeviceSpec spec_by_name(const std::string& name) {
+  if (name == "k80") return k80_spec();
+  if (name == "maxwell") return maxwell_spec();
+  if (name == "pascal") return pascal_spec();
+  throw util::Error("unknown device spec '" + name +
+                    "' (expected k80, maxwell or pascal)");
+}
+
+}  // namespace mgs::sim

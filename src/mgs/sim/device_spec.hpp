@@ -1,0 +1,74 @@
+#pragma once
+/// \file device_spec.hpp
+/// Static description of a simulated GPU. The numbers for the presets are
+/// taken from NVIDIA's published specifications; the paper's platform is
+/// the Tesla K80 (one logical GPU = one GK210 die, compute capability 3.7).
+
+#include <cstdint>
+#include <string>
+
+namespace mgs::sim {
+
+/// Hardware limits and first-order performance characteristics of one GPU.
+struct DeviceSpec {
+  std::string name;
+  int cc_major = 3;
+  int cc_minor = 7;
+
+  // --- SM resource limits (drive the occupancy calculator / Table 3) ---
+  int num_sms = 13;
+  int warp_size = 32;
+  int max_warps_per_sm = 64;
+  int max_blocks_per_sm = 16;
+  int max_threads_per_block = 1024;
+  std::int64_t registers_per_sm = 128 * 1024;
+  int max_regs_per_thread = 255;
+  std::int64_t shared_mem_per_sm = 112 * 1024;
+  std::int64_t shared_mem_per_block = 48 * 1024;
+  /// Register allocation granularity (registers are reserved per warp in
+  /// multiples of this many registers on Kepler).
+  int reg_alloc_granularity = 256;
+
+  // --- First-order performance model ---
+  double clock_ghz = 0.875;         ///< SM clock (boost)
+  int cores_per_sm = 192;           ///< CUDA cores (Kepler GK210)
+  double peak_bandwidth_gbps = 240.0;  ///< DRAM peak, GB/s per logical GPU
+  /// Fraction of peak DRAM bandwidth a perfectly coalesced, fully occupied
+  /// streaming kernel achieves in practice (ECC on, ~70-75% on Kepler).
+  double mem_efficiency_base = 0.72;
+  /// Number of resident warps per SM needed to saturate the memory system
+  /// (Little's law; Kepler needs substantial parallelism to cover latency).
+  int saturation_warps_per_sm = 24;
+  /// DRAM access latency (one full round trip) added to every kernel's
+  /// memory time; dominates tiny launches.
+  double dram_latency_us = 0.6;
+  /// Lower bound on the concurrency factor: even a single resident warp
+  /// streams at this fraction of peak (it is latency-bound, not starved).
+  double concurrency_floor = 0.08;
+  double kernel_launch_overhead_us = 5.0;  ///< host->device launch latency
+  std::int64_t memory_bytes = std::int64_t{12} * 1024 * 1024 * 1024;
+
+  /// DRAM transaction (memory segment) size in bytes; coalescing is
+  /// measured in touched 32-byte segments.
+  int transaction_bytes = 32;
+
+  double clock_hz() const { return clock_ghz * 1e9; }
+  double peak_bandwidth_bps() const { return peak_bandwidth_gbps * 1e9; }
+  /// Peak integer/ALU throughput in lane-operations per second.
+  double peak_alu_ops_per_sec() const {
+    return static_cast<double>(num_sms) * cores_per_sm * clock_hz();
+  }
+};
+
+/// Tesla K80 (GK210 die), the paper's test platform (Table 1).
+DeviceSpec k80_spec();
+/// GeForce GTX Titan X (Maxwell, cc 5.2) -- exercises the premise machinery
+/// on the architecture the paper mentions for its 32-blocks/SM limit.
+DeviceSpec maxwell_spec();
+/// Tesla P100 (Pascal, cc 6.0).
+DeviceSpec pascal_spec();
+
+/// Look up a preset by name ("k80", "maxwell", "pascal"); throws util::Error.
+DeviceSpec spec_by_name(const std::string& name);
+
+}  // namespace mgs::sim

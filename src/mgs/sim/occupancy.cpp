@@ -1,0 +1,78 @@
+#include "mgs/sim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "mgs/util/check.hpp"
+#include "mgs/util/math.hpp"
+
+namespace mgs::sim {
+
+const char* to_string(OccupancyLimiter limiter) {
+  switch (limiter) {
+    case OccupancyLimiter::kBlocks:
+      return "blocks/SM";
+    case OccupancyLimiter::kWarps:
+      return "warps/SM";
+    case OccupancyLimiter::kRegisters:
+      return "registers";
+    case OccupancyLimiter::kSharedMem:
+      return "shared memory";
+  }
+  return "?";
+}
+
+OccupancyResult occupancy(const DeviceSpec& spec, int threads_per_block,
+                          int regs_per_thread, std::int64_t smem_per_block) {
+  MGS_REQUIRE(threads_per_block > 0, "occupancy: threads_per_block must be > 0");
+  MGS_REQUIRE(threads_per_block <= spec.max_threads_per_block,
+              "occupancy: block exceeds max threads per block");
+  MGS_REQUIRE(regs_per_thread > 0 && regs_per_thread <= spec.max_regs_per_thread,
+              "occupancy: regs_per_thread out of range");
+  MGS_REQUIRE(smem_per_block >= 0 && smem_per_block <= spec.shared_mem_per_block,
+              "occupancy: smem_per_block exceeds per-block limit");
+
+  const int warps_per_block = static_cast<int>(
+      util::div_up(static_cast<std::uint64_t>(threads_per_block),
+                   static_cast<std::uint64_t>(spec.warp_size)));
+
+  // Registers are reserved per warp, rounded up to the allocation
+  // granularity (Kepler allocates in 256-register chunks).
+  const std::int64_t regs_per_warp = static_cast<std::int64_t>(util::round_up(
+      static_cast<std::uint64_t>(regs_per_thread) * spec.warp_size,
+      static_cast<std::uint64_t>(spec.reg_alloc_granularity)));
+  const std::int64_t regs_per_block = regs_per_warp * warps_per_block;
+  MGS_REQUIRE(regs_per_block <= spec.registers_per_sm,
+              "occupancy: one block exceeds the SM register file");
+
+  const int by_arch = spec.max_blocks_per_sm;
+  const int by_warps = spec.max_warps_per_sm / warps_per_block;
+  MGS_REQUIRE(by_warps >= 1, "occupancy: block has more warps than one SM");
+  const int by_regs =
+      static_cast<int>(spec.registers_per_sm / regs_per_block);
+  const int by_smem =
+      smem_per_block == 0
+          ? by_arch
+          : static_cast<int>(spec.shared_mem_per_sm / smem_per_block);
+  MGS_REQUIRE(by_smem >= 1, "occupancy: one block exceeds SM shared memory");
+
+  OccupancyResult result;
+  result.blocks_per_sm = std::min({by_arch, by_warps, by_regs, by_smem});
+  // Report the binding constraint; ties are resolved in the order the CUDA
+  // occupancy calculator reports them (arch limit first, then warps, regs,
+  // shared memory).
+  if (result.blocks_per_sm == by_arch) {
+    result.limiter = OccupancyLimiter::kBlocks;
+  } else if (result.blocks_per_sm == by_warps) {
+    result.limiter = OccupancyLimiter::kWarps;
+  } else if (result.blocks_per_sm == by_regs) {
+    result.limiter = OccupancyLimiter::kRegisters;
+  } else {
+    result.limiter = OccupancyLimiter::kSharedMem;
+  }
+  result.warps_per_sm = result.blocks_per_sm * warps_per_block;
+  result.warp_occupancy =
+      static_cast<double>(result.warps_per_sm) / spec.max_warps_per_sm;
+  return result;
+}
+
+}  // namespace mgs::sim

@@ -1,0 +1,43 @@
+#pragma once
+/// \file occupancy.hpp
+/// CUDA-style occupancy calculator. This is the machinery behind the
+/// paper's Table 3 and Premise 1: given a block shape and per-thread /
+/// per-block resource usage, how many blocks and warps can be resident on
+/// one SM, and what limits them.
+
+#include <string>
+
+#include "mgs/sim/device_spec.hpp"
+
+namespace mgs::sim {
+
+/// Which resource capped the number of resident blocks.
+enum class OccupancyLimiter {
+  kBlocks,      ///< the architectural max-blocks-per-SM limit
+  kWarps,       ///< max warps per SM
+  kRegisters,   ///< register file capacity
+  kSharedMem,   ///< shared memory capacity
+};
+
+const char* to_string(OccupancyLimiter limiter);
+
+struct OccupancyResult {
+  int blocks_per_sm = 0;
+  int warps_per_sm = 0;
+  /// warps_per_sm / max_warps_per_sm (the paper's "SM warp occupancy").
+  double warp_occupancy = 0.0;
+  OccupancyLimiter limiter = OccupancyLimiter::kBlocks;
+};
+
+/// Compute the resident-blocks/warps configuration for one SM.
+///
+/// \param threads_per_block  L in the paper (must be a multiple of warp_size
+///                           or it is rounded up to whole warps).
+/// \param regs_per_thread    registers each thread requires.
+/// \param smem_per_block     bytes of shared memory per block (0 allowed).
+///
+/// Throws util::Error if a single block already exceeds a device limit.
+OccupancyResult occupancy(const DeviceSpec& spec, int threads_per_block,
+                          int regs_per_thread, std::int64_t smem_per_block);
+
+}  // namespace mgs::sim

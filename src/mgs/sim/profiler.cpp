@@ -1,0 +1,87 @@
+#include "mgs/sim/profiler.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mgs::sim {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kKernel:
+      return "kernel";
+    case EventKind::kTransfer:
+      return "transfer";
+    case EventKind::kCollective:
+      return "collective";
+  }
+  return "?";
+}
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::record(ProfileRecord rec) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(rec));
+}
+
+std::vector<ProfileRecord> Profiler::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::size_t Profiler::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+std::vector<ProfileSummaryRow> Profiler::summary() const {
+  std::map<std::string, ProfileSummaryRow> by_name;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& r : records_) {
+      auto& row = by_name[r.name];
+      row.name = r.name;
+      ++row.count;
+      row.total_seconds += r.duration_seconds;
+      row.total_bytes += r.bytes;
+    }
+  }
+  std::vector<ProfileSummaryRow> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, row] : by_name) {
+    (void)name;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.total_seconds > b.total_seconds;
+  });
+  return rows;
+}
+
+void Profiler::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& r : records_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << r.name << "\",\"cat\":\"" << to_string(r.kind)
+       << "\",\"ph\":\"X\",\"pid\":" << r.device_id << ",\"tid\":0"
+       << ",\"ts\":" << r.start_seconds * 1e6
+       << ",\"dur\":" << r.duration_seconds * 1e6 << ",\"args\":{\"bytes\":"
+       << r.bytes << ",\"alu_ops\":" << r.alu_ops
+       << ",\"occupancy\":" << r.occupancy << "}}";
+  }
+  os << "]}";
+}
+
+}  // namespace mgs::sim

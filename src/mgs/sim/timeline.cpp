@@ -1,0 +1,62 @@
+#include "mgs/sim/timeline.hpp"
+
+#include <algorithm>
+
+#include "mgs/util/check.hpp"
+
+namespace mgs::sim {
+
+double Clock::advance(double seconds) {
+  MGS_CHECK(seconds >= 0.0, "Clock::advance with negative duration");
+  now_ += seconds;
+  return now_;
+}
+
+void Clock::sync_to(double t) { now_ = std::max(now_, t); }
+
+double max_now(const std::vector<const Clock*>& clocks) {
+  MGS_CHECK(!clocks.empty(), "max_now of empty clock group");
+  double t = 0.0;
+  for (const Clock* c : clocks) t = std::max(t, c->now());
+  return t;
+}
+
+void sync_group(const std::vector<Clock*>& clocks) {
+  MGS_CHECK(!clocks.empty(), "sync_group of empty clock group");
+  double t = 0.0;
+  for (Clock* c : clocks) t = std::max(t, c->now());
+  for (Clock* c : clocks) c->sync_to(t);
+}
+
+void Breakdown::add(const std::string& phase, double seconds) {
+  MGS_CHECK(seconds >= 0.0, "Breakdown::add with negative duration");
+  for (auto& [name, total] : entries_) {
+    if (name == phase) {
+      total += seconds;
+      return;
+    }
+  }
+  entries_.emplace_back(phase, seconds);
+}
+
+double Breakdown::total() const {
+  double t = 0.0;
+  for (const auto& [name, s] : entries_) {
+    (void)name;
+    t += s;
+  }
+  return t;
+}
+
+double Breakdown::get(const std::string& phase) const {
+  for (const auto& [name, s] : entries_) {
+    if (name == phase) return s;
+  }
+  return 0.0;
+}
+
+void Breakdown::merge(const Breakdown& other) {
+  for (const auto& [name, s] : other.entries()) add(name, s);
+}
+
+}  // namespace mgs::sim

@@ -1,0 +1,48 @@
+#pragma once
+/// \file timeline.hpp
+/// Simulated-time bookkeeping. Every device (and every MPI rank) owns a
+/// Clock; bulk-synchronous phases advance clocks and a Breakdown records
+/// named per-phase totals (this is the data behind the paper's Figure 14).
+
+#include <string>
+#include <vector>
+
+namespace mgs::sim {
+
+/// Monotonic simulated clock in seconds.
+class Clock {
+ public:
+  double now() const { return now_; }
+  /// Advance by a non-negative duration; returns the new time.
+  double advance(double seconds);
+  /// Move forward to at least `t` (no-op if already past).
+  void sync_to(double t);
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// Max of several clocks (a synchronization point).
+double max_now(const std::vector<const Clock*>& clocks);
+/// Set every clock to the max of the group (models a barrier completing).
+void sync_group(const std::vector<Clock*>& clocks);
+
+/// Ordered phase -> accumulated-seconds map. Insertion order is preserved
+/// so breakdown tables print phases in execution order.
+class Breakdown {
+ public:
+  void add(const std::string& phase, double seconds);
+  double total() const;
+  double get(const std::string& phase) const;  ///< 0.0 when absent
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+  /// Merge another breakdown into this one (phase-wise sums).
+  void merge(const Breakdown& other);
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+}  // namespace mgs::sim

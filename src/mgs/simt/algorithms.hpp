@@ -1,0 +1,191 @@
+#pragma once
+/// \file algorithms.hpp
+/// Device-side utility kernels built on the launch API: fill, iota,
+/// elementwise transform, gather/scatter and a tiled transpose. These are
+/// the helpers applications need around a scan (the examples use them),
+/// and each one is cost-accounted like any other kernel -- scatter/gather
+/// charge scalar (uncoalesced) transactions, transpose stages through
+/// shared memory for coalesced reads *and* writes.
+
+#include <algorithm>
+
+#include "mgs/simt/launch.hpp"
+
+namespace mgs::simt {
+
+namespace detail {
+/// Grid-stride launch shape: one block per slab of `kSlab` elements.
+inline constexpr std::int64_t kSlab = 4096;
+
+inline LaunchConfig slab_config(const char* name, std::int64_t n) {
+  LaunchConfig cfg;
+  cfg.name = name;
+  cfg.grid = {static_cast<int>(util::div_up(static_cast<std::uint64_t>(n),
+                                            static_cast<std::uint64_t>(kSlab))),
+              1, 1};
+  cfg.block = {128, 1, 1};
+  cfg.regs_per_thread = 20;
+  return cfg;
+}
+}  // namespace detail
+
+/// buf[i] = value for all i (cudaMemset generalization).
+template <typename T>
+sim::KernelTime fill(Device& dev, DeviceBuffer<T>& buf, T value) {
+  const std::int64_t n = buf.size();
+  MGS_REQUIRE(n > 0, "fill: empty buffer");
+  const auto v = buf.view();
+  return launch(dev, detail::slab_config("fill", n), [=](BlockCtx& ctx) {
+    const std::int64_t base =
+        static_cast<std::int64_t>(ctx.block_idx().x) * detail::kSlab;
+    const std::int64_t len = std::min<std::int64_t>(detail::kSlab, n - base);
+    for (std::int64_t i = 0; i < len; i += kWarpSize) {
+      const int cnt =
+          static_cast<int>(std::min<std::int64_t>(kWarpSize, len - i));
+      WarpReg<T> r;
+      r.fill(value);
+      v.store_warp_partial(base + i, cnt, r, ctx.stats());
+    }
+  });
+}
+
+/// buf[i] = start + i.
+template <typename T>
+sim::KernelTime iota(Device& dev, DeviceBuffer<T>& buf, T start = T{}) {
+  const std::int64_t n = buf.size();
+  MGS_REQUIRE(n > 0, "iota: empty buffer");
+  const auto v = buf.view();
+  return launch(dev, detail::slab_config("iota", n), [=](BlockCtx& ctx) {
+    const std::int64_t base =
+        static_cast<std::int64_t>(ctx.block_idx().x) * detail::kSlab;
+    const std::int64_t len = std::min<std::int64_t>(detail::kSlab, n - base);
+    for (std::int64_t i = 0; i < len; i += kWarpSize) {
+      const int cnt =
+          static_cast<int>(std::min<std::int64_t>(kWarpSize, len - i));
+      WarpReg<T> r{};
+      for (int l = 0; l < cnt; ++l) {
+        r[l] = static_cast<T>(start + static_cast<T>(base + i + l));
+      }
+      ctx.count_alu(static_cast<std::uint64_t>(cnt));
+      v.store_warp_partial(base + i, cnt, r, ctx.stats());
+    }
+  });
+}
+
+/// out[i] = fn(in[i]); fn must be a pure value function (it runs on every
+/// simulated lane and is charged one lane-op per element).
+template <typename T, typename U, typename Fn>
+sim::KernelTime transform(Device& dev, const DeviceBuffer<T>& in,
+                          DeviceBuffer<U>& out, Fn fn) {
+  const std::int64_t n = in.size();
+  MGS_REQUIRE(n > 0 && out.size() >= n, "transform: bad buffer sizes");
+  const auto iv = in.view();
+  const auto ov = out.view();
+  return launch(dev, detail::slab_config("transform", n), [=](BlockCtx& ctx) {
+    const std::int64_t base =
+        static_cast<std::int64_t>(ctx.block_idx().x) * detail::kSlab;
+    const std::int64_t len = std::min<std::int64_t>(detail::kSlab, n - base);
+    for (std::int64_t i = 0; i < len; i += kWarpSize) {
+      const int cnt =
+          static_cast<int>(std::min<std::int64_t>(kWarpSize, len - i));
+      const auto r = iv.load_warp_partial(base + i, cnt, T{}, ctx.stats());
+      WarpReg<U> w{};
+      for (int l = 0; l < cnt; ++l) w[l] = fn(r[l]);
+      ctx.count_alu(static_cast<std::uint64_t>(cnt));
+      ov.store_warp_partial(base + i, cnt, w, ctx.stats());
+    }
+  });
+}
+
+/// dst[i] = src[idx[i]] -- data-dependent reads are scalar transactions.
+template <typename T>
+sim::KernelTime gather(Device& dev, const DeviceBuffer<T>& src,
+                       const DeviceBuffer<std::int64_t>& idx,
+                       DeviceBuffer<T>& dst) {
+  const std::int64_t n = idx.size();
+  MGS_REQUIRE(n > 0 && dst.size() >= n, "gather: bad buffer sizes");
+  const auto sv = src.view();
+  const auto iv = idx.view();
+  const auto dv = dst.view();
+  return launch(dev, detail::slab_config("gather", n), [=](BlockCtx& ctx) {
+    const std::int64_t base =
+        static_cast<std::int64_t>(ctx.block_idx().x) * detail::kSlab;
+    const std::int64_t len = std::min<std::int64_t>(detail::kSlab, n - base);
+    for (std::int64_t i = 0; i < len; ++i) {
+      const std::int64_t j = iv.load(base + i, ctx.stats());
+      dv.store(base + i, sv.load(j, ctx.stats()), ctx.stats());
+    }
+  });
+}
+
+/// dst[idx[i]] = src[i] -- indices must be unique (checked only by the
+/// bounds checks; duplicate targets are a data race in CUDA too).
+template <typename T>
+sim::KernelTime scatter(Device& dev, const DeviceBuffer<T>& src,
+                        const DeviceBuffer<std::int64_t>& idx,
+                        DeviceBuffer<T>& dst) {
+  const std::int64_t n = idx.size();
+  MGS_REQUIRE(n > 0 && src.size() >= n, "scatter: bad buffer sizes");
+  const auto sv = src.view();
+  const auto iv = idx.view();
+  const auto dv = dst.view();
+  return launch(dev, detail::slab_config("scatter", n), [=](BlockCtx& ctx) {
+    const std::int64_t base =
+        static_cast<std::int64_t>(ctx.block_idx().x) * detail::kSlab;
+    const std::int64_t len = std::min<std::int64_t>(detail::kSlab, n - base);
+    for (std::int64_t i = 0; i < len; ++i) {
+      const std::int64_t j = iv.load(base + i, ctx.stats());
+      dv.store(j, sv.load(base + i, ctx.stats()), ctx.stats());
+    }
+  });
+}
+
+/// out[x*h + y] = in[y*w + x]: tiled through shared memory so both the
+/// row reads and the column writes are coalesced (the standard CUDA
+/// transpose; a 33-column tile avoids bank conflicts).
+template <typename T>
+sim::KernelTime transpose(Device& dev, const DeviceBuffer<T>& in,
+                          DeviceBuffer<T>& out, std::int64_t w,
+                          std::int64_t h) {
+  MGS_REQUIRE(w > 0 && h > 0 && in.size() >= w * h && out.size() >= w * h,
+              "transpose: bad shape");
+  constexpr std::int64_t kTile = 32;
+  LaunchConfig cfg;
+  cfg.name = "transpose";
+  cfg.grid = {static_cast<int>(util::div_up(static_cast<std::uint64_t>(w),
+                                            static_cast<std::uint64_t>(kTile))),
+              static_cast<int>(util::div_up(static_cast<std::uint64_t>(h),
+                                            static_cast<std::uint64_t>(kTile))),
+              1};
+  cfg.block = {256, 1, 1};
+  cfg.regs_per_thread = 24;
+  cfg.smem_per_block =
+      kTile * (kTile + 1) * static_cast<std::int64_t>(sizeof(T));
+  const auto iv = in.view();
+  const auto ov = out.view();
+  return launch(dev, cfg, [=](BlockCtx& ctx) {
+    const std::int64_t x0 =
+        static_cast<std::int64_t>(ctx.block_idx().x) * kTile;
+    const std::int64_t y0 =
+        static_cast<std::int64_t>(ctx.block_idx().y) * kTile;
+    auto tile = ctx.shared<T>(kTile * (kTile + 1));
+    for (std::int64_t y = y0; y < std::min<std::int64_t>(y0 + kTile, h); ++y) {
+      const int cnt = static_cast<int>(std::min<std::int64_t>(kTile, w - x0));
+      const auto r = iv.load_warp_partial(y * w + x0, cnt, T{}, ctx.stats());
+      for (int l = 0; l < cnt; ++l) {
+        tile[static_cast<std::size_t>((y - y0) * (kTile + 1) + l)] = r[l];
+      }
+    }
+    ctx.sync();
+    for (std::int64_t x = x0; x < std::min<std::int64_t>(x0 + kTile, w); ++x) {
+      const int cnt = static_cast<int>(std::min<std::int64_t>(kTile, h - y0));
+      WarpReg<T> r{};
+      for (int l = 0; l < cnt; ++l) {
+        r[l] = tile[static_cast<std::size_t>(l * (kTile + 1) + (x - x0))];
+      }
+      ov.store_warp_partial(x * h + y0, cnt, r, ctx.stats());
+    }
+  });
+}
+
+}  // namespace mgs::simt

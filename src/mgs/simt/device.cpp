@@ -1,0 +1,24 @@
+#include "mgs/simt/device.hpp"
+
+namespace mgs::simt {
+
+Device::Device(int id, sim::DeviceSpec spec) : id_(id), spec_(std::move(spec)) {
+  MGS_REQUIRE(id >= 0, "Device id must be non-negative");
+}
+
+void Device::register_alloc(std::int64_t bytes) {
+  MGS_REQUIRE(allocated_bytes_ + bytes <= spec_.memory_bytes,
+              "device " + std::to_string(id_) + " out of memory: " +
+                  std::to_string(allocated_bytes_ + bytes) + " > " +
+                  std::to_string(spec_.memory_bytes) +
+                  " bytes (problem needs multi-GPU scattering)");
+  allocated_bytes_ += bytes;
+}
+
+void Device::release_bytes(std::int64_t bytes) {
+  MGS_CHECK(bytes >= 0 && bytes <= allocated_bytes_,
+            "release_bytes exceeds allocation");
+  allocated_bytes_ -= bytes;
+}
+
+}  // namespace mgs::simt

@@ -1,0 +1,47 @@
+#pragma once
+/// \file types.hpp
+/// CUDA-like primitive types for the simulated SIMT substrate.
+
+#include <array>
+#include <cstdint>
+
+namespace mgs::simt {
+
+/// Lanes per warp. Fixed at 32 like every CUDA architecture to date; the
+/// paper's Figure 4 uses warpSize=4 only for illustration.
+inline constexpr int kWarpSize = 32;
+
+/// Launch shape (grid or block), CUDA dim3 equivalent. The paper uses
+/// two-dimensional grids: x indexes within a problem, y indexes the batch.
+struct Dim3 {
+  int x = 1;
+  int y = 1;
+  int z = 1;
+
+  std::int64_t count() const {
+    return static_cast<std::int64_t>(x) * y * z;
+  }
+  friend bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+/// Four-element vector type (CUDA int4/float4). The paper's kernels read
+/// global memory through int4 to coalesce 16-byte loads per lane.
+template <typename T>
+struct Vec4 {
+  T x{}, y{}, z{}, w{};
+
+  T& operator[](int i) { return (&x)[i]; }
+  const T& operator[](int i) const { return (&x)[i]; }
+  friend bool operator==(const Vec4&, const Vec4&) = default;
+};
+
+using Int4 = Vec4<std::int32_t>;
+using Float4 = Vec4<float>;
+
+/// Per-lane register file for one warp: value v[l] lives in lane l's
+/// registers. CUDA warp-synchronous code maps 1:1 onto operations over
+/// WarpReg (a __shfl becomes an indexed read of the source lane's slot).
+template <typename T>
+using WarpReg = std::array<T, kWarpSize>;
+
+}  // namespace mgs::simt

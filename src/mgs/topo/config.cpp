@@ -1,0 +1,104 @@
+#include "mgs/topo/config.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "mgs/sim/device_spec.hpp"
+#include "mgs/util/check.hpp"
+
+namespace mgs::topo {
+
+namespace {
+
+double parse_number(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  MGS_REQUIRE(end != nullptr && *end == '\0',
+              "cluster config: key '" + key + "' expects a number, got '" +
+                  value + "'");
+  return v;
+}
+
+int parse_int(const std::string& key, const std::string& value) {
+  const double v = parse_number(key, value);
+  MGS_REQUIRE(v >= 1 && v == static_cast<int>(v),
+              "cluster config: key '" + key + "' expects a positive integer");
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+ClusterConfig parse_cluster_config(const std::string& text) {
+  ClusterConfig cfg;
+  cfg.gpu = sim::k80_spec();
+
+  std::istringstream is(text);
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    MGS_REQUIRE(eq != std::string::npos && eq > 0 && eq + 1 < token.size(),
+                "cluster config: expected key=value, got '" + token + "'");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+
+    if (key == "nodes") {
+      cfg.nodes = parse_int(key, value);
+    } else if (key == "networks") {
+      cfg.networks_per_node = parse_int(key, value);
+    } else if (key == "gpus") {
+      cfg.gpus_per_network = parse_int(key, value);
+    } else if (key == "gpu") {
+      cfg.gpu = sim::spec_by_name(value);
+    } else if (key == "p2p-gbps") {
+      cfg.links.p2p_bandwidth_gbps = parse_number(key, value);
+    } else if (key == "p2p-us") {
+      cfg.links.p2p_latency_us = parse_number(key, value);
+    } else if (key == "host-gbps") {
+      cfg.links.host_bandwidth_gbps = parse_number(key, value);
+    } else if (key == "host-us") {
+      cfg.links.host_latency_us = parse_number(key, value);
+    } else if (key == "ib-gbps") {
+      cfg.links.ib_bandwidth_gbps = parse_number(key, value);
+    } else if (key == "ib-us") {
+      cfg.links.ib_latency_us = parse_number(key, value);
+    } else if (key == "mpi-us") {
+      cfg.links.mpi_overhead_us = parse_number(key, value);
+    } else if (key == "row-us") {
+      cfg.links.row_overhead_us = parse_number(key, value);
+    } else {
+      throw util::Error("cluster config: unknown key '" + key + "'");
+    }
+  }
+
+  MGS_REQUIRE(cfg.links.p2p_bandwidth_gbps > 0 &&
+                  cfg.links.host_bandwidth_gbps > 0 &&
+                  cfg.links.ib_bandwidth_gbps > 0,
+              "cluster config: bandwidths must be positive");
+  MGS_REQUIRE(cfg.links.p2p_latency_us >= 0 &&
+                  cfg.links.host_latency_us >= 0 &&
+                  cfg.links.ib_latency_us >= 0 &&
+                  cfg.links.mpi_overhead_us >= 0 &&
+                  cfg.links.row_overhead_us >= 0,
+              "cluster config: latencies must be non-negative");
+  return cfg;
+}
+
+std::string describe_cluster_config(const ClusterConfig& config) {
+  std::ostringstream os;
+  std::string gpu = "k80";
+  if (config.gpu.cc_major == 5) gpu = "maxwell";
+  if (config.gpu.cc_major == 6) gpu = "pascal";
+  os << "nodes=" << config.nodes << " networks=" << config.networks_per_node
+     << " gpus=" << config.gpus_per_network << " gpu=" << gpu
+     << " p2p-gbps=" << config.links.p2p_bandwidth_gbps
+     << " p2p-us=" << config.links.p2p_latency_us
+     << " host-gbps=" << config.links.host_bandwidth_gbps
+     << " host-us=" << config.links.host_latency_us
+     << " ib-gbps=" << config.links.ib_bandwidth_gbps
+     << " ib-us=" << config.links.ib_latency_us
+     << " mpi-us=" << config.links.mpi_overhead_us
+     << " row-us=" << config.links.row_overhead_us;
+  return os.str();
+}
+
+}  // namespace mgs::topo

@@ -1,0 +1,27 @@
+#pragma once
+/// \file config.hpp
+/// Textual cluster description, so benchmarks and downstream users can
+/// model machines other than the paper's TSUBAME-KFC node without
+/// recompiling. The format is whitespace-separated key=value pairs:
+///
+///   nodes=2 networks=2 gpus=4 gpu=k80
+///   p2p-gbps=10 p2p-us=8 host-gbps=5.5 host-us=20
+///   ib-gbps=5.6 ib-us=25 mpi-us=30 row-us=0.1
+///
+/// Unknown keys are errors (so sweep scripts fail loudly); every key is
+/// optional and defaults to the paper's platform.
+
+#include <string>
+
+#include "mgs/topo/topology.hpp"
+
+namespace mgs::topo {
+
+/// Parse a cluster description; throws util::Error with the offending
+/// token on malformed input.
+ClusterConfig parse_cluster_config(const std::string& text);
+
+/// Inverse of parse_cluster_config (round-trips through the parser).
+std::string describe_cluster_config(const ClusterConfig& config);
+
+}  // namespace mgs::topo

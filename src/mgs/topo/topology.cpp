@@ -1,0 +1,111 @@
+#include "mgs/topo/topology.hpp"
+
+#include <algorithm>
+
+namespace mgs::topo {
+
+const char* to_string(LinkType t) {
+  switch (t) {
+    case LinkType::kSelf:
+      return "self";
+    case LinkType::kP2P:
+      return "p2p";
+    case LinkType::kHostStaged:
+      return "host-staged";
+    case LinkType::kInterNode:
+      return "inter-node";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  MGS_REQUIRE(config_.nodes >= 1, "cluster needs at least one node");
+  MGS_REQUIRE(config_.networks_per_node >= 1 && config_.gpus_per_network >= 1,
+              "cluster node shape must be positive");
+  devices_.reserve(static_cast<std::size_t>(config_.total_gpus()));
+  for (int id = 0; id < config_.total_gpus(); ++id) {
+    devices_.push_back(std::make_unique<simt::Device>(id, config_.gpu));
+  }
+}
+
+simt::Device& Cluster::device(int global_id) {
+  MGS_CHECK(global_id >= 0 && global_id < num_devices(),
+            "device id out of range");
+  return *devices_[static_cast<std::size_t>(global_id)];
+}
+
+const simt::Device& Cluster::device(int global_id) const {
+  MGS_CHECK(global_id >= 0 && global_id < num_devices(),
+            "device id out of range");
+  return *devices_[static_cast<std::size_t>(global_id)];
+}
+
+GpuLocation Cluster::location(int global_id) const {
+  MGS_CHECK(global_id >= 0 && global_id < num_devices(),
+            "device id out of range");
+  GpuLocation loc;
+  const int per_node = config_.gpus_per_node();
+  loc.node = global_id / per_node;
+  const int within = global_id % per_node;
+  loc.network = within / config_.gpus_per_network;
+  loc.slot = within % config_.gpus_per_network;
+  return loc;
+}
+
+int Cluster::global_id(int node, int network, int slot) const {
+  MGS_CHECK(node >= 0 && node < config_.nodes, "node out of range");
+  MGS_CHECK(network >= 0 && network < config_.networks_per_node,
+            "network out of range");
+  MGS_CHECK(slot >= 0 && slot < config_.gpus_per_network, "slot out of range");
+  return (node * config_.networks_per_node + network) *
+             config_.gpus_per_network +
+         slot;
+}
+
+LinkType Cluster::link_between(int a, int b) const {
+  if (a == b) return LinkType::kSelf;
+  const GpuLocation la = location(a);
+  const GpuLocation lb = location(b);
+  if (la.node != lb.node) return LinkType::kInterNode;
+  if (la.network != lb.network) return LinkType::kHostStaged;
+  return LinkType::kP2P;
+}
+
+void Cluster::reset_clocks() {
+  for (auto& d : devices_) d->clock().reset();
+}
+
+double Cluster::makespan(const std::vector<int>& device_ids) const {
+  double t = 0.0;
+  for (int id : device_ids) t = std::max(t, device(id).clock().now());
+  return t;
+}
+
+Cluster tsubame_kfc_cluster(int nodes) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.networks_per_node = 2;
+  cfg.gpus_per_network = 4;
+  cfg.gpu = sim::k80_spec();
+  cfg.links = LinkSpec{};
+  return Cluster(cfg);
+}
+
+Cluster dgx1_like_cluster(int nodes) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.networks_per_node = 1;   // one NVLink fabric
+  cfg.gpus_per_network = 8;
+  cfg.gpu = sim::pascal_spec();
+  cfg.links.p2p_bandwidth_gbps = 18.0;  // NVLink 1.0 per direction
+  cfg.links.p2p_latency_us = 2.0;
+  cfg.links.host_bandwidth_gbps = 10.0;  // PCIe gen3 staging (unused
+  cfg.links.host_latency_us = 15.0;      // within a node: Y = 1)
+  cfg.links.ib_bandwidth_gbps = 11.0;    // EDR
+  cfg.links.ib_latency_us = 15.0;
+  cfg.links.mpi_overhead_us = 20.0;
+  cfg.links.row_overhead_us = 0.05;
+  return Cluster(cfg);
+}
+
+}  // namespace mgs::topo

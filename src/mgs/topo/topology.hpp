@@ -1,0 +1,101 @@
+#pragma once
+/// \file topology.hpp
+/// Multi-GPU / multi-node hardware description (the paper's Figure 2 and
+/// Table 1): M nodes, each with Y_max PCIe networks of V_max GPUs. The
+/// Cluster owns the simulated Devices and answers "what kind of link
+/// connects GPU a and GPU b", which is the fact Premise 4 is built on.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mgs/sim/device_spec.hpp"
+#include "mgs/simt/device.hpp"
+#include "mgs/util/check.hpp"
+
+namespace mgs::topo {
+
+/// Link performance characteristics (first-order alpha-beta models).
+struct LinkSpec {
+  // PCIe peer-to-peer within one PCIe network (no host involvement).
+  double p2p_bandwidth_gbps = 10.0;
+  double p2p_latency_us = 8.0;
+  // Staged through host memory (GPUs on different PCIe networks of the
+  // same node): two hops, each at host bandwidth.
+  double host_bandwidth_gbps = 5.5;
+  double host_latency_us = 20.0;  ///< per hop
+  // InfiniBand FDR with GPUDirect RDMA between nodes.
+  double ib_bandwidth_gbps = 5.6;
+  double ib_latency_us = 25.0;
+  // Software overhead added per MPI message/collective step.
+  double mpi_overhead_us = 30.0;
+  // Per-row overhead for strided 2-D copies between the per-problem
+  // auxiliary rows. Scaled per link class in the transfer engine: P2P
+  // rows are asynchronous peer writes that pipeline on the PCIe fabric
+  // (tiny cost), while host-staged rows pay a host round trip per hop.
+  double row_overhead_us = 0.1;
+};
+
+/// How two GPUs are connected.
+enum class LinkType { kSelf, kP2P, kHostStaged, kInterNode };
+
+const char* to_string(LinkType t);
+
+/// Shape of the machine.
+struct ClusterConfig {
+  int nodes = 1;
+  int networks_per_node = 2;   ///< Y_max
+  int gpus_per_network = 4;    ///< V_max
+  sim::DeviceSpec gpu;         ///< every GPU identical (homogeneous cluster)
+  LinkSpec links;
+
+  int gpus_per_node() const { return networks_per_node * gpus_per_network; }
+  int total_gpus() const { return nodes * gpus_per_node(); }
+};
+
+/// Global GPU id decomposed into its place in the machine.
+struct GpuLocation {
+  int node = 0;
+  int network = 0;  ///< PCIe network within the node
+  int slot = 0;     ///< position within the network
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  const ClusterConfig& config() const { return config_; }
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+
+  simt::Device& device(int global_id);
+  const simt::Device& device(int global_id) const;
+
+  GpuLocation location(int global_id) const;
+  /// Inverse of location().
+  int global_id(int node, int network, int slot) const;
+
+  /// The link class connecting two GPUs (kSelf when a == b).
+  LinkType link_between(int a, int b) const;
+
+  /// Reset all device clocks to zero (start of a simulated run).
+  void reset_clocks();
+  /// Latest clock across a set of devices; empty set -> 0.
+  double makespan(const std::vector<int>& device_ids) const;
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<simt::Device>> devices_;
+};
+
+/// The paper's test platform (Table 1): per node, 2 PCIe networks with 4
+/// logical K80 GPUs each; InfiniBand FDR between nodes.
+Cluster tsubame_kfc_cluster(int nodes = 1);
+
+/// A DGX-1-class node (what replaced the paper's platform a year later):
+/// 8 Pascal GPUs on one NVLink fabric (modeled as a single "network" with
+/// a much faster P2P link), EDR InfiniBand between nodes. Useful for
+/// what-if studies: with no second PCIe network, Scan-MP-PC degenerates
+/// and Scan-MPS never stages through the host.
+Cluster dgx1_like_cluster(int nodes = 1);
+
+}  // namespace mgs::topo

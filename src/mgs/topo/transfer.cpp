@@ -1,0 +1,112 @@
+#include "mgs/topo/transfer.hpp"
+
+#include <algorithm>
+
+#include "mgs/sim/profiler.hpp"
+
+namespace mgs::topo {
+
+namespace {
+
+void profile_transfer(LinkType link, int dst_dev, double start,
+                      double seconds, std::uint64_t bytes) {
+  if (!sim::Profiler::instance().enabled()) return;
+  sim::ProfileRecord rec;
+  rec.name = std::string("copy:") + to_string(link);
+  rec.kind = sim::EventKind::kTransfer;
+  rec.device_id = dst_dev;
+  rec.start_seconds = start;
+  rec.duration_seconds = seconds;
+  rec.bytes = bytes;
+  sim::Profiler::instance().record(std::move(rec));
+}
+
+}  // namespace
+
+double TransferEngine::link_time(int src_dev, int dst_dev,
+                                 std::uint64_t bytes) const {
+  const LinkSpec& links = cluster_->config().links;
+  const double b = static_cast<double>(bytes);
+  switch (cluster_->link_between(src_dev, dst_dev)) {
+    case LinkType::kSelf:
+      // Device-local copy engine: bounded by DRAM (read + write).
+      return 1e-6 + 2.0 * b / (cluster_->config().gpu.peak_bandwidth_bps() *
+                               cluster_->config().gpu.mem_efficiency_base);
+    case LinkType::kP2P:
+      return links.p2p_latency_us * 1e-6 +
+             b / (links.p2p_bandwidth_gbps * 1e9);
+    case LinkType::kHostStaged:
+      // Two hops (D2H then H2D), each paying latency and bandwidth.
+      return 2.0 * (links.host_latency_us * 1e-6 +
+                    b / (links.host_bandwidth_gbps * 1e9));
+    case LinkType::kInterNode:
+      return (links.ib_latency_us + links.mpi_overhead_us) * 1e-6 +
+             b / (links.ib_bandwidth_gbps * 1e9);
+  }
+  return 0.0;
+}
+
+double TransferEngine::link_time_2d(int src_dev, int dst_dev,
+                                    std::uint64_t bytes,
+                                    std::uint64_t rows) const {
+  const LinkSpec& links = cluster_->config().links;
+  // Per-row cost scale: the on-device copy engine and P2P peer writes
+  // pipeline strided rows almost for free; host staging pays a host
+  // round trip on each of its two hops.
+  double row_scale = 1.0;
+  switch (cluster_->link_between(src_dev, dst_dev)) {
+    case LinkType::kSelf:
+      row_scale = 0.1;
+      break;
+    case LinkType::kP2P:
+      row_scale = 0.2;
+      break;
+    case LinkType::kHostStaged:
+      row_scale = 2.0;
+      break;
+    case LinkType::kInterNode:
+      row_scale = 1.0;  // RDMA scatter/gather entries
+      break;
+  }
+  return link_time(src_dev, dst_dev, bytes) +
+         row_scale * links.row_overhead_us * 1e-6 * static_cast<double>(rows);
+}
+
+TransferResult TransferEngine::account_2d(int src_dev, int dst_dev,
+                                          std::uint64_t bytes,
+                                          std::uint64_t rows) {
+  TransferResult r;
+  r.link = cluster_->link_between(src_dev, dst_dev);
+  r.bytes = bytes;
+  r.seconds = link_time_2d(src_dev, dst_dev, bytes, rows);
+
+  sim::Clock& src_clock = cluster_->device(src_dev).clock();
+  sim::Clock& dst_clock = cluster_->device(dst_dev).clock();
+  const double start = std::max(src_clock.now(), dst_clock.now());
+  src_clock.sync_to(start + r.seconds);
+  dst_clock.sync_to(start + r.seconds);
+
+  breakdown_.add(to_string(r.link), r.seconds);
+  profile_transfer(r.link, dst_dev, start, r.seconds, bytes);
+  return r;
+}
+
+TransferResult TransferEngine::account(int src_dev, int dst_dev,
+                                       std::uint64_t bytes) {
+  TransferResult r;
+  r.link = cluster_->link_between(src_dev, dst_dev);
+  r.bytes = bytes;
+  r.seconds = link_time(src_dev, dst_dev, bytes);
+
+  sim::Clock& src_clock = cluster_->device(src_dev).clock();
+  sim::Clock& dst_clock = cluster_->device(dst_dev).clock();
+  const double start = std::max(src_clock.now(), dst_clock.now());
+  src_clock.sync_to(start + r.seconds);
+  dst_clock.sync_to(start + r.seconds);
+
+  breakdown_.add(to_string(r.link), r.seconds);
+  profile_transfer(r.link, dst_dev, start, r.seconds, bytes);
+  return r;
+}
+
+}  // namespace mgs::topo

@@ -1,0 +1,115 @@
+#pragma once
+/// \file transfer.hpp
+/// Device-to-device copies over the cluster's links, with simulated-time
+/// accounting. This is the CUDA side of the paper's communication story:
+/// cudaMemcpyPeer over a shared PCIe network, or a D2H+H2D staging pair
+/// when the GPUs sit on different PCIe networks of the same node.
+/// Inter-node traffic normally goes through mgs::msg (MPI), but a raw
+/// GPUDirect-RDMA copy is also provided.
+
+#include <cstdint>
+
+#include "mgs/sim/timeline.hpp"
+#include "mgs/topo/topology.hpp"
+
+namespace mgs::topo {
+
+/// Outcome of one copy.
+struct TransferResult {
+  double seconds = 0.0;
+  LinkType link = LinkType::kSelf;
+  std::uint64_t bytes = 0;
+};
+
+/// Executes copies between device buffers (data moves immediately; clocks
+/// advance by the modeled link time). Accumulates a per-link breakdown.
+class TransferEngine {
+ public:
+  explicit TransferEngine(Cluster& cluster) : cluster_(&cluster) {}
+
+  /// Copy `count` elements from src[src_off...] to dst[dst_off...].
+  /// Start time is the later of the two device clocks (the copy engine
+  /// needs both endpoints); both clocks advance to completion.
+  template <typename T>
+  TransferResult copy(simt::DeviceBuffer<T>& dst, std::int64_t dst_off,
+                      const simt::DeviceBuffer<T>& src, std::int64_t src_off,
+                      std::int64_t count) {
+    MGS_CHECK(count >= 0, "TransferEngine::copy: negative count");
+    MGS_CHECK(src_off >= 0 && src_off + count <= src.size(),
+              "TransferEngine::copy: source range out of bounds");
+    MGS_CHECK(dst_off >= 0 && dst_off + count <= dst.size(),
+              "TransferEngine::copy: destination range out of bounds");
+
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(count) * sizeof(T);
+    const TransferResult r =
+        account(src.device_id(), dst.device_id(), bytes);
+
+    const auto s = src.host_span();
+    auto d = dst.host_span();
+    for (std::int64_t i = 0; i < count; ++i) {
+      d[static_cast<std::size_t>(dst_off + i)] =
+          s[static_cast<std::size_t>(src_off + i)];
+    }
+    return r;
+  }
+
+  /// Strided 2-D copy (cudaMemcpy2D): `rows` rows of `row_len` elements;
+  /// row r reads src[src_off + r*src_stride ...] and writes
+  /// dst[dst_off + r*dst_stride ...]. One link latency for the whole call
+  /// plus a per-row DMA descriptor overhead -- with many small per-problem
+  /// auxiliary rows (large G), the row overhead dominates, which is the
+  /// paper's explanation for the W=8 drop in Figure 9.
+  template <typename T>
+  TransferResult copy_2d(simt::DeviceBuffer<T>& dst, std::int64_t dst_off,
+                         std::int64_t dst_stride,
+                         const simt::DeviceBuffer<T>& src,
+                         std::int64_t src_off, std::int64_t src_stride,
+                         std::int64_t rows, std::int64_t row_len) {
+    MGS_CHECK(rows >= 0 && row_len >= 0, "copy_2d: negative shape");
+    if (rows == 0 || row_len == 0) return {};
+    MGS_CHECK(src_off >= 0 &&
+                  src_off + (rows - 1) * src_stride + row_len <= src.size(),
+              "copy_2d: source range out of bounds");
+    MGS_CHECK(dst_off >= 0 &&
+                  dst_off + (rows - 1) * dst_stride + row_len <= dst.size(),
+              "copy_2d: destination range out of bounds");
+
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(rows) * row_len * sizeof(T);
+    const TransferResult r =
+        account_2d(src.device_id(), dst.device_id(), bytes,
+                   static_cast<std::uint64_t>(rows));
+
+    const auto s = src.host_span();
+    auto d = dst.host_span();
+    for (std::int64_t row = 0; row < rows; ++row) {
+      for (std::int64_t i = 0; i < row_len; ++i) {
+        d[static_cast<std::size_t>(dst_off + row * dst_stride + i)] =
+            s[static_cast<std::size_t>(src_off + row * src_stride + i)];
+      }
+    }
+    return r;
+  }
+
+  /// Per-link-type accumulated seconds ("p2p", "host-staged", ...).
+  const sim::Breakdown& breakdown() const { return breakdown_; }
+  void reset_breakdown() { breakdown_ = sim::Breakdown{}; }
+
+  /// Modeled duration of moving `bytes` over the link between the two
+  /// GPUs, without moving data (used for planning / what-if queries).
+  double link_time(int src_dev, int dst_dev, std::uint64_t bytes) const;
+  /// Same for a 2-D copy of `rows` rows totaling `bytes`.
+  double link_time_2d(int src_dev, int dst_dev, std::uint64_t bytes,
+                      std::uint64_t rows) const;
+
+ private:
+  TransferResult account(int src_dev, int dst_dev, std::uint64_t bytes);
+  TransferResult account_2d(int src_dev, int dst_dev, std::uint64_t bytes,
+                            std::uint64_t rows);
+
+  Cluster* cluster_;
+  sim::Breakdown breakdown_;
+};
+
+}  // namespace mgs::topo

@@ -1,0 +1,47 @@
+#pragma once
+/// \file check.hpp
+/// Error-handling primitives used across the library.
+///
+/// We follow the C++ Core Guidelines split between preconditions
+/// (programming errors -> MGS_CHECK, terminates with a diagnostic) and
+/// recoverable configuration errors (-> mgs::util::Error exception).
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mgs::util {
+
+/// Recoverable error raised for invalid user-supplied configuration
+/// (bad tuning parameters, impossible topology, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::fprintf(stderr, "MGS_CHECK failed: %s\n  at %s:%d\n  %s\n", cond, file,
+               line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace mgs::util
+
+/// Precondition/invariant check that is always on (scan correctness and the
+/// simulator's conservation invariants are worth the branch even in release).
+#define MGS_CHECK(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) [[unlikely]] {                                       \
+      ::mgs::util::check_failed(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                                 \
+  } while (0)
+
+/// Throwing validation for user-facing configuration errors.
+#define MGS_REQUIRE(cond, msg)                     \
+  do {                                             \
+    if (!(cond)) [[unlikely]] {                    \
+      throw ::mgs::util::Error(std::string(msg)); \
+    }                                              \
+  } while (0)

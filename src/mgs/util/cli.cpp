@@ -1,0 +1,92 @@
+#include "mgs/util/cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "mgs/util/check.hpp"
+
+namespace mgs::util {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    MGS_REQUIRE(arg.rfind("--", 0) == 0, "unexpected argument: " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+void Cli::describe(const std::string& name, const std::string& help) {
+  described_.emplace_back(name, help);
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 0);
+  MGS_REQUIRE(end != nullptr && *end == '\0',
+              "flag --" + name + " expects an integer, got '" + it->second + "'");
+  return v;
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  MGS_REQUIRE(end != nullptr && *end == '\0',
+              "flag --" + name + " expects a number, got '" + it->second + "'");
+  return v;
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw Error("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+void Cli::print_help(const std::string& program_summary) const {
+  std::printf("%s\n\n%s\n\nFlags:\n", program_.c_str(),
+              program_summary.c_str());
+  for (const auto& [name, help] : described_) {
+    std::printf("  --%-20s %s\n", name.c_str(), help.c_str());
+  }
+  std::printf("  --%-20s %s\n", "help", "show this message");
+}
+
+void Cli::reject_unknown() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    const bool known =
+        std::any_of(described_.begin(), described_.end(),
+                    [&](const auto& d) { return d.first == name; });
+    MGS_REQUIRE(known, "unknown flag --" + name + " (see --help)");
+  }
+}
+
+}  // namespace mgs::util

@@ -1,0 +1,44 @@
+#pragma once
+/// \file cli.hpp
+/// Tiny flag parser for the bench/example binaries.
+/// Supports "--name value" and "--name=value"; unknown flags are errors so
+/// typos in sweep scripts fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mgs::util {
+
+class Cli {
+ public:
+  /// Parses argv; throws util::Error on malformed input.
+  Cli(int argc, char** argv);
+
+  /// Register flags up-front so --help and unknown-flag detection work.
+  /// Call these before the typed getters.
+  void describe(const std::string& name, const std::string& help);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// True when --help was passed; prints usage to stdout.
+  bool help_requested() const { return help_; }
+  void print_help(const std::string& program_summary) const;
+
+  /// Throws util::Error listing any flag not registered via describe().
+  void reject_unknown() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> described_;
+  bool help_ = false;
+};
+
+}  // namespace mgs::util

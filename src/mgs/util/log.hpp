@@ -1,0 +1,42 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger. Output goes to stderr so bench tables on stdout
+/// stay machine-parsable. Thread-safe (one mutex per emitted line).
+
+#include <sstream>
+#include <string>
+
+namespace mgs::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one formatted line ("[level] msg"). Prefer the MGS_LOG macro.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace mgs::util
+
+#define MGS_LOG(level) ::mgs::util::detail::LogStream(::mgs::util::LogLevel::level)

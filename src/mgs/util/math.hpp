@@ -1,0 +1,46 @@
+#pragma once
+/// \file math.hpp
+/// Small integer-math helpers used by the tuning machinery, which reasons
+/// almost entirely in powers of two (the paper's N = 2^n, G = 2^g, ...).
+
+#include <cstdint>
+
+#include "mgs/util/check.hpp"
+
+namespace mgs::util {
+
+/// True iff \p x is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)); requires x > 0.
+constexpr int ilog2(std::uint64_t x) {
+  int r = -1;
+  while (x != 0) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// 2^e as a 64-bit value; requires 0 <= e < 64.
+constexpr std::uint64_t pow2(int e) { return std::uint64_t{1} << e; }
+
+/// ceil(a / b) for positive integers.
+constexpr std::uint64_t div_up(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Round \p a up to the next multiple of \p b.
+constexpr std::uint64_t round_up(std::uint64_t a, std::uint64_t b) {
+  return div_up(a, b) * b;
+}
+
+/// Largest power of two <= x; requires x > 0.
+constexpr std::uint64_t floor_pow2(std::uint64_t x) { return pow2(ilog2(x)); }
+
+/// Smallest power of two >= x; requires x > 0.
+constexpr std::uint64_t ceil_pow2(std::uint64_t x) {
+  return is_pow2(x) ? x : pow2(ilog2(x) + 1);
+}
+
+}  // namespace mgs::util

@@ -1,0 +1,45 @@
+#include "mgs/util/random.hpp"
+
+#include "mgs/util/check.hpp"
+
+namespace mgs::util {
+
+std::vector<std::int32_t> random_i32(std::size_t count, std::uint64_t seed,
+                                     std::int32_t lo, std::int32_t hi) {
+  MGS_CHECK(lo <= hi, "random_i32: empty range");
+  SplitMix64 rng(seed);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) - lo) + 1;
+  std::vector<std::int32_t> out(count);
+  for (auto& v : out) {
+    v = static_cast<std::int32_t>(lo + static_cast<std::int64_t>(rng.next_below(span)));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> random_i64(std::size_t count, std::uint64_t seed,
+                                     std::int64_t lo, std::int64_t hi) {
+  MGS_CHECK(lo <= hi, "random_i64: empty range");
+  SplitMix64 rng(seed);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  std::vector<std::int64_t> out(count);
+  for (auto& v : out) {
+    v = lo + static_cast<std::int64_t>(rng.next_below(span));
+  }
+  return out;
+}
+
+std::vector<float> random_f32(std::size_t count, std::uint64_t seed, float lo,
+                              float hi) {
+  MGS_CHECK(lo < hi, "random_f32: empty range");
+  SplitMix64 rng(seed);
+  std::vector<float> out(count);
+  for (auto& v : out) {
+    const double u =
+        static_cast<double>(rng.next() >> 11) * (1.0 / 9007199254740992.0);
+    v = static_cast<float>(lo + u * (static_cast<double>(hi) - lo));
+  }
+  return out;
+}
+
+}  // namespace mgs::util

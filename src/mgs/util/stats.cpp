@@ -1,0 +1,51 @@
+#include "mgs/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mgs/util/check.hpp"
+
+namespace mgs::util {
+
+double mean(std::span<const double> xs) {
+  MGS_CHECK(!xs.empty(), "mean of empty span");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  MGS_CHECK(!xs.empty(), "geomean of empty span");
+  double s = 0.0;
+  for (double x : xs) {
+    MGS_CHECK(x > 0.0, "geomean requires positive values");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double min_of(std::span<const double> xs) {
+  MGS_CHECK(!xs.empty(), "min of empty span");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  MGS_CHECK(!xs.empty(), "max of empty span");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::span<const double> xs) {
+  MGS_CHECK(!xs.empty(), "median of empty span");
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  const std::size_t n = copy.size();
+  return (n % 2 == 1) ? copy[n / 2] : 0.5 * (copy[n / 2 - 1] + copy[n / 2]);
+}
+
+double RunningMean::value() const {
+  MGS_CHECK(n_ > 0, "RunningMean::value with no samples");
+  return sum_ / static_cast<double>(n_);
+}
+
+}  // namespace mgs::util

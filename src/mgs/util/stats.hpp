@@ -1,0 +1,33 @@
+#pragma once
+/// \file stats.hpp
+/// Summary statistics used by the benchmark harnesses (speedup averaging
+/// follows the paper: arithmetic mean of per-data-point speedups) and by
+/// EXPERIMENTS.md reporting (geomean as a robustness cross-check).
+
+#include <cstddef>
+#include <span>
+
+namespace mgs::util {
+
+double mean(std::span<const double> xs);
+double geomean(std::span<const double> xs);  ///< requires all xs > 0
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double median(std::span<const double> xs);  ///< copies, O(n log n)
+
+/// Online accumulator for means without materializing a vector.
+class RunningMean {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+  }
+  std::size_t count() const { return n_; }
+  double value() const;
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace mgs::util

@@ -1,0 +1,88 @@
+#include "mgs/util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "mgs/util/check.hpp"
+
+namespace mgs::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MGS_CHECK(!headers_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MGS_CHECK(cells.size() == headers_.size(),
+            "Table row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << std::string(widths[c] - row[c].size(), ' ') << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_gbps(double bytes_per_sec) {
+  return fmt_double(bytes_per_sec / 1e9, 2) + " GB/s";
+}
+
+std::string fmt_time_us(double seconds) {
+  if (seconds < 1e-3) return fmt_double(seconds * 1e6, 2) + " us";
+  if (seconds < 1.0) return fmt_double(seconds * 1e3, 3) + " ms";
+  return fmt_double(seconds, 4) + " s";
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  return fmt_double(v, v < 10 ? 2 : 1) + " " + kUnits[u];
+}
+
+std::string fmt_speedup(double x) { return fmt_double(x, 2) + "x"; }
+
+}  // namespace mgs::util

@@ -1,0 +1,41 @@
+#pragma once
+/// \file table.hpp
+/// Text-table printer used by the benchmark harnesses to emit the same
+/// rows/series as the paper's tables and figures. Columns are
+/// right-aligned; an optional CSV mode makes the output plottable.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mgs::util {
+
+/// A simple column-aligned table. Build rows with add_row(); call print().
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// All rows must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Pretty print with aligned columns (and a header rule).
+  void print(std::ostream& os) const;
+
+  /// Comma-separated output for downstream plotting.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by benches.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_gbps(double bytes_per_sec);     ///< "123.4 GB/s"
+std::string fmt_time_us(double seconds);        ///< "12.3 us" / "4.5 ms" / "1.2 s"
+std::string fmt_bytes(std::uint64_t bytes);     ///< "64 KiB" / "1.5 GiB"
+std::string fmt_speedup(double x);              ///< "12.34x"
+
+}  // namespace mgs::util

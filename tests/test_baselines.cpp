@@ -1,0 +1,238 @@
+// Tests for the baseline-library models: each one's scan must be
+// bit-correct against the serial reference (they are real algorithm
+// implementations), and their modeled costs must respect the relations
+// the paper reports (CUB near peak; Thrust well below; per-call overheads
+// ordered LightScan > ModernGPU > Thrust > CUDPP > CUB).
+
+#include <gtest/gtest.h>
+
+#include "mgs/baselines/cub.hpp"
+#include "mgs/baselines/cudpp.hpp"
+#include "mgs/baselines/lightscan.hpp"
+#include "mgs/baselines/moderngpu.hpp"
+#include "mgs/baselines/reference.hpp"
+#include "mgs/baselines/registry.hpp"
+#include "mgs/baselines/thrust.hpp"
+#include "mgs/util/random.hpp"
+
+namespace mb = mgs::baselines;
+namespace mc = mgs::core;
+namespace st = mgs::simt;
+
+namespace {
+
+st::Device make_device() { return st::Device(0, mgs::sim::k80_spec()); }
+
+struct NamedCase {
+  std::string baseline;
+  std::int64_t n;
+  std::int64_t g;
+  mc::ScanKind kind;
+};
+
+void check_batch(const NamedCase& c) {
+  auto dev = make_device();
+  const auto& runner = mb::baseline_by_name(c.baseline);
+  const auto data = mgs::util::random_i32(
+      static_cast<std::size_t>(c.n * c.g),
+      static_cast<std::uint64_t>(c.n * 31 + c.g));
+  auto in = dev.alloc<std::int32_t>(c.n * c.g);
+  auto out = dev.alloc<std::int32_t>(c.n * c.g);
+  std::copy(data.begin(), data.end(), in.host_span().begin());
+
+  const auto r = runner.run_batch(dev, in, out, c.n, c.g, c.kind);
+  EXPECT_GT(r.seconds, 0.0);
+
+  const auto want = mb::reference_batch_scan<std::int32_t>(data, c.n, c.g, c.kind);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(out.host_span()[i], want[i])
+        << c.baseline << " n=" << c.n << " g=" << c.g << " i=" << i;
+  }
+}
+
+}  // namespace
+
+class BaselineSweep : public ::testing::TestWithParam<NamedCase> {};
+
+TEST_P(BaselineSweep, BatchMatchesReference) { check_batch(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLibraries, BaselineSweep,
+    ::testing::Values(
+        NamedCase{"CUDPP", 1 << 14, 1, mc::ScanKind::kInclusive},
+        NamedCase{"CUDPP", 1 << 14, 4, mc::ScanKind::kExclusive},
+        NamedCase{"CUDPP", 10000, 3, mc::ScanKind::kInclusive},
+        NamedCase{"CUDPP", 1 << 18, 1, mc::ScanKind::kExclusive},  // recursion
+        NamedCase{"Thrust", 1 << 14, 1, mc::ScanKind::kInclusive},
+        NamedCase{"Thrust", 5000, 4, mc::ScanKind::kExclusive},
+        NamedCase{"ModernGPU", 1 << 15, 2, mc::ScanKind::kInclusive},
+        NamedCase{"ModernGPU", 9999, 2, mc::ScanKind::kExclusive},
+        NamedCase{"CUB", 1 << 16, 1, mc::ScanKind::kInclusive},
+        NamedCase{"CUB", 1 << 13, 8, mc::ScanKind::kExclusive},
+        NamedCase{"CUB", 7777, 3, mc::ScanKind::kInclusive},
+        NamedCase{"LightScan", 1 << 16, 1, mc::ScanKind::kInclusive},
+        NamedCase{"LightScan", 1 << 12, 6, mc::ScanKind::kExclusive},
+        NamedCase{"LightScan", 31415, 2, mc::ScanKind::kInclusive},
+        // Single-tile and tile-boundary edges for every algorithm.
+        NamedCase{"CUDPP", 2048, 1, mc::ScanKind::kExclusive},
+        NamedCase{"CUDPP", 2049, 1, mc::ScanKind::kInclusive},
+        NamedCase{"Thrust", 1024, 1, mc::ScanKind::kInclusive},
+        NamedCase{"Thrust", 1025, 1, mc::ScanKind::kExclusive},
+        NamedCase{"ModernGPU", 4096, 1, mc::ScanKind::kExclusive},
+        NamedCase{"CUB", 2048, 1, mc::ScanKind::kInclusive},
+        NamedCase{"CUB", 2049, 1, mc::ScanKind::kExclusive},
+        NamedCase{"LightScan", 4097, 1, mc::ScanKind::kInclusive},
+        NamedCase{"LightScan", 1, 1, mc::ScanKind::kExclusive}),
+    [](const ::testing::TestParamInfo<NamedCase>& info) {
+      return info.param.baseline + "_n" + std::to_string(info.param.n) + "_g" +
+             std::to_string(info.param.g) + "_" +
+             (info.param.kind == mc::ScanKind::kInclusive ? "inc" : "exc");
+    });
+
+TEST(BaselineRegistry, FiveLibrariesRegistered) {
+  const auto& all = mb::all_baselines();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].traits.name, "CUDPP");
+  EXPECT_TRUE(all[0].traits.native_batch);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_FALSE(all[i].traits.native_batch);
+  }
+  EXPECT_THROW(mb::baseline_by_name("nccl"), mgs::util::Error);
+}
+
+TEST(BaselinePerf, PerCallOverheadOrdering) {
+  // The paper's Figure 12 extremes imply the tight-loop per-invocation
+  // cost order (call + loop churn): LightScan worst, CUB best.
+  const auto loop_cost = [](const mb::BaselineTraits& t) {
+    return t.per_call_overhead_us + t.loop_extra_us;
+  };
+  EXPECT_GT(loop_cost(mb::lightscan_traits()),
+            loop_cost(mb::moderngpu_traits()));
+  EXPECT_GT(loop_cost(mb::moderngpu_traits()), loop_cost(mb::thrust_traits()));
+  EXPECT_GT(loop_cost(mb::thrust_traits()), loop_cost(mb::cudpp_traits()));
+  EXPECT_GT(loop_cost(mb::cudpp_traits()), loop_cost(mb::cub_traits()));
+  // A single cold call, by contrast, is moderate for everyone (Figure 11's
+  // G=1 world): within ~4x of CUB's.
+  for (const auto& t : {mb::thrust_traits(), mb::moderngpu_traits(),
+                        mb::lightscan_traits(), mb::cudpp_traits()}) {
+    EXPECT_LE(t.per_call_overhead_us,
+              4 * mb::cub_traits().per_call_overhead_us);
+  }
+}
+
+TEST(BaselinePerf, LoopChurnOnlyChargedBetweenCalls) {
+  // One invocation (G=1) must not pay the loop penalty.
+  const std::int64_t n = 1 << 12;
+  auto d1 = make_device();
+  auto in1 = d1.alloc<std::int32_t>(n);
+  auto out1 = d1.alloc<std::int32_t>(n);
+  const auto single = mb::baseline_by_name("ModernGPU")
+                          .run_batch(d1, in1, out1, n, 1,
+                                     mc::ScanKind::kInclusive);
+  EXPECT_EQ(single.breakdown.get("HostLoopChurn"), 0.0);
+
+  auto d2 = make_device();
+  auto in2 = d2.alloc<std::int32_t>(4 * n);
+  auto out2 = d2.alloc<std::int32_t>(4 * n);
+  const auto batch = mb::baseline_by_name("ModernGPU")
+                         .run_batch(d2, in2, out2, n, 4,
+                                    mc::ScanKind::kInclusive);
+  EXPECT_NEAR(batch.breakdown.get("HostLoopChurn"),
+              3 * mb::moderngpu_traits().loop_extra_us * 1e-6, 1e-12);
+}
+
+TEST(BaselinePerf, CubIsFastestSingleGpuAtLargeN) {
+  // "CUB already runs at nearly the maximum theoretical rate" -- at large
+  // N, CUB must beat every other library model on one GPU.
+  const std::int64_t n = 1 << 22;
+  double cub_time = 0.0;
+  for (const auto& b : mb::all_baselines()) {
+    auto dev = make_device();
+    auto in = dev.alloc<std::int32_t>(n);
+    auto out = dev.alloc<std::int32_t>(n);
+    const auto r = b.run_batch(dev, in, out, n, 1, mc::ScanKind::kInclusive);
+    if (b.traits.name == "CUB") {
+      cub_time = r.seconds;
+    }
+  }
+  ASSERT_GT(cub_time, 0.0);
+  for (const auto& b : mb::all_baselines()) {
+    if (b.traits.name == "CUB") continue;
+    auto dev = make_device();
+    auto in = dev.alloc<std::int32_t>(n);
+    auto out = dev.alloc<std::int32_t>(n);
+    const auto r = b.run_batch(dev, in, out, n, 1, mc::ScanKind::kInclusive);
+    EXPECT_GT(r.seconds, cub_time) << b.traits.name;
+  }
+}
+
+TEST(BaselinePerf, ThrustFarBelowCubAtLargeN) {
+  // Figure 11: our proposal is ~1.04x vs CUB but 7.8x vs Thrust, so the
+  // Thrust model must be several times slower than CUB.
+  const std::int64_t n = 1 << 22;
+  auto d1 = make_device();
+  auto in1 = d1.alloc<std::int32_t>(n);
+  auto out1 = d1.alloc<std::int32_t>(n);
+  const auto cub = mb::cub_scan<std::int32_t>(d1, in1, out1, 0, n,
+                                              mc::ScanKind::kInclusive);
+  auto d2 = make_device();
+  auto in2 = d2.alloc<std::int32_t>(n);
+  auto out2 = d2.alloc<std::int32_t>(n);
+  const auto thrust = mb::thrust_scan<std::int32_t>(d2, in2, out2, 0, n,
+                                                    mc::ScanKind::kInclusive);
+  EXPECT_GT(thrust.seconds / cub.seconds, 4.0);
+  EXPECT_LT(thrust.seconds / cub.seconds, 12.0);
+}
+
+TEST(BaselinePerf, CudppMultiscanBeatsPerProblemInvocationAtLargeG) {
+  // CUDPP amortizes one invocation over G problems; a per-problem library
+  // with comparable kernels (ModernGPU) must lose badly at large G.
+  const std::int64_t n = 1 << 12;
+  const std::int64_t g = 256;
+  auto d1 = make_device();
+  auto in1 = d1.alloc<std::int32_t>(n * g);
+  auto out1 = d1.alloc<std::int32_t>(n * g);
+  const auto cudpp = mb::baseline_by_name("CUDPP").run_batch(
+      d1, in1, out1, n, g, mc::ScanKind::kInclusive);
+  auto d2 = make_device();
+  auto in2 = d2.alloc<std::int32_t>(n * g);
+  auto out2 = d2.alloc<std::int32_t>(n * g);
+  const auto mgpu = mb::baseline_by_name("ModernGPU").run_batch(
+      d2, in2, out2, n, g, mc::ScanKind::kInclusive);
+  EXPECT_GT(mgpu.seconds / cudpp.seconds, 5.0);
+}
+
+TEST(BaselinePerf, LightScanChainPenaltyGrowsWithBlocks) {
+  auto d1 = make_device();
+  const std::int64_t small_n = 1 << 14;
+  auto in1 = d1.alloc<std::int32_t>(small_n);
+  auto out1 = d1.alloc<std::int32_t>(small_n);
+  const auto small = mb::lightscan_scan<std::int32_t>(
+      d1, in1, out1, 0, small_n, mc::ScanKind::kInclusive);
+  auto d2 = make_device();
+  const std::int64_t big_n = 1 << 20;
+  auto in2 = d2.alloc<std::int32_t>(big_n);
+  auto out2 = d2.alloc<std::int32_t>(big_n);
+  const auto big = mb::lightscan_scan<std::int32_t>(
+      d2, in2, out2, 0, big_n, mc::ScanKind::kInclusive);
+  EXPECT_GT(big.breakdown.get("lightscan_chain"),
+            small.breakdown.get("lightscan_chain"));
+}
+
+TEST(Baselines, OffsetInvocationScansSubrangeOnly) {
+  // Per-problem invocation must not touch neighbouring problems.
+  auto dev = make_device();
+  const std::int64_t n = 4096;
+  auto in = dev.alloc<std::int32_t>(3 * n);
+  auto out = dev.alloc<std::int32_t>(3 * n);
+  for (std::int64_t i = 0; i < 3 * n; ++i) {
+    in.host_span()[static_cast<std::size_t>(i)] = 1;
+    out.host_span()[static_cast<std::size_t>(i)] = -77;
+  }
+  mb::cub_scan<std::int32_t>(dev, in, out, n, n, mc::ScanKind::kInclusive);
+  EXPECT_EQ(out.host_span()[static_cast<std::size_t>(n - 1)], -77);
+  EXPECT_EQ(out.host_span()[static_cast<std::size_t>(n)], 1);
+  EXPECT_EQ(out.host_span()[static_cast<std::size_t>(2 * n - 1)],
+            static_cast<std::int32_t>(n));
+  EXPECT_EQ(out.host_span()[static_cast<std::size_t>(2 * n)], -77);
+}

@@ -1,0 +1,68 @@
+// Tests for the textual cluster configuration (topo/config.hpp).
+
+#include <gtest/gtest.h>
+
+#include "mgs/topo/config.hpp"
+
+namespace mt = mgs::topo;
+
+TEST(ClusterConfigParse, DefaultsToPaperPlatform) {
+  const auto cfg = mt::parse_cluster_config("");
+  EXPECT_EQ(cfg.nodes, 1);
+  EXPECT_EQ(cfg.networks_per_node, 2);
+  EXPECT_EQ(cfg.gpus_per_network, 4);
+  EXPECT_EQ(cfg.gpu.cc_major, 3);
+  EXPECT_DOUBLE_EQ(cfg.links.p2p_bandwidth_gbps, 10.0);
+}
+
+TEST(ClusterConfigParse, ParsesShapeAndLinks) {
+  const auto cfg = mt::parse_cluster_config(
+      "nodes=4 networks=1 gpus=8 gpu=pascal p2p-gbps=20 p2p-us=4 "
+      "host-gbps=11 host-us=10 ib-gbps=12.5 ib-us=12 mpi-us=15 row-us=0.05");
+  EXPECT_EQ(cfg.nodes, 4);
+  EXPECT_EQ(cfg.networks_per_node, 1);
+  EXPECT_EQ(cfg.gpus_per_network, 8);
+  EXPECT_EQ(cfg.gpu.cc_major, 6);
+  EXPECT_DOUBLE_EQ(cfg.links.p2p_bandwidth_gbps, 20.0);
+  EXPECT_DOUBLE_EQ(cfg.links.p2p_latency_us, 4.0);
+  EXPECT_DOUBLE_EQ(cfg.links.host_bandwidth_gbps, 11.0);
+  EXPECT_DOUBLE_EQ(cfg.links.ib_bandwidth_gbps, 12.5);
+  EXPECT_DOUBLE_EQ(cfg.links.mpi_overhead_us, 15.0);
+  EXPECT_DOUBLE_EQ(cfg.links.row_overhead_us, 0.05);
+}
+
+TEST(ClusterConfigParse, BuildsWorkingCluster) {
+  const auto cfg = mt::parse_cluster_config("nodes=2 networks=2 gpus=2");
+  mt::Cluster cluster(cfg);
+  EXPECT_EQ(cluster.num_devices(), 8);
+  EXPECT_EQ(cluster.link_between(0, 1), mt::LinkType::kP2P);
+  EXPECT_EQ(cluster.link_between(0, 2), mt::LinkType::kHostStaged);
+  EXPECT_EQ(cluster.link_between(0, 4), mt::LinkType::kInterNode);
+}
+
+TEST(ClusterConfigParse, RejectsMalformedInput) {
+  EXPECT_THROW(mt::parse_cluster_config("nodes"), mgs::util::Error);
+  EXPECT_THROW(mt::parse_cluster_config("nodes="), mgs::util::Error);
+  EXPECT_THROW(mt::parse_cluster_config("=2"), mgs::util::Error);
+  EXPECT_THROW(mt::parse_cluster_config("nodes=two"), mgs::util::Error);
+  EXPECT_THROW(mt::parse_cluster_config("nodes=0"), mgs::util::Error);
+  EXPECT_THROW(mt::parse_cluster_config("nodes=2.5"), mgs::util::Error);
+  EXPECT_THROW(mt::parse_cluster_config("gpu=volta"), mgs::util::Error);
+  EXPECT_THROW(mt::parse_cluster_config("typo-key=1"), mgs::util::Error);
+  EXPECT_THROW(mt::parse_cluster_config("p2p-gbps=-1"), mgs::util::Error);
+}
+
+TEST(ClusterConfigParse, RoundTripsThroughDescribe) {
+  const std::string text =
+      "nodes=3 networks=2 gpus=4 gpu=maxwell p2p-gbps=12 mpi-us=25";
+  const auto cfg = mt::parse_cluster_config(text);
+  const auto cfg2 = mt::parse_cluster_config(mt::describe_cluster_config(cfg));
+  EXPECT_EQ(cfg2.nodes, cfg.nodes);
+  EXPECT_EQ(cfg2.networks_per_node, cfg.networks_per_node);
+  EXPECT_EQ(cfg2.gpus_per_network, cfg.gpus_per_network);
+  EXPECT_EQ(cfg2.gpu.name, cfg.gpu.name);
+  EXPECT_DOUBLE_EQ(cfg2.links.p2p_bandwidth_gbps,
+                   cfg.links.p2p_bandwidth_gbps);
+  EXPECT_DOUBLE_EQ(cfg2.links.mpi_overhead_us, cfg.links.mpi_overhead_us);
+  EXPECT_DOUBLE_EQ(cfg2.links.row_overhead_us, cfg.links.row_overhead_us);
+}

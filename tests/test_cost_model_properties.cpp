@@ -1,0 +1,157 @@
+// Property tests for the performance model: the monotonicity and
+// dominance relations the reproduction's conclusions rest on. If any of
+// these break, figure shapes can silently invert, so they are pinned
+// here rather than discovered in a bench regression.
+
+#include <gtest/gtest.h>
+
+#include "mgs/sim/cost_model.hpp"
+#include "mgs/sim/occupancy.hpp"
+#include "mgs/topo/transfer.hpp"
+#include "mgs/util/random.hpp"
+
+namespace ms = mgs::sim;
+namespace mt = mgs::topo;
+
+namespace {
+
+ms::KernelStats streaming_stats(std::uint64_t bytes, std::uint64_t blocks,
+                                int regs = 64, std::int64_t smem = 64) {
+  ms::KernelStats st;
+  st.blocks = blocks;
+  st.threads_per_block = 128;
+  st.regs_per_thread = regs;
+  st.smem_per_block = smem;
+  st.bytes_read = bytes;
+  st.mem_transactions = mgs::util::div_up(bytes, 32);
+  return st;
+}
+
+}  // namespace
+
+TEST(CostModelProperty, TimeMonotoneInBytes) {
+  const auto spec = ms::k80_spec();
+  double prev = 0.0;
+  for (std::uint64_t bytes = 1 << 10; bytes <= (1ull << 30); bytes <<= 2) {
+    const double t =
+        ms::kernel_time(spec, streaming_stats(bytes, 4096)).seconds;
+    EXPECT_GT(t, prev) << "bytes=" << bytes;
+    prev = t;
+  }
+}
+
+TEST(CostModelProperty, TimeMonotoneNonIncreasingInBlocks) {
+  // More blocks (same total bytes) can only raise concurrency.
+  const auto spec = ms::k80_spec();
+  double prev = 1e30;
+  for (std::uint64_t blocks = 1; blocks <= 4096; blocks *= 4) {
+    const double t =
+        ms::kernel_time(spec, streaming_stats(1 << 24, blocks)).seconds;
+    EXPECT_LE(t, prev) << "blocks=" << blocks;
+    prev = t;
+  }
+}
+
+TEST(CostModelProperty, CoalescingNeverExceedsOne) {
+  const auto spec = ms::k80_spec();
+  auto st = streaming_stats(1 << 20, 1024);
+  // Report fewer transactions than physically possible: the model must
+  // clamp rather than reward.
+  st.mem_transactions = 1;
+  const auto t = ms::kernel_time(spec, st);
+  EXPECT_LE(t.coalescing, 1.0);
+}
+
+TEST(CostModelProperty, WorseCoalescingNeverFaster) {
+  const auto spec = ms::k80_spec();
+  double prev = 0.0;
+  for (std::uint64_t factor = 1; factor <= 8; factor *= 2) {
+    auto st = streaming_stats(1 << 24, 4096);
+    st.mem_transactions *= factor;
+    const double t = ms::kernel_time(spec, st).seconds;
+    EXPECT_GE(t, prev) << "factor=" << factor;
+    prev = t;
+  }
+}
+
+TEST(CostModelProperty, HigherRegistersNeverRaiseOccupancy) {
+  const auto spec = ms::k80_spec();
+  int prev_blocks = 1 << 20;
+  for (int regs = 16; regs <= 255; regs += 16) {
+    const auto occ = ms::occupancy(spec, 128, regs, 0);
+    EXPECT_LE(occ.blocks_per_sm, prev_blocks) << "regs=" << regs;
+    prev_blocks = occ.blocks_per_sm;
+  }
+}
+
+TEST(CostModelProperty, MoreSharedMemoryNeverRaisesOccupancy) {
+  const auto spec = ms::k80_spec();
+  int prev_blocks = 1 << 20;
+  for (std::int64_t smem = 1024; smem <= spec.shared_mem_per_block;
+       smem *= 2) {
+    const auto occ = ms::occupancy(spec, 128, 32, smem);
+    EXPECT_LE(occ.blocks_per_sm, prev_blocks) << "smem=" << smem;
+    prev_blocks = occ.blocks_per_sm;
+  }
+}
+
+TEST(CostModelProperty, OccupancyDeterministicAcrossDevices) {
+  // Identical inputs -> identical outputs for every preset (pure function).
+  for (const auto& spec :
+       {ms::k80_spec(), ms::maxwell_spec(), ms::pascal_spec()}) {
+    const auto a = ms::occupancy(spec, 256, 48, 4096);
+    const auto b = ms::occupancy(spec, 256, 48, 4096);
+    EXPECT_EQ(a.blocks_per_sm, b.blocks_per_sm);
+    EXPECT_DOUBLE_EQ(a.warp_occupancy, b.warp_occupancy);
+  }
+}
+
+TEST(LinkProperty, TimeMonotoneInBytesOnEveryLink) {
+  auto cluster = mt::tsubame_kfc_cluster(2);
+  mt::TransferEngine xfer(cluster);
+  for (const auto& [a, b] : {std::pair{0, 0}, std::pair{0, 1},
+                             std::pair{0, 4}, std::pair{0, 8}}) {
+    double prev = 0.0;
+    for (std::uint64_t bytes = 1 << 10; bytes <= (1 << 28); bytes <<= 2) {
+      const double t = xfer.link_time(a, b, bytes);
+      EXPECT_GT(t, prev) << "link " << a << "->" << b << " bytes=" << bytes;
+      prev = t;
+    }
+  }
+}
+
+TEST(LinkProperty, RowsMonotoneOn2dCopies) {
+  auto cluster = mt::tsubame_kfc_cluster(1);
+  mt::TransferEngine xfer(cluster);
+  for (const auto& [a, b] : {std::pair{0, 1}, std::pair{0, 4}}) {
+    double prev = 0.0;
+    for (std::uint64_t rows = 1; rows <= (1 << 16); rows <<= 4) {
+      const double t = xfer.link_time_2d(a, b, 1 << 20, rows);
+      EXPECT_GE(t, prev) << "rows=" << rows;
+      prev = t;
+    }
+  }
+}
+
+TEST(LinkProperty, StreamingTimeMatchesModelAtFullOccupancy) {
+  const auto spec = ms::k80_spec();
+  const std::uint64_t bytes = 1ull << 28;
+  const double quick = ms::streaming_time(spec, bytes);
+  const double full =
+      ms::kernel_time(spec, streaming_stats(bytes, 1 << 16)).seconds;
+  EXPECT_NEAR(quick, full, 0.02 * full);
+}
+
+TEST(LinkProperty, Premise4Ordering) {
+  // The whole of Premise 4 in one assertion chain: for any byte count,
+  // self < p2p < host-staged and p2p < inter-node.
+  auto cluster = mt::tsubame_kfc_cluster(2);
+  mt::TransferEngine xfer(cluster);
+  mgs::util::SplitMix64 rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t bytes = 64 + rng.next_below(1 << 26);
+    EXPECT_LT(xfer.link_time(0, 0, bytes), xfer.link_time(0, 1, bytes));
+    EXPECT_LT(xfer.link_time(0, 1, bytes), xfer.link_time(0, 4, bytes));
+    EXPECT_LT(xfer.link_time(0, 1, bytes), xfer.link_time(0, 8, bytes));
+  }
+}

@@ -1,0 +1,145 @@
+// Systematic error-path coverage: every public entry point must reject
+// invalid configuration with a util::Error (recoverable) and corrupt
+// internal state with an MGS_CHECK abort (programming error) -- never
+// silently compute garbage.
+
+#include <gtest/gtest.h>
+
+#include "mgs/core/api.hpp"
+#include "mgs/msg/comm.hpp"
+
+namespace mc = mgs::core;
+namespace ms = mgs::sim;
+namespace mt = mgs::topo;
+namespace st = mgs::simt;
+
+namespace {
+mc::ScanPlan valid_plan() {
+  auto plan = mc::derive_spl(ms::k80_spec(), 4).plan;
+  plan.s13.k = 2;
+  return plan;
+}
+}  // namespace
+
+TEST(Errors, StagePlanValidation) {
+  mc::StagePlan sp;
+  sp.p = 0;
+  EXPECT_THROW(sp.validate(), mgs::util::Error);
+  sp = {};
+  sp.p = 12;  // not a power of two
+  EXPECT_THROW(sp.validate(), mgs::util::Error);
+  sp = {};
+  sp.lx = 96;
+  sp.ly = 2;  // multi-problem blocks need warp-aligned Lx
+  EXPECT_THROW(sp.validate(), mgs::util::Error);
+  sp = {};
+  sp.k = 3;
+  EXPECT_THROW(sp.validate(), mgs::util::Error);
+}
+
+TEST(Errors, ScanPlanCrossChecks) {
+  auto plan = valid_plan();
+  plan.s13.ly = 2;  // stages 1/3 must have Ly = 1
+  plan.s13.lx = 64;
+  EXPECT_THROW(plan.validate(), mgs::util::Error);
+  plan = valid_plan();
+  plan.s2.k = 2;  // K^2 = 1 (Premise 3)
+  EXPECT_THROW(plan.validate(), mgs::util::Error);
+}
+
+TEST(Errors, LayoutRejectsEmptyShapes) {
+  const auto plan = valid_plan();
+  EXPECT_THROW(mc::make_layout(0, 1, plan.s13), mgs::util::Error);
+  EXPECT_THROW(mc::make_layout(1024, 0, plan.s13), mgs::util::Error);
+}
+
+TEST(Errors, ScanSpArgumentChecks) {
+  st::Device dev(0, ms::k80_spec());
+  auto buf = dev.alloc<int>(64);
+  const auto plan = valid_plan();
+  EXPECT_THROW(mc::scan_sp<int>(dev, buf, buf, -5, 1, plan,
+                                mc::ScanKind::kInclusive),
+               mgs::util::Error);
+  EXPECT_THROW(mc::scan_sp<int>(dev, buf, buf, 64, 2, plan,
+                                mc::ScanKind::kInclusive),
+               mgs::util::Error);  // buffers hold only one problem
+}
+
+TEST(Errors, MpsShapeChecks) {
+  auto cluster = mt::tsubame_kfc_cluster(1);
+  const auto plan = valid_plan();
+  std::vector<mc::GpuBatch<int>> two(2);
+  std::vector<int> gpus = {0, 1, 2};
+  // Batch count must match GPU count.
+  EXPECT_THROW(mc::scan_mps<int>(cluster, gpus, two, 3 * 1024, 1, plan,
+                                 mc::ScanKind::kInclusive),
+               mgs::util::Error);
+  // N must divide by W.
+  std::vector<mc::GpuBatch<int>> three(3);
+  EXPECT_THROW(mc::scan_mps<int>(cluster, gpus, three, 1000, 1, plan,
+                                 mc::ScanKind::kInclusive),
+               mgs::util::Error);
+}
+
+TEST(Errors, MppcPartitionChecks) {
+  auto cluster = mt::tsubame_kfc_cluster(1);
+  EXPECT_THROW(mc::make_mppc_partition(cluster, 0, 2, 4), mgs::util::Error);
+  EXPECT_THROW(mc::make_mppc_partition(cluster, 2, 0, 4), mgs::util::Error);
+  EXPECT_THROW(mc::make_mppc_partition(cluster, 2, 2, 4, /*nodes=*/5),
+               mgs::util::Error);
+}
+
+TEST(Errors, MultinodeShapeChecks) {
+  auto cluster = mt::tsubame_kfc_cluster(2);
+  mgs::msg::Communicator comm(cluster, {0, 1, 8, 9});
+  std::vector<mc::GpuBatch<int>> batches(4);
+  // N must divide by the rank count.
+  EXPECT_THROW(mc::scan_mps_multinode<int>(comm, batches, 1001, 1,
+                                           valid_plan(),
+                                           mc::ScanKind::kInclusive),
+               mgs::util::Error);
+}
+
+TEST(Errors, SegmentedScanChecks) {
+  st::Device dev(0, ms::k80_spec());
+  auto small = dev.alloc<int>(8);
+  auto big = dev.alloc<int>(64);
+  EXPECT_THROW(
+      mc::segmented_scan_sp<int>(dev, big, small, big, 64, valid_plan()),
+      mgs::util::Error);
+  EXPECT_THROW(
+      mc::segmented_scan_sp<int>(dev, big, big, big, 0, valid_plan()),
+      mgs::util::Error);
+}
+
+TEST(Errors, DeviceMemoryExhaustionIsRecoverable) {
+  auto spec = ms::k80_spec();
+  spec.memory_bytes = 1 << 16;
+  st::Device dev(0, spec);
+  EXPECT_THROW((void)dev.alloc<int>(1 << 20), mgs::util::Error);
+  // After the failed allocation the device is still usable.
+  auto ok = dev.alloc<int>(64);
+  EXPECT_EQ(dev.allocated_bytes(), 256);
+}
+
+TEST(Errors, TuningArgumentChecks) {
+  EXPECT_THROW(mc::derive_spl(ms::k80_spec(), 0), mgs::util::Error);
+  const auto plan = valid_plan();
+  EXPECT_THROW(mc::k1_max_eq1(0, 1, plan, ms::k80_spec()), mgs::util::Error);
+  EXPECT_THROW(mc::k1_max_gpus(1024, plan.s13, 0), mgs::util::Error);
+}
+
+TEST(Errors, PlannerRejectsImpossibleShapes) {
+  auto cluster = mt::tsubame_kfc_cluster(1);
+  EXPECT_THROW(mc::choose_proposal(cluster, {0, 1, 4}), mgs::util::Error);
+  EXPECT_THROW(mc::choose_proposal(cluster, {1024, 1, 0}), mgs::util::Error);
+}
+
+TEST(ErrorsDeath, InternalInvariantsAbort) {
+  // Clock going backwards is a programming error, not a config error.
+  ms::Clock clock;
+  EXPECT_DEATH(clock.advance(-1.0), "negative duration");
+  // Breakdown with negative duration likewise.
+  ms::Breakdown bd;
+  EXPECT_DEATH(bd.add("x", -0.5), "negative duration");
+}

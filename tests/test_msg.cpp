@@ -1,0 +1,220 @@
+// Unit tests for mgs/msg: the in-process MPI runtime -- rank/device
+// mapping, barrier clock semantics, gather/scatter data movement and the
+// link-aware cost model.
+
+#include <gtest/gtest.h>
+
+#include "mgs/msg/comm.hpp"
+
+namespace mm = mgs::msg;
+namespace mt = mgs::topo;
+
+namespace {
+
+mm::Communicator make_comm(mt::Cluster& cluster, int ranks) {
+  std::vector<int> ids;
+  for (int r = 0; r < ranks; ++r) ids.push_back(r);
+  return mm::Communicator(cluster, std::move(ids));
+}
+
+}  // namespace
+
+TEST(Comm, RankMappingValidated) {
+  auto c = mt::tsubame_kfc_cluster(1);
+  EXPECT_THROW(mm::Communicator(c, {}), mgs::util::Error);
+  EXPECT_THROW(mm::Communicator(c, {0, 0}), mgs::util::Error);
+  EXPECT_THROW(mm::Communicator(c, {0, 99}), mgs::util::Error);
+  mm::Communicator comm(c, {3, 5});
+  EXPECT_EQ(comm.size(), 2);
+  EXPECT_EQ(comm.device_of(0), 3);
+  EXPECT_EQ(comm.device_of(1), 5);
+}
+
+TEST(Comm, BarrierSynchronizesClocks) {
+  auto c = mt::tsubame_kfc_cluster(2);
+  auto comm = make_comm(c, 16);
+  c.device(7).clock().advance(1.0);  // one laggard
+  const double done = comm.barrier();
+  EXPECT_GT(done, 1.0);  // max + alpha*levels
+  for (int r = 0; r < comm.size(); ++r) {
+    EXPECT_DOUBLE_EQ(c.device(comm.device_of(r)).clock().now(), done);
+  }
+  EXPECT_GT(comm.breakdown().get("MPI_Barrier"), 0.0);
+}
+
+TEST(Comm, GatherConcatenatesByRank) {
+  auto c = mt::tsubame_kfc_cluster(2);
+  auto comm = make_comm(c, 4);
+  std::vector<mgs::simt::DeviceBuffer<int>> bufs;
+  std::vector<mm::Slice<int>> slices;
+  for (int r = 0; r < 4; ++r) {
+    bufs.push_back(c.device(r).alloc<int>(3));
+    for (int i = 0; i < 3; ++i) {
+      bufs.back().host_span()[static_cast<std::size_t>(i)] = 10 * r + i;
+    }
+  }
+  for (int r = 0; r < 4; ++r) slices.push_back({&bufs[static_cast<std::size_t>(r)], 0, 3});
+  auto recv = c.device(0).alloc<int>(12);
+  comm.gather(0, slices, recv, 0);
+  for (int r = 0; r < 4; ++r) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(recv.host_span()[static_cast<std::size_t>(3 * r + i)], 10 * r + i);
+    }
+  }
+  EXPECT_GT(comm.breakdown().get("MPI_Gather"), 0.0);
+}
+
+TEST(Comm, ScatterIsGatherInverse) {
+  auto c = mt::tsubame_kfc_cluster(2);
+  auto comm = make_comm(c, 4);
+  auto send = c.device(0).alloc<int>(8);
+  for (int i = 0; i < 8; ++i) send.host_span()[static_cast<std::size_t>(i)] = i * i;
+  std::vector<mgs::simt::DeviceBuffer<int>> bufs;
+  for (int r = 0; r < 4; ++r) bufs.push_back(c.device(r).alloc<int>(2));
+  std::vector<mm::Slice<int>> slices;
+  for (int r = 0; r < 4; ++r) slices.push_back({&bufs[static_cast<std::size_t>(r)], 0, 2});
+  comm.scatter(0, send, 0, slices);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(bufs[static_cast<std::size_t>(r)].host_span()[0], (2 * r) * (2 * r));
+    EXPECT_EQ(bufs[static_cast<std::size_t>(r)].host_span()[1],
+              (2 * r + 1) * (2 * r + 1));
+  }
+}
+
+TEST(Comm, CollectivesBlockEveryRank) {
+  auto c = mt::tsubame_kfc_cluster(2);
+  auto comm = make_comm(c, 8);
+  std::vector<mgs::simt::DeviceBuffer<int>> bufs;
+  std::vector<mm::Slice<int>> slices;
+  bufs.reserve(8);
+  for (int r = 0; r < 8; ++r) {
+    bufs.push_back(c.device(r).alloc<int>(4));
+    slices.push_back({&bufs.back(), 0, 4});
+  }
+  auto recv = c.device(0).alloc<int>(32);
+  const double done = comm.gather(0, slices, recv, 0);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_DOUBLE_EQ(c.device(r).clock().now(), done);
+  }
+}
+
+TEST(Comm, InterNodeGatherCostsMoreThanIntraNode) {
+  // 8 ranks on one node vs. spread over two nodes: same bytes, but the
+  // cross-node messages ride InfiniBand with MPI overhead.
+  auto c1 = mt::tsubame_kfc_cluster(2);
+  auto intra = make_comm(c1, 8);  // devices 0..7 = node 0
+  auto c2 = mt::tsubame_kfc_cluster(2);
+  mm::Communicator inter(c2, {0, 1, 2, 3, 8, 9, 10, 11});
+
+  auto run = [](mm::Communicator& comm, mt::Cluster& c) {
+    std::vector<mgs::simt::DeviceBuffer<int>> bufs;
+    std::vector<mm::Slice<int>> slices;
+    bufs.reserve(static_cast<std::size_t>(comm.size()));
+    for (int r = 0; r < comm.size(); ++r) {
+      bufs.push_back(c.device(comm.device_of(r)).alloc<int>(1024));
+      slices.push_back({&bufs.back(), 0, 1024});
+    }
+    auto recv = c.device(comm.device_of(0)).alloc<int>(1024 * 8);
+    return comm.gather(0, slices, recv, 0);
+  };
+  EXPECT_LT(run(intra, c1), run(inter, c2));
+}
+
+TEST(Comm, BcastDeliversRootDataEverywhere) {
+  auto c = mt::tsubame_kfc_cluster(2);
+  auto comm = make_comm(c, 8);
+  auto send = c.device(0).alloc<int>(8);
+  for (int i = 0; i < 8; ++i) send.host_span()[static_cast<std::size_t>(i)] = 3 * i;
+  std::vector<mgs::simt::DeviceBuffer<int>> bufs;
+  std::vector<mm::Slice<int>> slices;
+  bufs.reserve(8);
+  for (int r = 0; r < 8; ++r) {
+    bufs.push_back(c.device(r).alloc<int>(8));
+    slices.push_back({&bufs.back(), 0, 8});
+  }
+  const double done = comm.bcast(0, send, 0, slices);
+  for (int r = 0; r < 8; ++r) {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(bufs[static_cast<std::size_t>(r)]
+                    .host_span()[static_cast<std::size_t>(i)],
+                3 * i);
+    }
+    EXPECT_DOUBLE_EQ(c.device(r).clock().now(), done);
+  }
+  EXPECT_GT(comm.breakdown().get("MPI_Bcast"), 0.0);
+}
+
+TEST(Comm, AllgatherGivesEveryRankEverything) {
+  auto c = mt::tsubame_kfc_cluster(1);
+  auto comm = make_comm(c, 4);
+  std::vector<mgs::simt::DeviceBuffer<int>> send_bufs;
+  std::vector<mgs::simt::DeviceBuffer<int>> recv_bufs;
+  std::vector<mm::Slice<int>> sends;
+  std::vector<mgs::simt::DeviceBuffer<int>*> recvs;
+  send_bufs.reserve(4);
+  recv_bufs.reserve(4);
+  for (int r = 0; r < 4; ++r) {
+    send_bufs.push_back(c.device(r).alloc<int>(2));
+    send_bufs.back().host_span()[0] = 10 * r;
+    send_bufs.back().host_span()[1] = 10 * r + 1;
+    sends.push_back({&send_bufs.back(), 0, 2});
+    recv_bufs.push_back(c.device(r).alloc<int>(8));
+    recvs.push_back(&recv_bufs.back());
+  }
+  comm.allgather(sends, recvs);
+  for (int r = 0; r < 4; ++r) {
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(recv_bufs[static_cast<std::size_t>(r)]
+                    .host_span()[static_cast<std::size_t>(2 * s)],
+                10 * s);
+      EXPECT_EQ(recv_bufs[static_cast<std::size_t>(r)]
+                    .host_span()[static_cast<std::size_t>(2 * s + 1)],
+                10 * s + 1);
+    }
+  }
+}
+
+TEST(Comm, BcastCrossNodeCostsMoreThanIntraNode) {
+  auto c1 = mt::tsubame_kfc_cluster(2);
+  mm::Communicator intra(c1, {0, 1, 2, 3});
+  auto c2 = mt::tsubame_kfc_cluster(2);
+  mm::Communicator inter(c2, {0, 1, 8, 9});
+  auto run = [](mm::Communicator& comm, mt::Cluster& c) {
+    auto send = c.device(comm.device_of(0)).alloc<int>(4096);
+    std::vector<mgs::simt::DeviceBuffer<int>> bufs;
+    std::vector<mm::Slice<int>> slices;
+    bufs.reserve(static_cast<std::size_t>(comm.size()));
+    for (int r = 0; r < comm.size(); ++r) {
+      bufs.push_back(c.device(comm.device_of(r)).alloc<int>(4096));
+      slices.push_back({&bufs.back(), 0, 4096});
+    }
+    return comm.bcast(0, send, 0, slices);
+  };
+  EXPECT_LT(run(intra, c1), run(inter, c2));
+}
+
+TEST(Comm, SendRecvMovesDataWithRendezvous) {
+  auto c = mt::tsubame_kfc_cluster(2);
+  auto comm = make_comm(c, 16);
+  auto a = c.device(0).alloc<int>(16);
+  auto b = c.device(8).alloc<int>(16);
+  for (int i = 0; i < 16; ++i) a.host_span()[static_cast<std::size_t>(i)] = 7 * i;
+  c.device(8).clock().advance(0.25);  // receiver is late: rendezvous waits
+  const double done = comm.send_recv(0, 8, a, 0, b, 0, 16);
+  EXPECT_GT(done, 0.25);
+  EXPECT_EQ(b.host_span()[15], 105);
+  EXPECT_DOUBLE_EQ(c.device(0).clock().now(), done);
+}
+
+TEST(Comm, GatherValidatesShapes) {
+  auto c = mt::tsubame_kfc_cluster(1);
+  auto comm = make_comm(c, 2);
+  auto b0 = c.device(0).alloc<int>(4);
+  auto b1 = c.device(1).alloc<int>(4);
+  auto recv = c.device(0).alloc<int>(4);  // too small for 2 ranks x 4
+  std::vector<mm::Slice<int>> slices = {{&b0, 0, 4}, {&b1, 0, 4}};
+  EXPECT_DEATH(comm.gather(0, slices, recv, 0), "too small");
+  std::vector<mm::Slice<int>> uneven = {{&b0, 0, 4}, {&b1, 0, 2}};
+  auto recv8 = c.device(0).alloc<int>(8);
+  EXPECT_DEATH(comm.gather(0, uneven, recv8, 0), "equal-size");
+}

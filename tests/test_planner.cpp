@@ -1,0 +1,79 @@
+// Tests for the Premise-4 planner: which proposal gets chosen for which
+// problem shape on the paper's platform.
+
+#include <gtest/gtest.h>
+
+#include "mgs/core/planner.hpp"
+
+namespace mc = mgs::core;
+namespace mt = mgs::topo;
+
+namespace {
+mc::PlannerInput shape(std::int64_t n, std::int64_t g) {
+  mc::PlannerInput in;
+  in.n = n;
+  in.g = g;
+  in.elem_bytes = 4;
+  return in;
+}
+}  // namespace
+
+TEST(Planner, SmallSingleProblemStaysOnOneGpu) {
+  auto cluster = mt::tsubame_kfc_cluster(1);
+  const auto c = mc::choose_proposal(cluster, shape(1 << 20, 1));
+  EXPECT_EQ(c.proposal, mc::Proposal::kSingleGpu);
+  EXPECT_EQ(c.w, 1);
+  EXPECT_FALSE(c.rationale.empty());
+}
+
+TEST(Planner, LargeSingleProblemScattersOverOneNetwork) {
+  auto cluster = mt::tsubame_kfc_cluster(1);
+  // ~4 GiB of payload: fits one K80 but big enough to benefit from MPS.
+  const auto c = mc::choose_proposal(cluster, shape(std::int64_t{1} << 29, 1));
+  EXPECT_EQ(c.proposal, mc::Proposal::kMps);
+  EXPECT_EQ(c.v, 4);
+  EXPECT_EQ(c.y, 1);
+}
+
+TEST(Planner, BatchPrefersMppc) {
+  auto cluster = mt::tsubame_kfc_cluster(1);
+  const auto c = mc::choose_proposal(cluster, shape(1 << 24, 16));
+  EXPECT_EQ(c.proposal, mc::Proposal::kMppc);
+  EXPECT_GE(c.v, 2);
+  EXPECT_EQ(c.y, 2);  // both networks busy with problems
+}
+
+TEST(Planner, ProblemSpanningNetworksUsesMps) {
+  auto cluster = mt::tsubame_kfc_cluster(1);
+  // One problem needing more than one network's memory (4 x ~10.8 GiB):
+  // 2*N*4 bytes > 4*usable -> N > ~5.4G elements.
+  const auto c =
+      mc::choose_proposal(cluster, shape(std::int64_t{6} << 30, 1));
+  EXPECT_EQ(c.proposal, mc::Proposal::kMps);
+  EXPECT_EQ(c.w, 8);
+  EXPECT_EQ(c.m, 1);  // node count minimized (MPI overhead)
+}
+
+TEST(Planner, ProblemSpanningNodesGoesMultiNode) {
+  auto cluster = mt::tsubame_kfc_cluster(4);
+  // One problem bigger than a node's 8 GPUs can hold.
+  const auto c =
+      mc::choose_proposal(cluster, shape(std::int64_t{12} << 30, 1));
+  EXPECT_EQ(c.proposal, mc::Proposal::kMultiNode);
+  EXPECT_GE(c.m, 2);
+  EXPECT_EQ(c.w, 8);
+}
+
+TEST(Planner, RejectsImpossibleBatch) {
+  auto cluster = mt::tsubame_kfc_cluster(1);
+  EXPECT_THROW(
+      mc::choose_proposal(cluster, shape(std::int64_t{40} << 30, 100)),
+      mgs::util::Error);
+  EXPECT_THROW(mc::choose_proposal(cluster, shape(0, 1)), mgs::util::Error);
+}
+
+TEST(Planner, ProposalNames) {
+  EXPECT_STREQ(mc::to_string(mc::Proposal::kSingleGpu), "Scan-SP");
+  EXPECT_STREQ(mc::to_string(mc::Proposal::kMps), "Scan-MPS");
+  EXPECT_STREQ(mc::to_string(mc::Proposal::kMppc), "Scan-MP-PC");
+}

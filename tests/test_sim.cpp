@@ -1,0 +1,195 @@
+// Unit tests for mgs/sim: device specs, the occupancy calculator (which
+// must reproduce the paper's Table 3 exactly), the kernel cost model and
+// the timeline/breakdown bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "mgs/sim/cost_model.hpp"
+#include "mgs/sim/device_spec.hpp"
+#include "mgs/sim/occupancy.hpp"
+#include "mgs/sim/timeline.hpp"
+#include "mgs/util/check.hpp"
+
+namespace ms = mgs::sim;
+
+TEST(DeviceSpec, Presets) {
+  const auto k80 = ms::k80_spec();
+  EXPECT_EQ(k80.cc_major, 3);
+  EXPECT_EQ(k80.cc_minor, 7);
+  EXPECT_EQ(k80.max_blocks_per_sm, 16);
+  EXPECT_EQ(k80.max_warps_per_sm, 64);
+  const auto mx = ms::maxwell_spec();
+  EXPECT_EQ(mx.max_blocks_per_sm, 32);  // the paper's Maxwell remark
+  EXPECT_EQ(ms::spec_by_name("k80").name, k80.name);
+  EXPECT_EQ(ms::spec_by_name("pascal").cc_major, 6);
+  EXPECT_THROW(ms::spec_by_name("volta"), mgs::util::Error);
+}
+
+// --- Table 3 of the paper, row by row (cc 3.7) -------------------------
+// | warps/block | regs | smem  | occupancy | blocks/SM |
+// |      1      | 256* | 7168  |    25%    |    16     |  (*255 = cc3.7 cap,
+// |      2      | 128  | 7168  |    50%    |    16     |   allocates as 256)
+// |      4      |  64  | 7168  |   100%    |    16     |
+// |      8      |  64  | 14336 |   100%    |     8     |
+// |     16      |  64  | 28672 |   100%    |     4     |
+// |     32      |  64  | 49152 |   100%    |     2     |
+struct Table3Row {
+  int warps;
+  int regs;
+  int smem;
+  double occupancy;
+  int blocks;
+};
+
+class Table3Test : public ::testing::TestWithParam<Table3Row> {};
+
+TEST_P(Table3Test, MatchesPaper) {
+  const auto row = GetParam();
+  const auto spec = ms::k80_spec();
+  const auto r =
+      ms::occupancy(spec, row.warps * spec.warp_size, row.regs, row.smem);
+  EXPECT_EQ(r.blocks_per_sm, row.blocks) << "warps/block=" << row.warps;
+  EXPECT_DOUBLE_EQ(r.warp_occupancy, row.occupancy)
+      << "warps/block=" << row.warps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable3, Table3Test,
+    ::testing::Values(Table3Row{1, 255, 7168, 0.25, 16},
+                      Table3Row{2, 128, 7168, 0.50, 16},
+                      Table3Row{4, 64, 7168, 1.00, 16},
+                      Table3Row{8, 64, 14336, 1.00, 8},
+                      Table3Row{16, 64, 28672, 1.00, 4},
+                      Table3Row{32, 64, 49152, 1.00, 2}));
+
+TEST(Occupancy, LimiterIdentification) {
+  const auto spec = ms::k80_spec();
+  // 4 warps, tiny resources -> architectural block limit.
+  auto r = ms::occupancy(spec, 128, 16, 0);
+  EXPECT_EQ(r.limiter, ms::OccupancyLimiter::kBlocks);
+  EXPECT_EQ(r.blocks_per_sm, 16);
+  // Large shared memory -> shared-memory limited.
+  r = ms::occupancy(spec, 128, 16, 28672);
+  EXPECT_EQ(r.limiter, ms::OccupancyLimiter::kSharedMem);
+  EXPECT_EQ(r.blocks_per_sm, 4);
+  // Heavy registers -> register limited.
+  r = ms::occupancy(spec, 256, 200, 0);
+  EXPECT_EQ(r.limiter, ms::OccupancyLimiter::kRegisters);
+  // One-warp blocks at max block count -> warp limit never binds before
+  // the block limit on cc 3.7 (64 warps / 1 warp = 64 > 16 blocks).
+  r = ms::occupancy(spec, 32, 16, 0);
+  EXPECT_EQ(r.limiter, ms::OccupancyLimiter::kBlocks);
+}
+
+TEST(Occupancy, RejectsImpossibleBlocks) {
+  const auto spec = ms::k80_spec();
+  EXPECT_THROW(ms::occupancy(spec, 2048, 32, 0), mgs::util::Error);
+  EXPECT_THROW(ms::occupancy(spec, 128, 0, 0), mgs::util::Error);
+  EXPECT_THROW(ms::occupancy(spec, 128, 32, 1 << 20), mgs::util::Error);
+}
+
+TEST(CostModel, MemoryBoundStreamingKernel) {
+  const auto spec = ms::k80_spec();
+  ms::KernelStats st;
+  st.blocks = 4096;
+  st.threads_per_block = 128;
+  st.regs_per_thread = 64;
+  st.smem_per_block = 16;
+  st.bytes_read = 512ull << 20;
+  st.bytes_written = 512ull << 20;
+  st.mem_transactions = (st.bytes_read + st.bytes_written) / 32;
+  st.alu_ops = 1000;  // negligible
+  const auto t = ms::kernel_time(spec, st);
+  EXPECT_GT(t.mem_seconds, t.alu_seconds);
+  EXPECT_DOUBLE_EQ(t.coalescing, 1.0);
+  EXPECT_DOUBLE_EQ(t.concurrency, 1.0);
+  // Effective bandwidth ~ peak * base efficiency at full concurrency
+  // (slightly below: one DRAM latency is amortized over the transfer).
+  const double ideal = spec.peak_bandwidth_bps() * spec.mem_efficiency_base;
+  EXPECT_LT(t.effective_bandwidth_bps, ideal);
+  EXPECT_GT(t.effective_bandwidth_bps, 0.99 * ideal);
+}
+
+TEST(CostModel, PoorCoalescingSlowsKernel) {
+  const auto spec = ms::k80_spec();
+  ms::KernelStats st;
+  st.blocks = 4096;
+  st.threads_per_block = 128;
+  st.regs_per_thread = 64;
+  st.bytes_read = 64ull << 20;
+  st.mem_transactions = st.bytes_read / 4;  // one 32B txn per 4B element
+  const auto bad = ms::kernel_time(spec, st);
+  st.mem_transactions = st.bytes_read / 32;  // perfectly coalesced
+  const auto good = ms::kernel_time(spec, st);
+  EXPECT_NEAR(bad.mem_seconds / good.mem_seconds, 8.0, 0.05);
+}
+
+TEST(CostModel, SmallGridUnderutilizes) {
+  const auto spec = ms::k80_spec();
+  ms::KernelStats st;
+  st.threads_per_block = 128;
+  st.regs_per_thread = 64;
+  st.bytes_read = 1 << 20;
+  st.mem_transactions = st.bytes_read / 32;
+  st.blocks = 2;  // far too few blocks to fill 13 SMs
+  const auto small = ms::kernel_time(spec, st);
+  st.blocks = 4096;
+  const auto big = ms::kernel_time(spec, st);
+  EXPECT_LT(small.concurrency, 0.1);
+  EXPECT_GT(small.mem_seconds, big.mem_seconds * 5);
+}
+
+TEST(CostModel, AluBoundKernel) {
+  const auto spec = ms::k80_spec();
+  ms::KernelStats st;
+  st.blocks = 4096;
+  st.threads_per_block = 128;
+  st.regs_per_thread = 64;
+  st.bytes_read = 1024;
+  st.mem_transactions = 32;
+  st.alu_ops = 1ull << 34;
+  const auto t = ms::kernel_time(spec, st);
+  EXPECT_GT(t.alu_seconds, t.mem_seconds);
+  EXPECT_DOUBLE_EQ(t.seconds, t.overhead_seconds + t.alu_seconds);
+}
+
+TEST(CostModel, LaunchOverheadAlwaysPaid) {
+  const auto spec = ms::k80_spec();
+  ms::KernelStats st;
+  st.blocks = 1;
+  st.threads_per_block = 32;
+  st.regs_per_thread = 16;
+  const auto t = ms::kernel_time(spec, st);
+  EXPECT_DOUBLE_EQ(t.overhead_seconds, spec.kernel_launch_overhead_us * 1e-6);
+  EXPECT_GE(t.seconds, t.overhead_seconds);
+}
+
+TEST(Timeline, ClockAdvancesAndSyncs) {
+  ms::Clock a, b;
+  a.advance(1.0);
+  b.advance(0.5);
+  EXPECT_DOUBLE_EQ(ms::max_now({&a, &b}), 1.0);
+  ms::sync_group({&a, &b});
+  EXPECT_DOUBLE_EQ(b.now(), 1.0);
+  b.sync_to(0.1);  // backwards sync is a no-op
+  EXPECT_DOUBLE_EQ(b.now(), 1.0);
+}
+
+TEST(Timeline, BreakdownAccumulatesInOrder) {
+  ms::Breakdown bd;
+  bd.add("Stage1", 1.0);
+  bd.add("Stage2", 0.5);
+  bd.add("Stage1", 0.25);
+  EXPECT_DOUBLE_EQ(bd.total(), 1.75);
+  EXPECT_DOUBLE_EQ(bd.get("Stage1"), 1.25);
+  EXPECT_DOUBLE_EQ(bd.get("missing"), 0.0);
+  ASSERT_EQ(bd.entries().size(), 2u);
+  EXPECT_EQ(bd.entries()[0].first, "Stage1");  // insertion order kept
+
+  ms::Breakdown other;
+  other.add("Stage2", 0.5);
+  other.add("MPI_Gather", 2.0);
+  bd.merge(other);
+  EXPECT_DOUBLE_EQ(bd.get("Stage2"), 1.0);
+  EXPECT_DOUBLE_EQ(bd.get("MPI_Gather"), 2.0);
+}

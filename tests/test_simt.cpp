@@ -1,0 +1,298 @@
+// Unit tests for mgs/simt: warp shuffles and scans, instrumented device
+// buffers (bytes/transaction accounting), the thread pool's ordered
+// dispatch, and the kernel launcher.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "mgs/core/op.hpp"
+#include "mgs/simt/device.hpp"
+#include "mgs/simt/launch.hpp"
+#include "mgs/simt/thread_pool.hpp"
+#include "mgs/simt/warp.hpp"
+
+namespace st = mgs::simt;
+using mgs::core::Plus;
+
+namespace {
+st::Device make_device() { return st::Device(0, mgs::sim::k80_spec()); }
+}  // namespace
+
+TEST(Warp, ShflUpSemantics) {
+  st::WarpReg<int> x;
+  for (int l = 0; l < st::kWarpSize; ++l) x[l] = l;
+  mgs::sim::KernelStats stats;
+  const auto y = st::shfl_up(x, 4, stats);
+  for (int l = 0; l < st::kWarpSize; ++l) {
+    EXPECT_EQ(y[l], l < 4 ? l : l - 4);
+  }
+  EXPECT_EQ(stats.alu_ops, 32u);
+  EXPECT_EQ(st::shfl_idx(x, 7, stats), 7);
+}
+
+TEST(Warp, InclusiveScanMatchesSerial) {
+  st::WarpReg<int> x;
+  for (int l = 0; l < st::kWarpSize; ++l) x[l] = l + 1;
+  mgs::sim::KernelStats stats;
+  st::warp_scan_inclusive(x, Plus<int>{}, stats);
+  int acc = 0;
+  for (int l = 0; l < st::kWarpSize; ++l) {
+    acc += l + 1;
+    EXPECT_EQ(x[l], acc);
+  }
+  // 5 shuffle steps: each is a shfl (32 ops) plus a predicated op (32).
+  EXPECT_EQ(stats.alu_ops, 5u * 64u);
+}
+
+TEST(Warp, ExclusiveScanMatchesSerial) {
+  st::WarpReg<int> x;
+  for (int l = 0; l < st::kWarpSize; ++l) x[l] = 2 * l + 1;
+  mgs::sim::KernelStats stats;
+  st::warp_scan_exclusive(x, Plus<int>{}, stats);
+  int acc = 0;
+  for (int l = 0; l < st::kWarpSize; ++l) {
+    EXPECT_EQ(x[l], acc);
+    acc += 2 * l + 1;
+  }
+}
+
+TEST(Warp, ReduceAndThreadScan) {
+  st::WarpReg<int> x;
+  x.fill(3);
+  mgs::sim::KernelStats stats;
+  EXPECT_EQ(st::warp_reduce(x, Plus<int>{}, stats), 96);
+
+  int v[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(st::thread_scan_inclusive(v, 8, Plus<int>{}, stats), 36);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[7], 36);
+  st::thread_add_prefix(v, 8, 100, Plus<int>{}, stats);
+  EXPECT_EQ(v[0], 101);
+  EXPECT_EQ(v[7], 136);
+}
+
+TEST(DeviceBuffer, AllocationBudgetIsRaii) {
+  st::Device dev = make_device();
+  EXPECT_EQ(dev.allocated_bytes(), 0);
+  {
+    auto buf = dev.alloc<int>(1000);
+    EXPECT_EQ(dev.allocated_bytes(), 4000);
+    auto copy = buf;  // shared handle, no double count
+    EXPECT_EQ(dev.allocated_bytes(), 4000);
+  }
+  EXPECT_EQ(dev.allocated_bytes(), 0);
+}
+
+TEST(DeviceBuffer, OutOfMemoryThrows) {
+  st::Device dev = make_device();
+  // 12 GB device: a 4 G-element int64 buffer (32 GB) cannot fit.
+  EXPECT_THROW(dev.alloc<std::int64_t>(std::int64_t{4} << 30),
+               mgs::util::Error);
+}
+
+TEST(GlobalView, TransactionAccounting) {
+  st::Device dev = make_device();
+  auto buf = dev.alloc<int>(4096);
+  auto view = buf.view();
+  mgs::sim::KernelStats stats;
+
+  (void)view.load(0, stats);  // scalar: whole 32B transaction for 4 bytes
+  EXPECT_EQ(stats.bytes_read, 4u);
+  EXPECT_EQ(stats.mem_transactions, 1u);
+
+  stats = {};
+  (void)view.load_warp(0, stats);  // 32 x 4B contiguous = 4 txns
+  EXPECT_EQ(stats.bytes_read, 128u);
+  EXPECT_EQ(stats.mem_transactions, 4u);
+
+  stats = {};
+  (void)view.load4_warp(0, stats);  // 32 x 16B contiguous = 16 txns
+  EXPECT_EQ(stats.bytes_read, 512u);
+  EXPECT_EQ(stats.mem_transactions, 16u);
+
+  stats = {};
+  st::WarpReg<int> r{};
+  view.store_warp_partial(0, 7, r, stats);  // 28 bytes -> 1 txn
+  EXPECT_EQ(stats.bytes_written, 28u);
+  EXPECT_EQ(stats.mem_transactions, 1u);
+}
+
+TEST(GlobalView, RoundTripAndBounds) {
+  st::Device dev = make_device();
+  auto buf = dev.alloc<int>(256);
+  auto view = buf.view();
+  mgs::sim::KernelStats stats;
+  view.store4(8, {1, 2, 3, 4}, stats);
+  const auto v = view.load4(8, stats);
+  EXPECT_EQ(v.y, 2);
+  EXPECT_EQ(buf.host_span()[11], 4);
+  EXPECT_DEATH((void)view.load(256, stats), "out of bounds");
+}
+
+TEST(GlobalView, AtomicsWork) {
+  st::Device dev = make_device();
+  auto buf = dev.alloc<int>(8);
+  auto view = buf.view();
+  mgs::sim::KernelStats stats;
+  view.atomic_store(3, 41, stats);
+  EXPECT_EQ(view.atomic_add(3, 1, stats), 41);
+  EXPECT_EQ(view.atomic_load(3, stats), 42);
+  EXPECT_EQ(view.atomic_peek(3), 42);
+}
+
+TEST(ThreadPool, RunsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  st::ThreadPool::instance().run_ordered(1000, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RapidJobTurnoverNeverDoubleExecutes) {
+  // Regression test for a job-handoff race: a worker waking late from
+  // job A must not claim indices against job B's counters (which could
+  // double-execute a block, hang the completion wait, or call a dangling
+  // callback). Hammer the pool with many small back-to-back jobs and
+  // check every index ran exactly once.
+  auto& pool = st::ThreadPool::instance();
+  for (int round = 0; round < 2000; ++round) {
+    const std::int64_t n = 1 + round % 7;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    pool.run_ordered(n, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "round=" << round << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, OrderedClaimAllowsBackwardWaits) {
+  // Block i waits for block i-1's flag: must terminate at any pool size
+  // thanks to ascending-claim dispatch.
+  std::vector<std::atomic<int>> done(64);
+  st::ThreadPool::instance().run_ordered(64, [&](std::int64_t i) {
+    if (i > 0) {
+      while (done[static_cast<std::size_t>(i - 1)].load() == 0) {
+        std::this_thread::yield();
+      }
+    }
+    done[static_cast<std::size_t>(i)].store(1);
+  });
+  EXPECT_EQ(done[63].load(), 1);
+}
+
+TEST(Launch, GridIndexingAndClock) {
+  st::Device dev = make_device();
+  auto buf = dev.alloc<int>(6 * 4);
+  auto view = buf.view();
+  st::LaunchConfig cfg;
+  cfg.name = "index_writer";
+  cfg.grid = {6, 4, 1};
+  cfg.block = {32, 1, 1};
+  cfg.regs_per_thread = 16;
+  const double before = dev.clock().now();
+  const auto t = st::launch(dev, cfg, [&](st::BlockCtx& ctx) {
+    view.store(ctx.block_idx().y * 6 + ctx.block_idx().x,
+               ctx.block_idx().y * 100 + ctx.block_idx().x, ctx.stats());
+  });
+  EXPECT_GT(t.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(dev.clock().now(), before + t.seconds);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 6; ++x) {
+      EXPECT_EQ(buf.host_span()[static_cast<std::size_t>(y * 6 + x)],
+                y * 100 + x);
+    }
+  }
+}
+
+TEST(Launch, SharedMemoryBudgetEnforced) {
+  st::Device dev = make_device();
+  st::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {32, 1, 1};
+  cfg.smem_per_block = 64;
+  EXPECT_DEATH(st::launch(dev, cfg,
+                          [&](st::BlockCtx& ctx) {
+                            (void)ctx.shared<int>(100);  // 400 B > 64 B
+                          }),
+               "shared memory");
+}
+
+TEST(Launch, ValidatesConfig) {
+  st::Device dev = make_device();
+  st::LaunchConfig cfg;
+  cfg.grid = {0, 1, 1};
+  cfg.block = {32, 1, 1};
+  EXPECT_THROW(st::launch(dev, cfg, [](st::BlockCtx&) {}), mgs::util::Error);
+  cfg.grid = {1, 1, 1};
+  cfg.block = {2048, 1, 1};
+  EXPECT_THROW(st::launch(dev, cfg, [](st::BlockCtx&) {}), mgs::util::Error);
+  cfg.block = {128, 1, 1};
+  cfg.smem_per_block = 1 << 20;
+  EXPECT_THROW(st::launch(dev, cfg, [](st::BlockCtx&) {}), mgs::util::Error);
+}
+
+TEST(Launch, ThreeDimensionalGrid) {
+  st::Device dev = make_device();
+  auto buf = dev.alloc<int>(2 * 3 * 4);
+  auto view = buf.view();
+  st::LaunchConfig cfg;
+  cfg.grid = {2, 3, 4};
+  cfg.block = {32, 1, 1};
+  st::launch(dev, cfg, [&](st::BlockCtx& ctx) {
+    const auto idx = ctx.block_idx();
+    view.store((idx.z * 3 + idx.y) * 2 + idx.x,
+               100 * idx.z + 10 * idx.y + idx.x, ctx.stats());
+  });
+  for (int z = 0; z < 4; ++z) {
+    for (int y = 0; y < 3; ++y) {
+      for (int x = 0; x < 2; ++x) {
+        EXPECT_EQ(buf.host_span()[static_cast<std::size_t>((z * 3 + y) * 2 + x)],
+                  100 * z + 10 * y + x);
+      }
+    }
+  }
+}
+
+TEST(Launch, SharedMemoryMixedTypesAligned) {
+  st::Device dev = make_device();
+  st::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {32, 1, 1};
+  cfg.smem_per_block = 256;
+  st::launch(dev, cfg, [&](st::BlockCtx& ctx) {
+    auto bytes = ctx.shared<std::uint8_t>(3);  // misaligns the bump pointer
+    auto doubles = ctx.shared<double>(8);      // must come back aligned
+    bytes[0] = 1;
+    doubles[0] = 2.5;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(doubles.data()) %
+                  alignof(double),
+              0u);
+  });
+}
+
+TEST(Launch, DeterministicModeledTime) {
+  st::Device dev = make_device();
+  auto buf = dev.alloc<int>(1 << 16);
+  auto view = buf.view();
+  st::LaunchConfig cfg;
+  cfg.grid = {64, 1, 1};
+  cfg.block = {128, 1, 1};
+  auto body = [&](st::BlockCtx& ctx) {
+    const std::int64_t base = static_cast<std::int64_t>(ctx.block_idx().x)
+                              << 10;
+    for (std::int64_t i = 0; i < 1024; i += 32) {
+      auto r = view.load_warp(base + i, ctx.stats());
+      for (int l = 0; l < st::kWarpSize; ++l) r[l] += 1;
+      view.store_warp(base + i, r, ctx.stats());
+    }
+  };
+  const auto t1 = st::launch(dev, cfg, body);
+  const auto t2 = st::launch(dev, cfg, body);
+  EXPECT_DOUBLE_EQ(t1.seconds, t2.seconds);  // same stats, same model time
+}

@@ -1,0 +1,145 @@
+// Unit tests for mgs/util: math helpers, RNG determinism, stats, tables,
+// CLI parsing and error handling.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mgs/util/check.hpp"
+#include "mgs/util/cli.hpp"
+#include "mgs/util/math.hpp"
+#include "mgs/util/random.hpp"
+#include "mgs/util/stats.hpp"
+#include "mgs/util/table.hpp"
+
+namespace mu = mgs::util;
+
+TEST(Math, Pow2Family) {
+  EXPECT_TRUE(mu::is_pow2(1));
+  EXPECT_TRUE(mu::is_pow2(1024));
+  EXPECT_FALSE(mu::is_pow2(0));
+  EXPECT_FALSE(mu::is_pow2(3));
+  EXPECT_EQ(mu::ilog2(1), 0);
+  EXPECT_EQ(mu::ilog2(1024), 10);
+  EXPECT_EQ(mu::ilog2(1025), 10);
+  EXPECT_EQ(mu::pow2(20), 1u << 20);
+}
+
+TEST(Math, DivRound) {
+  EXPECT_EQ(mu::div_up(10, 3), 4u);
+  EXPECT_EQ(mu::div_up(9, 3), 3u);
+  EXPECT_EQ(mu::round_up(10, 8), 16u);
+  EXPECT_EQ(mu::round_up(16, 8), 16u);
+  EXPECT_EQ(mu::floor_pow2(1000), 512u);
+  EXPECT_EQ(mu::ceil_pow2(1000), 1024u);
+  EXPECT_EQ(mu::ceil_pow2(1024), 1024u);
+}
+
+TEST(Random, DeterministicAcrossCalls) {
+  const auto a = mu::random_i32(1000, 42);
+  const auto b = mu::random_i32(1000, 42);
+  EXPECT_EQ(a, b);
+  const auto c = mu::random_i32(1000, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(Random, RespectsRange) {
+  const auto v = mu::random_i32(10000, 7, -5, 5);
+  for (auto x : v) {
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+  const auto f = mu::random_f32(10000, 7, 0.0f, 1.0f);
+  for (auto x : f) {
+    EXPECT_GE(x, 0.0f);
+    EXPECT_LT(x, 1.0f);
+  }
+}
+
+TEST(Random, I64Range) {
+  const auto v = mu::random_i64(1000, 11, -3, 3);
+  bool saw_neg = false, saw_pos = false;
+  for (auto x : v) {
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_neg |= x < 0;
+    saw_pos |= x > 0;
+  }
+  EXPECT_TRUE(saw_neg);
+  EXPECT_TRUE(saw_pos);
+}
+
+TEST(Stats, MeanGeomeanMinMax) {
+  const double xs[] = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mu::mean(xs), 7.0 / 3.0);
+  EXPECT_NEAR(mu::geomean(xs), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mu::min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(mu::max_of(xs), 4.0);
+  EXPECT_DOUBLE_EQ(mu::median(xs), 2.0);
+  const double even[] = {1.0, 2.0, 3.0, 10.0};
+  EXPECT_DOUBLE_EQ(mu::median(even), 2.5);
+}
+
+TEST(Stats, RunningMean) {
+  mu::RunningMean m;
+  m.add(2.0);
+  m.add(4.0);
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_DOUBLE_EQ(m.value(), 3.0);
+}
+
+TEST(Table, AlignedOutputAndCsv) {
+  mu::Table t({"n", "GB/s"});
+  t.add_row({"13", "1.5"});
+  t.add_row({"28", "123.4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("GB/s"), std::string::npos);
+  EXPECT_NE(s.find("123.4"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "n,GB/s\n13,1.5\n28,123.4\n");
+}
+
+TEST(Table, RowWidthMismatchAborts) {
+  mu::Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(TableFormat, Helpers) {
+  EXPECT_EQ(mu::fmt_gbps(2.5e9), "2.50 GB/s");
+  EXPECT_EQ(mu::fmt_speedup(12.345), "12.35x");
+  EXPECT_EQ(mu::fmt_time_us(1.5e-6), "1.50 us");
+  EXPECT_EQ(mu::fmt_time_us(2.5e-3), "2.500 ms");
+  EXPECT_EQ(mu::fmt_bytes(1024), "1.00 KiB");
+}
+
+TEST(Cli, ParsesBothSyntaxes) {
+  const char* argv[] = {"prog", "--n", "28", "--mode=fast", "--flag"};
+  mu::Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 28);
+  EXPECT_EQ(cli.get_string("mode", ""), "fast");
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get_int("absent", -1), -1);
+}
+
+TEST(Cli, RejectsMalformedValues) {
+  const char* argv[] = {"prog", "--n", "abc"};
+  mu::Cli cli(3, const_cast<char**>(argv));
+  EXPECT_THROW(cli.get_int("n", 0), mu::Error);
+  EXPECT_THROW(cli.get_bool("n", false), mu::Error);
+}
+
+TEST(Cli, UnknownFlagDetection) {
+  const char* argv[] = {"prog", "--typo", "1"};
+  mu::Cli cli(3, const_cast<char**>(argv));
+  cli.describe("n", "problem size");
+  EXPECT_THROW(cli.reject_unknown(), mu::Error);
+}
+
+TEST(Check, RequireThrowsCheckAborts) {
+  EXPECT_THROW(MGS_REQUIRE(false, "bad config"), mu::Error);
+  EXPECT_NO_THROW(MGS_REQUIRE(true, "ok"));
+  EXPECT_DEATH(MGS_CHECK(false, "invariant"), "MGS_CHECK failed");
+}
