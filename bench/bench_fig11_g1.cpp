@@ -27,6 +27,10 @@ int main(int argc, char** argv) {
   util::Table table({"n", "Ours(best W)", "(W)", "Scan-SP", "CUDPP", "Thrust",
                      "ModernGPU", "CUB", "LightScan"});
 
+  // Shared context for the sweep: per-(proposal, W) executors with a
+  // common plan cache and workspace pool (the unified API).
+  bench::BenchContext bc(1);
+
   std::vector<std::vector<double>> speedups(libs.size());
   for (int nlog = cfg.min_n_log2; nlog <= cfg.total_log2; ++nlog) {
     const std::int64_t n = std::int64_t{1} << nlog;
@@ -38,15 +42,13 @@ int main(int argc, char** argv) {
     int best_w = 2;
     for (int w : {2, 4, 8}) {
       if (n % w != 0) continue;
-      const auto plan = bench::tuned_plan_multi(n / w, 1, w);
-      const double s = bench::mps_run(w, data, n, 1, plan).seconds;
+      const double s = bc.run("Scan-MPS", {.w = w}, data, n, 1).seconds;
       if (s < best_ours) {
         best_ours = s;
         best_w = w;
       }
     }
-    const auto sp_plan = bench::tuned_plan(n, 1, 1);
-    const double sp = bench::sp_run(data, n, 1, sp_plan).seconds;
+    const double sp = bc.run("Scan-SP", {}, data, n, 1).seconds;
 
     std::vector<std::string> row = {
         std::to_string(nlog), util::fmt_double(bench::gbps(n, best_ours), 2),

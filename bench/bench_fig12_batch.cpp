@@ -31,6 +31,10 @@ int main(int argc, char** argv) {
   util::Table table({"n", "G", "Scan-MP-PC", "Scan-SP", "CUDPP", "Thrust",
                      "ModernGPU", "CUB", "LightScan"});
 
+  // Shared context for the sweep (unified API): the MP-PC and Scan-SP
+  // executors keep their plans and pooled workspaces across points.
+  bench::BenchContext bc(1);
+
   std::vector<std::vector<double>> speedups(libs.size());
   std::vector<int> nlogs;
   for (int nlog = cfg.min_n_log2; nlog <= cfg.total_log2; ++nlog) {
@@ -41,10 +45,9 @@ int main(int argc, char** argv) {
     // Our best proposal: MP-PC with V=4 over both networks while G >= 2,
     // falling back to one network at G = 1 (the paper's n=28 dip).
     const int y = g >= 2 ? 2 : 1;
-    const auto plan = bench::tuned_plan_multi(n / 4, g / y + (g % y != 0), 4);
-    const double ours = bench::mppc_run(y, 4, data, n, g, plan).seconds;
-    const auto sp_plan = bench::tuned_plan(n, g, 1);
-    const double sp = bench::sp_run(data, n, g, sp_plan).seconds;
+    const double ours =
+        bc.run("Scan-MP-PC", {.y = y, .v = 4}, data, n, g).seconds;
+    const double sp = bc.run("Scan-SP", {}, data, n, g).seconds;
 
     std::vector<std::string> row = {
         std::to_string(nlog), std::to_string(g),

@@ -23,6 +23,11 @@ int main(int argc, char** argv) {
   std::printf("Figure 9 reproduction -- Scan-MPS, G = 2^%d / N, GB/s\n",
               cfg.total_log2);
 
+  // One cluster + context for the whole sweep: every (W) keeps its
+  // executor, the plan cache carries across points and the workspace pool
+  // eliminates per-point allocations (the unified-API calling convention).
+  bench::BenchContext bc(1);
+
   util::Table table({"n", "G", "W=1", "W=2", "W=4", "W=8"});
   std::vector<double> w8_over_w4;
   for (int nlog = cfg.min_n_log2; nlog <= cfg.total_log2; ++nlog) {
@@ -35,8 +40,7 @@ int main(int argc, char** argv) {
         row.push_back("-");
         continue;
       }
-      const auto plan = w == 1 ? bench::tuned_plan(n, g, 1) : bench::tuned_plan_multi(n / w, g, w);
-      const auto r = bench::mps_run(w, data, n, g, plan);
+      const auto r = bc.run("Scan-MPS", {.w = w}, data, n, g);
       row.push_back(util::fmt_double(bench::gbps(total, r.seconds), 2));
       if (w == 4) t4 = r.seconds;
       if (w == 8 && t4 > 0.0) w8_over_w4.push_back(t4 / r.seconds);

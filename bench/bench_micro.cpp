@@ -1,11 +1,19 @@
 /// bench_micro: google-benchmark microbenchmarks of the substrate and the
-/// skeletons. These measure *host wall-clock* of the functional simulator
-/// (useful for keeping the simulator itself fast); the figure harnesses
-/// report *simulated* device time. Custom counters expose the simulated
-/// throughput per iteration.
+/// skeletons, plus the repeated-invocation comparison between the legacy
+/// per-call convention (re-tune + re-allocate every call) and the
+/// ScanContext/ScanExecutor convention (plan cache + workspace pool).
+/// These measure *host wall-clock* of the functional simulator (useful
+/// for keeping the simulator itself fast); the figure harnesses report
+/// *simulated* device time. The repeated-invocation results are also
+/// written to bench_results/bench_micro.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "common.hpp"
 #include "mgs/baselines/cub.hpp"
 #include "mgs/core/scan_sp.hpp"
 #include "mgs/core/tuning.hpp"
@@ -95,6 +103,173 @@ void BM_LaunchOverheadHost(benchmark::State& state) {
 }
 BENCHMARK(BM_LaunchOverheadHost);
 
+// ------------------------------------------------------------------------
+// Repeated-invocation comparison: the unified-API acceptance measurement.
+// Call the same scan `kIters` times; the per-call path re-derives its plan
+// and re-allocates buffers every time (the pre-refactor convention), the
+// context path prepares once and reuses plan + pooled workspaces.
+
+constexpr int kIters = 6;
+
+struct PathTiming {
+  double first_ms = 0.0;
+  double mean_subsequent_ms = 0.0;
+  double amortized_gbps = 0.0;  ///< payload / mean subsequent host second
+};
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+PathTiming time_calls(const std::function<void()>& call,
+                      std::uint64_t payload_bytes) {
+  PathTiming t;
+  double sum_rest = 0.0;
+  for (int i = 0; i < kIters; ++i) {
+    const double t0 = now_ms();
+    call();
+    const double ms = now_ms() - t0;
+    if (i == 0) {
+      t.first_ms = ms;
+    } else {
+      sum_rest += ms;
+    }
+  }
+  t.mean_subsequent_ms = sum_rest / (kIters - 1);
+  t.amortized_gbps =
+      static_cast<double>(payload_bytes) / (t.mean_subsequent_ms / 1e3) / 1e9;
+  return t;
+}
+
+struct RepeatedCase {
+  std::string name;
+  std::string executor;
+  mc::ExecutorParams params;
+  std::int64_t n = 0;
+  std::int64_t g = 0;
+  PathTiming per_call;
+  PathTiming context;
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t workspace_reuses = 0;
+  std::uint64_t device_allocations = 0;
+};
+
+RepeatedCase run_repeated_case(std::string name, std::string executor,
+                               mc::ExecutorParams params, std::int64_t n,
+                               std::int64_t g,
+                               std::span<const int> data) {
+  RepeatedCase c;
+  c.name = std::move(name);
+  c.executor = std::move(executor);
+  c.params = params;
+  c.n = n;
+  c.g = g;
+  const std::uint64_t payload =
+      2ull * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(g) *
+      sizeof(int);
+
+  // Legacy per-call convention: plan derivation + fresh device/cluster +
+  // allocations on every invocation.
+  if (c.executor == "Scan-SP") {
+    c.per_call = time_calls(
+        [&] {
+          const auto plan = mgs::bench::tuned_plan(n, g, 1);
+          mgs::bench::sp_run(data, n, g, plan);
+        },
+        payload);
+  } else {
+    c.per_call = time_calls(
+        [&] {
+          const auto plan =
+              mgs::bench::tuned_plan_multi(n / c.params.w, g, c.params.w);
+          mgs::bench::mps_run(c.params.w, data, n, g, plan);
+        },
+        payload);
+  }
+
+  // Unified-API convention: one context, executor prepared on first call.
+  mgs::bench::BenchContext bc(1);
+  c.context = time_calls(
+      [&] { bc.run(c.executor, c.params, data, n, g); }, payload);
+  c.plan_cache_hits = bc.ctx().plan_cache_hits();
+  c.workspace_reuses = bc.ctx().workspace().reuses();
+  c.device_allocations = bc.ctx().workspace().device_allocations();
+  return c;
+}
+
+void json_path(std::ostream& os, const char* key, const PathTiming& t) {
+  os << "    \"" << key << "\": {\"first_ms\": " << t.first_ms
+     << ", \"mean_subsequent_ms\": " << t.mean_subsequent_ms
+     << ", \"amortized_gbps\": " << t.amortized_gbps << "}";
+}
+
+void write_repeated_report(const std::vector<RepeatedCase>& cases) {
+  std::filesystem::create_directories("bench_results");
+  std::ofstream os("bench_results/bench_micro.json");
+  os << "{\n"
+     << "  \"bench\": \"bench_micro\",\n"
+     << "  \"units\": {\"time\": \"ms host wall-clock\", "
+        "\"throughput\": \"GB/s of scan payload per host second\"},\n"
+     << "  \"iterations\": " << kIters << ",\n"
+     << "  \"repeated_invocation\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    os << "  {\n"
+       << "    \"case\": \"" << c.name << "\",\n"
+       << "    \"executor\": \"" << c.executor << "\",\n"
+       << "    \"n\": " << c.n << ", \"g\": " << c.g << ",\n";
+    json_path(os, "per_call", c.per_call);
+    os << ",\n";
+    json_path(os, "context", c.context);
+    os << ",\n"
+       << "    \"context_plan_cache_hits\": " << c.plan_cache_hits << ",\n"
+       << "    \"context_workspace_reuses\": " << c.workspace_reuses << ",\n"
+       << "    \"context_device_allocations\": " << c.device_allocations
+       << ",\n"
+       << "    \"speedup_subsequent\": "
+       << c.per_call.mean_subsequent_ms / c.context.mean_subsequent_ms << "\n"
+       << "  }" << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+void report_repeated_invocation() {
+  const std::int64_t n = 1 << 20;
+  const std::int64_t g = 4;
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(n * g), 42);
+
+  std::vector<RepeatedCase> cases;
+  cases.push_back(run_repeated_case("scan_sp_repeated", "Scan-SP", {}, n, g,
+                                    data));
+  cases.push_back(run_repeated_case("scan_mps_w4_repeated", "Scan-MPS",
+                                    {.w = 4}, n, g, data));
+
+  std::printf(
+      "Repeated-invocation comparison (%d calls, n=2^20, g=4; host "
+      "wall-clock):\n",
+      kIters);
+  for (const auto& c : cases) {
+    std::printf(
+        "  %-22s per-call: first %7.1f ms, then %7.1f ms/call | "
+        "context: first %7.1f ms, then %7.1f ms/call | speedup %.2fx\n",
+        c.name.c_str(), c.per_call.first_ms, c.per_call.mean_subsequent_ms,
+        c.context.first_ms, c.context.mean_subsequent_ms,
+        c.per_call.mean_subsequent_ms / c.context.mean_subsequent_ms);
+  }
+  write_repeated_report(cases);
+  std::printf("  -> bench_results/bench_micro.json\n\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  report_repeated_invocation();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -228,5 +230,57 @@ inline core::ScanPlan tuned_plan_multinode(int m, int w,
 inline double gbps(std::int64_t elems, double seconds) {
   return 2.0 * static_cast<double>(elems) * 4.0 / seconds / 1e9;
 }
+
+/// Persistent harness state for the unified API: one cluster, one
+/// ScanContext (shared plan cache + workspace pool) and one executor per
+/// (proposal, placement) pair, reused across every data point of a sweep.
+/// This is the production calling convention the refactor introduces; the
+/// *_run free functions above are the legacy per-call convention and are
+/// kept for the harnesses that measure it.
+class BenchContext {
+ public:
+  explicit BenchContext(int nodes = 1)
+      : cluster_(topo::tsubame_kfc_cluster(nodes)), ctx_(cluster_) {}
+
+  core::ScanContext& ctx() { return ctx_; }
+
+  /// The cached executor for (name, params); created on first use.
+  core::ScanExecutor& executor(const std::string& name,
+                               const core::ExecutorParams& params = {}) {
+    const std::string key = name + "/d" + std::to_string(params.device) +
+                            "/w" + std::to_string(params.w) + "/y" +
+                            std::to_string(params.y) + "/v" +
+                            std::to_string(params.v) + "/m" +
+                            std::to_string(params.m);
+    auto it = executors_.find(key);
+    if (it == executors_.end()) {
+      it = executors_.emplace(key, core::make_executor(name, ctx_, params))
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// prepare + run through the cached executor (scratch output buffer).
+  core::RunResult run(const std::string& name,
+                      const core::ExecutorParams& params,
+                      std::span<const int> data, std::int64_t n,
+                      std::int64_t g,
+                      core::ScanKind kind = core::ScanKind::kInclusive) {
+    auto& ex = executor(name, params);
+    ex.prepare(n, g);
+    if (static_cast<std::int64_t>(out_.size()) < n * g) {
+      out_.resize(static_cast<std::size_t>(n * g));
+    }
+    return ex.run(data.first(static_cast<std::size_t>(n * g)),
+                  std::span<int>(out_).first(static_cast<std::size_t>(n * g)),
+                  kind);
+  }
+
+ private:
+  topo::Cluster cluster_;
+  core::ScanContext ctx_;
+  std::map<std::string, std::unique_ptr<core::ScanExecutor>> executors_;
+  std::vector<int> out_;
+};
 
 }  // namespace mgs::bench

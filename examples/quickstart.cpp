@@ -1,13 +1,16 @@
 /// quickstart: the smallest end-to-end use of the library.
 ///
 /// Builds the paper's test platform (one TSUBAME-KFC node, 8 simulated
-/// K80 GPUs on 2 PCIe networks), derives the tuned kernel parameters from
-/// the premises, asks the planner which proposal fits a batch of scans,
-/// runs it, and verifies the result against a serial reference.
+/// K80 GPUs on 2 PCIe networks), creates a ScanContext (plan cache +
+/// workspace pool), asks it for the executor the planner (Premise 4)
+/// selects for the problem shape, runs the batch scan twice -- showing
+/// that repeated invocations reuse the cached plan and pooled workspaces
+/// -- and verifies the result against a serial reference.
 ///
 ///   $ ./quickstart [--n 1048576] [--g 8]
 
 #include <cstdio>
+#include <vector>
 
 #include "mgs/baselines/reference.hpp"
 #include "mgs/core/api.hpp"
@@ -29,34 +32,33 @@ int main(int argc, char** argv) {
   const std::int64_t n = cli.get_int("n", 1 << 20);
   const std::int64_t g = cli.get_int("g", 8);
 
-  // 1. The machine: Table 1's node, simulated.
+  // 1. The machine: Table 1's node, simulated -- plus the context that
+  //    amortizes plans and workspaces across every scan it serves.
   topo::Cluster cluster = topo::tsubame_kfc_cluster(/*nodes=*/1);
-  std::printf("Platform: %d x %s, %d PCIe networks\n",
+  core::ScanContext ctx(cluster);
+  std::printf("Platform: %d x %s, %d PCIe networks\n\n",
               cluster.num_devices(), cluster.config().gpu.name.c_str(),
               cluster.config().networks_per_node);
 
-  // 2. Tuning: Premises 1-2 fix (s, p, l); the K search space comes from
-  //    Premise 3 (Equation 1).
-  const core::TuningChoice tuning = core::derive_spl(cluster.config().gpu, 4);
-  std::printf("Tuned plan: %s\n", tuning.plan.describe().c_str());
-  std::printf("Why: %s\n\n", tuning.rationale.c_str());
-
-  // 3. Planning: Premise 4 picks the proposal for this problem shape.
+  // 2. Planning: Premise 4 picks the proposal for this problem shape; the
+  //    context returns it as a ready-to-use executor.
   const core::PlannerChoice choice =
       core::choose_proposal(cluster, {n, g, sizeof(int)});
   std::printf("Planner: %s (M=%d, W=%d, V=%d, Y=%d)\n  %s\n\n",
               core::to_string(choice.proposal), choice.m, choice.w, choice.v,
               choice.y, choice.rationale.c_str());
+  auto executor = ctx.executor_for({n, g, sizeof(int)});
 
-  // 4. Run the batch scan (MP-PC here: every group stays on one PCIe
-  //    network, so all communication is peer-to-peer).
+  // 3. prepare() derives the tuned plan (Premises 1-3) once and leases
+  //    persistent staging from the workspace pool.
+  executor->prepare(n, g);
+  std::printf("Executor: %s\n\n", executor->describe().c_str());
+
+  // 4. Run the batch scan.
   const auto data = util::random_i32(static_cast<std::size_t>(n * g), 1);
-  auto plan = tuning.plan;
-  plan.s13.k = 4;
-  const auto part = core::make_mppc_partition(cluster, choice.y, choice.v, g);
-  auto batches = core::distribute_mppc<int>(cluster, part, data, n);
-  const core::RunResult result = core::scan_mppc<int>(
-      cluster, part, batches, n, plan, core::ScanKind::kInclusive);
+  std::vector<int> got(data.size());
+  const core::RunResult result =
+      executor->run(data, got, core::ScanKind::kInclusive);
 
   std::printf("Simulated run: %s for %s (%.2f GB/s)\n",
               util::fmt_time_us(result.seconds).c_str(),
@@ -67,11 +69,25 @@ int main(int argc, char** argv) {
                 util::fmt_time_us(seconds).c_str());
   }
 
-  // 5. Verify against the serial reference.
-  const auto got = core::collect_mppc<int>(part, batches, n);
+  // 5. Run it again: the plan is cached and no new device allocations are
+  //    made -- the steady state a production caller lives in.
+  const auto allocs_before = ctx.workspace().device_allocations();
+  std::vector<int> got2(data.size());
+  const core::RunResult again =
+      executor->run(data, got2, core::ScanKind::kInclusive);
+  std::printf(
+      "\nSecond run: %s (identical: %s); new device allocations: %llu, "
+      "workspace reuses so far: %llu\n",
+      util::fmt_time_us(again.seconds).c_str(),
+      again.seconds == result.seconds && got2 == got ? "yes" : "NO",
+      static_cast<unsigned long long>(ctx.workspace().device_allocations() -
+                                      allocs_before),
+      static_cast<unsigned long long>(ctx.workspace().reuses()));
+
+  // 6. Verify against the serial reference.
   const auto want = baselines::reference_batch_scan<int>(
       data, n, g, core::ScanKind::kInclusive);
-  if (got != want) {
+  if (got != want || got2 != want) {
     std::printf("\nFAILED: scan result does not match the reference!\n");
     return 1;
   }

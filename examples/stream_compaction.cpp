@@ -35,9 +35,13 @@ int main(int argc, char** argv) {
   const std::int64_t n = cli.get_int("n", 1 << 22);
   const int threshold = static_cast<int>(cli.get_int("threshold", 50));
 
-  simt::Device dev(0, sim::k80_spec());
-  auto plan = core::derive_spl(dev.spec(), 4).plan;
-  plan.s13.k = 4;
+  // A one-GPU cluster + ScanContext: the scan plan comes from the
+  // context's autotuner cache and the scan's auxiliary buffers from its
+  // workspace pool, while the custom map/scatter kernels below use the
+  // device directly.
+  topo::Cluster cluster = topo::single_gpu_cluster(sim::k80_spec());
+  core::ScanContext ctx(cluster);
+  simt::Device& dev = cluster.device(0);
 
   const auto data = util::random_i32(static_cast<std::size_t>(n), 7, 0, 100);
   auto values = dev.alloc<int>(n);
@@ -67,9 +71,11 @@ int main(int argc, char** argv) {
     }
   });
 
-  // --- Step 2: exclusive scan of the flags = output offsets.
-  const auto scan_result = core::scan_sp<int>(dev, flags, offsets, n, 1, plan,
-                                              core::ScanKind::kExclusive);
+  // --- Step 2: exclusive scan of the flags = output offsets, with the
+  // plan memoized in the context and pooled auxiliary storage.
+  const auto scan_result = core::scan_sp<int>(
+      dev, flags, offsets, n, 1, ctx.plan_for(n, /*g=*/1),
+      core::ScanKind::kExclusive, {}, &ctx.workspace());
 
   // --- Step 3: scatter kernel.
   const std::int64_t kept =

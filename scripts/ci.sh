@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Continuous-integration entry point: configure, build everything (keep
+# going on failure so one broken target doesn't hide the rest), then run
+# the full test suite. Mirrors the local workflow in README.md.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+
+if command -v ninja >/dev/null 2>&1; then
+  cmake -B "$BUILD_DIR" -S . -G Ninja \
+    -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
+  # ninja: -k 0 = keep going past failures, report them all at the end.
+  cmake --build "$BUILD_DIR" -j -- -k 0
+else
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
+  cmake --build "$BUILD_DIR" -j -- -k
+fi
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure

@@ -1,15 +1,17 @@
 #pragma once
 /// \file easy.hpp
-/// One-call convenience API: scan a host range on a freshly simulated
-/// GPU with premise-derived parameters. Intended for downstream users
-/// who want the primitive, not the machinery; the proposals in
-/// scan_sp.hpp / scan_mps.hpp / scan_mppc.hpp expose full control.
+/// One-call convenience API: scan a host range on a simulated GPU with
+/// automatically tuned parameters. Intended for downstream users who want
+/// the primitive, not the machinery; the executors (executor.hpp) and the
+/// proposals in scan_sp.hpp / scan_mps.hpp / scan_mppc.hpp expose full
+/// control.
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
+#include "mgs/core/scan_context.hpp"
 #include "mgs/core/scan_sp.hpp"
-#include "mgs/core/tuning.hpp"
 
 namespace mgs::core {
 
@@ -21,31 +23,48 @@ struct EasyScanResult {
 };
 
 /// Scan `input` (a batch of `g` problems of input.size()/g contiguous
-/// elements) on one simulated GPU of the given spec. Parameters come
-/// from the premises; K defaults to 4 (a mid-space value; use the
-/// Autotuner for the empirically best K).
+/// elements) on device 0 of the context's cluster. The plan comes from
+/// the context's memoized autotuner cache and the staging/auxiliary
+/// buffers from its workspace pool, so repeated calls through one context
+/// amortize both.
+template <typename T, typename Op = Plus<T>>
+EasyScanResult<T> scan(ScanContext& ctx, std::span<const T> input,
+                       ScanKind kind = ScanKind::kInclusive,
+                       std::int64_t g = 1, Op op = {}) {
+  MGS_REQUIRE(g > 0 && !input.empty() &&
+                  static_cast<std::int64_t>(input.size()) % g == 0,
+              "easy scan: input must split evenly into G problems");
+  const std::int64_t total = static_cast<std::int64_t>(input.size());
+  const std::int64_t n = total / g;
+
+  const ScanPlan& plan =
+      ctx.plan_for(n, g, static_cast<int>(sizeof(T)), /*gpus_per_problem=*/1);
+  simt::Device& dev = ctx.cluster().device(0);
+  auto in = acquire_workspace<T>(&ctx.workspace(), dev, total);
+  auto out = acquire_workspace<T>(&ctx.workspace(), dev, total);
+  std::copy(input.begin(), input.end(), in.host_span().begin());
+
+  ctx.cluster().reset_clocks();
+  EasyScanResult<T> result;
+  result.run = scan_sp<T, Op>(dev, in.buffer(), out.buffer(), n, g, plan,
+                              kind, op, &ctx.workspace());
+  const auto produced = out.host_span();
+  result.output.assign(produced.begin(),
+                       produced.begin() + static_cast<std::ptrdiff_t>(total));
+  return result;
+}
+
+/// Context-free spelling: builds a throwaway single-GPU cluster + context
+/// for the given spec. Convenient for one-shot calls; repeated traffic
+/// should hold a ScanContext and use the overload above.
 template <typename T, typename Op = Plus<T>>
 EasyScanResult<T> scan(std::span<const T> input,
                        ScanKind kind = ScanKind::kInclusive,
                        std::int64_t g = 1, Op op = {},
                        const sim::DeviceSpec& spec = sim::k80_spec()) {
-  MGS_REQUIRE(g > 0 && !input.empty() &&
-                  static_cast<std::int64_t>(input.size()) % g == 0,
-              "easy scan: input must split evenly into G problems");
-  const std::int64_t n = static_cast<std::int64_t>(input.size()) / g;
-
-  simt::Device dev(0, spec);
-  auto in = dev.alloc<T>(static_cast<std::int64_t>(input.size()));
-  auto out = dev.alloc<T>(static_cast<std::int64_t>(input.size()));
-  std::copy(input.begin(), input.end(), in.host_span().begin());
-
-  ScanPlan plan = derive_spl(spec, sizeof(T)).plan;
-  plan.s13.k = 4;
-
-  EasyScanResult<T> result;
-  result.run = scan_sp<T, Op>(dev, in, out, n, g, plan, kind, op);
-  result.output.assign(out.host_span().begin(), out.host_span().end());
-  return result;
+  topo::Cluster cluster = topo::single_gpu_cluster(spec);
+  ScanContext ctx(cluster);
+  return scan<T, Op>(ctx, input, kind, g, op);
 }
 
 }  // namespace mgs::core

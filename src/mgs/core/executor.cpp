@@ -1,0 +1,361 @@
+#include "mgs/core/executor.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "mgs/core/scan_mppc.hpp"
+#include "mgs/core/scan_mps.hpp"
+#include "mgs/core/scan_multinode.hpp"
+#include "mgs/core/scan_sp.hpp"
+#include "mgs/msg/comm.hpp"
+
+namespace mgs::core {
+
+namespace {
+
+using Handle = WorkspacePool::Handle<std::int32_t>;
+
+/// The first `count` GPUs of `node` in global-id order (network-major,
+/// the same fill order the figure harnesses use).
+std::vector<int> node_gpus(const topo::Cluster& cluster, int node, int count) {
+  const auto& cfg = cluster.config();
+  MGS_REQUIRE(count >= 1 && count <= cfg.gpus_per_node(),
+              "executor: W exceeds the GPUs of a node");
+  std::vector<int> ids;
+  for (int i = 0; i < count; ++i) {
+    ids.push_back(cluster.global_id(node, i / cfg.gpus_per_network,
+                                    i % cfg.gpus_per_network));
+  }
+  return ids;
+}
+
+// ---------------------------------------------------------------- Scan-SP
+
+class SpExecutor final : public ScanExecutor {
+ public:
+  SpExecutor(ScanContext& ctx, int device_id)
+      : ctx_(&ctx), device_id_(device_id) {
+    MGS_REQUIRE(device_id >= 0 && device_id < ctx.cluster().num_devices(),
+                "Scan-SP executor: device id out of range");
+  }
+
+  std::string name() const override { return "Scan-SP"; }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "Scan-SP on device " << device_id_;
+    if (plan_ != nullptr) {
+      os << "; n=" << n_ << " g=" << g_ << "; " << plan_->describe();
+    }
+    return os.str();
+  }
+
+  void prepare(std::int64_t n, std::int64_t g) override {
+    MGS_REQUIRE(n > 0 && g > 0, "Scan-SP executor: N and G must be positive");
+    if (n == n_ && g == g_) return;
+    plan_ = &ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), 1);
+    simt::Device& dev = ctx_->cluster().device(device_id_);
+    in_ = ctx_->workspace().acquire<std::int32_t>(dev, n * g);
+    out_ = ctx_->workspace().acquire<std::int32_t>(dev, n * g);
+    n_ = n;
+    g_ = g;
+  }
+
+  RunResult run(std::span<const std::int32_t> in, std::span<std::int32_t> out,
+                ScanKind kind) override {
+    require_ready(in, out);
+    ctx_->cluster().reset_clocks();
+    std::copy(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(n_ * g_),
+              in_.host_span().begin());
+    RunResult r = scan_sp<std::int32_t>(
+        ctx_->cluster().device(device_id_), in_.buffer(), out_.buffer(), n_,
+        g_, *plan_, kind, {}, &ctx_->workspace());
+    const auto src = out_.host_span();
+    std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(n_ * g_),
+              out.begin());
+    return r;
+  }
+
+ private:
+  ScanContext* ctx_;
+  int device_id_;
+  const ScanPlan* plan_ = nullptr;
+  Handle in_;
+  Handle out_;
+};
+
+// --------------------------------------------------- Scan-MPS (+ direct)
+
+class MpsExecutor final : public ScanExecutor {
+ public:
+  MpsExecutor(ScanContext& ctx, int w, bool direct)
+      : ctx_(&ctx), direct_(direct) {
+    const auto& cfg = ctx.cluster().config();
+    w_ = (w > 0) ? w
+                 : (direct ? cfg.gpus_per_network : cfg.gpus_per_node());
+    gpus_ = node_gpus(ctx.cluster(), 0, w_);
+  }
+
+  std::string name() const override {
+    return direct_ ? "Scan-MPS-direct" : "Scan-MPS";
+  }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << name() << " over " << w_ << " GPUs of node 0 (master "
+       << gpus_.front() << ")";
+    if (plan_ != nullptr) {
+      os << "; n=" << n_ << " g=" << g_ << "; " << plan_->describe();
+    }
+    return os.str();
+  }
+
+  void prepare(std::int64_t n, std::int64_t g) override {
+    MGS_REQUIRE(n > 0 && g > 0, "Scan-MPS executor: N and G must be positive");
+    if (n == n_ && g == g_) return;
+    MGS_REQUIRE(n % w_ == 0, "Scan-MPS executor: N must be divisible by W");
+    plan_ = &ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), w_);
+    const std::int64_t per_gpu = (n / w_) * g;
+    ins_.clear();
+    outs_.clear();
+    for (int id : gpus_) {
+      simt::Device& dev = ctx_->cluster().device(id);
+      ins_.push_back(ctx_->workspace().acquire<std::int32_t>(dev, per_gpu));
+      outs_.push_back(ctx_->workspace().acquire<std::int32_t>(dev, per_gpu));
+    }
+    n_ = n;
+    g_ = g;
+  }
+
+  RunResult run(std::span<const std::int32_t> in, std::span<std::int32_t> out,
+                ScanKind kind) override {
+    require_ready(in, out);
+    ctx_->cluster().reset_clocks();
+    std::vector<GpuBatch<std::int32_t>> batches;
+    for (std::size_t d = 0; d < gpus_.size(); ++d) {
+      batches.push_back(GpuBatch<std::int32_t>{ins_[d].buffer(),
+                                               outs_[d].buffer()});
+    }
+    scatter_batch<std::int32_t>(in, batches, n_, g_);
+    RunResult r =
+        direct_ ? scan_mps_direct<std::int32_t>(ctx_->cluster(), gpus_,
+                                                batches, n_, g_, *plan_, kind,
+                                                {}, &ctx_->workspace())
+                : scan_mps<std::int32_t>(ctx_->cluster(), gpus_, batches, n_,
+                                         g_, *plan_, kind, {},
+                                         &ctx_->workspace());
+    gather_batch<std::int32_t>(batches, n_, g_, out);
+    return r;
+  }
+
+ private:
+  ScanContext* ctx_;
+  bool direct_;
+  int w_ = 1;
+  std::vector<int> gpus_;
+  const ScanPlan* plan_ = nullptr;
+  std::vector<Handle> ins_;
+  std::vector<Handle> outs_;
+};
+
+// -------------------------------------------------------------- Scan-MP-PC
+
+class MppcExecutor final : public ScanExecutor {
+ public:
+  MppcExecutor(ScanContext& ctx, int y, int v, int m) : ctx_(&ctx) {
+    const auto& cfg = ctx.cluster().config();
+    y_ = (y > 0) ? y : cfg.networks_per_node;
+    v_ = (v > 0) ? v : cfg.gpus_per_network;
+    m_ = (m > 0) ? m : 1;
+  }
+
+  std::string name() const override { return "Scan-MP-PC"; }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "Scan-MP-PC with Y=" << y_ << " networks/node, V=" << v_
+       << " GPUs/network, M=" << m_ << " nodes";
+    if (plan_ != nullptr) {
+      os << " (" << part_.groups.size() << " groups); n=" << n_ << " g=" << g_
+         << "; " << plan_->describe();
+    }
+    return os.str();
+  }
+
+  void prepare(std::int64_t n, std::int64_t g) override {
+    MGS_REQUIRE(n > 0 && g > 0,
+                "Scan-MP-PC executor: N and G must be positive");
+    if (n == n_ && g == g_) return;
+    MGS_REQUIRE(n % v_ == 0, "Scan-MP-PC executor: N must be divisible by V");
+    part_ = make_mppc_partition(ctx_->cluster(), y_, v_, g, m_);
+    plan_ = &ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), v_);
+    ins_.clear();
+    outs_.clear();
+    for (std::size_t grp = 0; grp < part_.groups.size(); ++grp) {
+      const std::int64_t per_gpu = (n / v_) * part_.g_of_group[grp];
+      std::vector<Handle> gin, gout;
+      for (int id : part_.groups[grp]) {
+        simt::Device& dev = ctx_->cluster().device(id);
+        gin.push_back(ctx_->workspace().acquire<std::int32_t>(dev, per_gpu));
+        gout.push_back(ctx_->workspace().acquire<std::int32_t>(dev, per_gpu));
+      }
+      ins_.push_back(std::move(gin));
+      outs_.push_back(std::move(gout));
+    }
+    n_ = n;
+    g_ = g;
+  }
+
+  RunResult run(std::span<const std::int32_t> in, std::span<std::int32_t> out,
+                ScanKind kind) override {
+    require_ready(in, out);
+    ctx_->cluster().reset_clocks();
+    std::vector<std::vector<GpuBatch<std::int32_t>>> batches;
+    for (std::size_t grp = 0; grp < part_.groups.size(); ++grp) {
+      std::vector<GpuBatch<std::int32_t>> b;
+      for (std::size_t d = 0; d < part_.groups[grp].size(); ++d) {
+        b.push_back(GpuBatch<std::int32_t>{ins_[grp][d].buffer(),
+                                           outs_[grp][d].buffer()});
+      }
+      batches.push_back(std::move(b));
+    }
+    for (std::size_t grp = 0; grp < batches.size(); ++grp) {
+      scatter_batch<std::int32_t>(
+          in.subspan(static_cast<std::size_t>(part_.g_offset[grp] * n_),
+                     static_cast<std::size_t>(part_.g_of_group[grp] * n_)),
+          batches[grp], n_, part_.g_of_group[grp]);
+    }
+    RunResult r = scan_mppc<std::int32_t>(ctx_->cluster(), part_, batches, n_,
+                                          *plan_, kind, {},
+                                          &ctx_->workspace());
+    for (std::size_t grp = 0; grp < batches.size(); ++grp) {
+      gather_batch<std::int32_t>(
+          batches[grp], n_, part_.g_of_group[grp],
+          out.subspan(static_cast<std::size_t>(part_.g_offset[grp] * n_),
+                      static_cast<std::size_t>(part_.g_of_group[grp] * n_)));
+    }
+    return r;
+  }
+
+ private:
+  ScanContext* ctx_;
+  int y_ = 1;
+  int v_ = 1;
+  int m_ = 1;
+  MppcPartition part_;
+  const ScanPlan* plan_ = nullptr;
+  std::vector<std::vector<Handle>> ins_;
+  std::vector<std::vector<Handle>> outs_;
+};
+
+// --------------------------------------------------- multi-node Scan-MPS
+
+class MultinodeExecutor final : public ScanExecutor {
+ public:
+  MultinodeExecutor(ScanContext& ctx, int m, int w) : ctx_(&ctx) {
+    const auto& cfg = ctx.cluster().config();
+    m_ = (m > 0) ? m : cfg.nodes;
+    w_ = (w > 0) ? w : cfg.gpus_per_node();
+    MGS_REQUIRE(m_ <= cfg.nodes,
+                "Scan-MPS-multinode executor: M exceeds the cluster");
+    std::vector<int> ids;
+    for (int node = 0; node < m_; ++node) {
+      const auto per_node = node_gpus(ctx.cluster(), node, w_);
+      ids.insert(ids.end(), per_node.begin(), per_node.end());
+    }
+    comm_.emplace(ctx.cluster(), std::move(ids));
+  }
+
+  std::string name() const override { return "Scan-MPS-multinode"; }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "Scan-MPS-multinode over " << m_ << " nodes x " << w_
+       << " GPUs (one MPI rank per GPU)";
+    if (plan_ != nullptr) {
+      os << "; n=" << n_ << " g=" << g_ << "; " << plan_->describe();
+    }
+    return os.str();
+  }
+
+  void prepare(std::int64_t n, std::int64_t g) override {
+    MGS_REQUIRE(n > 0 && g > 0,
+                "Scan-MPS-multinode executor: N and G must be positive");
+    if (n == n_ && g == g_) return;
+    const int ranks = comm_->size();
+    MGS_REQUIRE(n % ranks == 0,
+                "Scan-MPS-multinode executor: N must divide by M*W");
+    plan_ =
+        &ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), ranks);
+    const std::int64_t per_rank = (n / ranks) * g;
+    ins_.clear();
+    outs_.clear();
+    for (int r = 0; r < ranks; ++r) {
+      simt::Device& dev = ctx_->cluster().device(comm_->device_of(r));
+      ins_.push_back(ctx_->workspace().acquire<std::int32_t>(dev, per_rank));
+      outs_.push_back(ctx_->workspace().acquire<std::int32_t>(dev, per_rank));
+    }
+    n_ = n;
+    g_ = g;
+  }
+
+  RunResult run(std::span<const std::int32_t> in, std::span<std::int32_t> out,
+                ScanKind kind) override {
+    require_ready(in, out);
+    ctx_->cluster().reset_clocks();
+    std::vector<GpuBatch<std::int32_t>> batches;
+    for (std::size_t r = 0; r < ins_.size(); ++r) {
+      batches.push_back(GpuBatch<std::int32_t>{ins_[r].buffer(),
+                                               outs_[r].buffer()});
+    }
+    scatter_batch<std::int32_t>(in, batches, n_, g_);
+    RunResult r = scan_mps_multinode<std::int32_t>(
+        *comm_, batches, n_, g_, *plan_, kind, {}, &ctx_->workspace());
+    gather_batch<std::int32_t>(batches, n_, g_, out);
+    return r;
+  }
+
+ private:
+  ScanContext* ctx_;
+  int m_ = 1;
+  int w_ = 1;
+  std::optional<msg::Communicator> comm_;
+  const ScanPlan* plan_ = nullptr;
+  std::vector<Handle> ins_;
+  std::vector<Handle> outs_;
+};
+
+}  // namespace
+
+void ScanExecutor::require_ready(std::span<const std::int32_t> in,
+                                 std::span<std::int32_t> out) const {
+  MGS_REQUIRE(n_ > 0 && g_ > 0, "ScanExecutor::run before prepare()");
+  MGS_REQUIRE(static_cast<std::int64_t>(in.size()) >= n_ * g_ &&
+                  static_cast<std::int64_t>(out.size()) >= n_ * g_,
+              "ScanExecutor::run: spans must hold N*G elements");
+}
+
+std::unique_ptr<ScanExecutor> make_sp_executor(ScanContext& ctx,
+                                               int device_id) {
+  return std::make_unique<SpExecutor>(ctx, device_id);
+}
+
+std::unique_ptr<ScanExecutor> make_mps_executor(ScanContext& ctx, int w,
+                                                bool direct) {
+  return std::make_unique<MpsExecutor>(ctx, w, direct);
+}
+
+std::unique_ptr<ScanExecutor> make_mppc_executor(ScanContext& ctx, int y,
+                                                 int v, int m) {
+  return std::make_unique<MppcExecutor>(ctx, y, v, m);
+}
+
+std::unique_ptr<ScanExecutor> make_multinode_executor(ScanContext& ctx, int m,
+                                                      int w) {
+  return std::make_unique<MultinodeExecutor>(ctx, m, w);
+}
+
+}  // namespace mgs::core

@@ -1,0 +1,87 @@
+#pragma once
+/// \file executor.hpp
+/// The unified proposal interface. Each of the paper's five proposals
+/// (Scan-SP, Scan-MPS, Scan-MPS-direct, Scan-MP-PC, multi-node Scan-MPS)
+/// is wrapped in a ScanExecutor that draws its plan from the ScanContext's
+/// memoized cache and its device staging/auxiliary buffers from the
+/// context's WorkspacePool, so repeated invocations pay neither re-tuning
+/// nor re-allocation (the clppScan / LightScan "construct once, scan many"
+/// shape).
+///
+/// Element type is int32 sums-or-any-Op via ScanKind only, matching
+/// baselines::registry ("the paper's element type"); generic-T callers
+/// keep the free functions the executors are built on.
+///
+/// Protocol: prepare(n, g) derives/caches the plan and leases persistent
+/// staging for the shape (idempotent for an unchanged shape); run() scans
+/// G host problems of N contiguous elements into `out` and returns the
+/// simulated RunResult. run() resets the cluster clocks, so repeated runs
+/// of one shape report identical modeled times (determinism).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "mgs/core/op.hpp"
+#include "mgs/core/plan.hpp"
+#include "mgs/core/scan_context.hpp"
+
+namespace mgs::core {
+
+class ScanExecutor {
+ public:
+  virtual ~ScanExecutor() = default;
+
+  /// Registry name ("Scan-SP", "Scan-MPS", ...).
+  virtual std::string name() const = 0;
+  /// Human-readable configuration: proposal, GPU placement, cached plan.
+  /// Most detailed after prepare().
+  virtual std::string describe() const = 0;
+
+  /// Set up for G problems of N elements: plan lookup (cache hit after the
+  /// first call for a shape) + persistent staging leases. Throws
+  /// util::Error for shapes the proposal cannot place. Idempotent when the
+  /// shape is unchanged; re-prepares (returning old leases to the pool)
+  /// when it differs.
+  virtual void prepare(std::int64_t n, std::int64_t g) = 0;
+
+  /// Scan problem g of `in` (at offset g*N) into the same region of `out`.
+  /// Requires prepare(); spans must hold N*G elements. Clocks are reset,
+  /// so the result is a function of the shape alone.
+  virtual RunResult run(std::span<const std::int32_t> in,
+                        std::span<std::int32_t> out, ScanKind kind) = 0;
+
+  std::int64_t prepared_n() const { return n_; }
+  std::int64_t prepared_g() const { return g_; }
+
+ protected:
+  /// Shared argument checking for run() implementations.
+  void require_ready(std::span<const std::int32_t> in,
+                     std::span<std::int32_t> out) const;
+
+  std::int64_t n_ = 0;  ///< prepared shape; 0 = not prepared
+  std::int64_t g_ = 0;
+};
+
+/// Scan-SP on one device of the context's cluster.
+std::unique_ptr<ScanExecutor> make_sp_executor(ScanContext& ctx,
+                                               int device_id = 0);
+
+/// Scan-MPS over `w` GPUs of node 0 (0 = every GPU of the node). With
+/// `direct`, Stage 1 peer-writes straight into the master's auxiliary
+/// array (requires all GPUs on one PCIe network).
+std::unique_ptr<ScanExecutor> make_mps_executor(ScanContext& ctx, int w = 0,
+                                                bool direct = false);
+
+/// Scan-MP-PC: `y` PCIe networks per node on `m` nodes, `v` GPUs from
+/// each (0 = hardware maximum).
+std::unique_ptr<ScanExecutor> make_mppc_executor(ScanContext& ctx, int y = 0,
+                                                 int v = 0, int m = 1);
+
+/// Multi-node Scan-MPS over `m` nodes with `w` GPUs each via the MPI-like
+/// communicator (0 = whole cluster).
+std::unique_ptr<ScanExecutor> make_multinode_executor(ScanContext& ctx,
+                                                      int m = 0, int w = 0);
+
+}  // namespace mgs::core

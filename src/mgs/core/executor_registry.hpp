@@ -1,0 +1,48 @@
+#pragma once
+/// \file executor_registry.hpp
+/// Named access to the five proposal executors, mirroring
+/// baselines::registry: harnesses iterate all_executors() to sweep every
+/// proposal, or resolve one by name / by the planner's Premise-4 choice.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mgs/core/executor.hpp"
+#include "mgs/core/planner.hpp"
+
+namespace mgs::core {
+
+/// Placement knobs; 0 means "derive from the cluster" (whole node, all
+/// networks, hardware V, every node).
+struct ExecutorParams {
+  int device = 0;  ///< Scan-SP: which GPU
+  int w = 0;       ///< MPS / multi-node: GPUs per node
+  int y = 0;       ///< MP-PC: PCIe networks per node
+  int v = 0;       ///< MP-PC: GPUs per network
+  int m = 0;       ///< MP-PC / multi-node: nodes
+};
+
+struct ExecutorInfo {
+  std::string name;     ///< registry key ("Scan-MPS", ...)
+  std::string summary;  ///< one-line description for listings
+  std::function<std::unique_ptr<ScanExecutor>(ScanContext&,
+                                              const ExecutorParams&)>
+      make;
+};
+
+/// The five proposals in the paper's presentation order.
+const std::vector<ExecutorInfo>& all_executors();
+
+/// Resolve by registry name; throws util::Error for unknown names.
+std::unique_ptr<ScanExecutor> make_executor(const std::string& name,
+                                            ScanContext& ctx,
+                                            const ExecutorParams& params = {});
+
+/// Build the executor for a planner decision (Premise 4), configured with
+/// the (M, W, V, Y) the planner chose.
+std::unique_ptr<ScanExecutor> make_executor(ScanContext& ctx,
+                                            const PlannerChoice& choice);
+
+}  // namespace mgs::core

@@ -94,9 +94,11 @@ struct RunResult {
   sim::Breakdown breakdown;      ///< per-phase accounting (Figure 14)
 
   /// Effective throughput: problem bytes moved per second of simulated
-  /// time (N*G elements read and written once).
+  /// time (N*G elements read and written once). Throws util::Error on a
+  /// zero-time run so harnesses can report the bad configuration instead
+  /// of aborting.
   double throughput_bps() const {
-    MGS_CHECK(seconds > 0.0, "throughput of zero-time run");
+    MGS_REQUIRE(seconds > 0.0, "throughput of zero-time run");
     return static_cast<double>(payload_bytes) / seconds;
   }
   double throughput_gbps() const { return throughput_bps() / 1e9; }

@@ -1,0 +1,69 @@
+#include "mgs/core/scan_context.hpp"
+
+#include <algorithm>
+
+#include "mgs/core/executor_registry.hpp"
+#include "mgs/core/tuning.hpp"
+#include "mgs/util/math.hpp"
+
+namespace mgs::core {
+
+namespace {
+
+/// Autotuner searches measure real simulated scans, so tune on a reduced
+/// copy of the problem: the optimum is scale-stable because the premises'
+/// trade-offs are per-chunk/per-block, not per-element (the same argument
+/// the figure harnesses use for their K probes).
+constexpr std::int64_t kProbeMaxN = std::int64_t{1} << 18;
+constexpr std::int64_t kProbeMaxElems = std::int64_t{1} << 20;
+
+}  // namespace
+
+ScanContext::ScanContext(topo::Cluster& cluster)
+    : cluster_(&cluster), tuner_(cluster.config().gpu) {}
+
+const ScanPlan& ScanContext::plan_for(std::int64_t n, std::int64_t g,
+                                      int elem_bytes, int gpus_per_problem) {
+  return plan_for(PlanKey{cluster_->config().gpu.name, n, g, elem_bytes,
+                          gpus_per_problem});
+}
+
+const ScanPlan& ScanContext::plan_for(const PlanKey& key) {
+  MGS_REQUIRE(key.n > 0 && key.g > 0 && key.elem_bytes > 0 &&
+                  key.gpus_per_problem >= 1,
+              "ScanContext::plan_for: bad plan key");
+  if (const auto it = plans_.find(key); it != plans_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+
+  const sim::DeviceSpec& spec = cluster_->config().gpu;
+  ScanPlan plan;
+  if (key.gpus_per_problem == 1) {
+    // Single-GPU space: the full automatic (p, l, K) search, probed at
+    // reduced scale and memoized inside the Autotuner as well.
+    const std::int64_t n_probe = std::min(key.n, kProbeMaxN);
+    const std::int64_t g_probe = std::min(
+        key.g, std::max<std::int64_t>(1, kProbeMaxElems / n_probe));
+    plan = tuner_.tune(n_probe, g_probe).plan;
+  } else {
+    // Multi-GPU space (Section 4.2): Premise 3 justifies maximizing K^1,
+    // bounded by Equation 1 and by Equations 2/3 (every participating
+    // GPU keeps at least one chunk of the problem).
+    plan = derive_spl(spec, key.elem_bytes).plan;
+    const std::int64_t bound =
+        std::min(k1_max_eq1(key.n, key.g, plan, spec),
+                 k1_max_gpus(key.n, plan.s13, key.gpus_per_problem));
+    plan.s13.k = static_cast<int>(util::floor_pow2(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(1, bound))));
+  }
+  return plans_.emplace(key, plan).first->second;
+}
+
+std::unique_ptr<ScanExecutor> ScanContext::executor_for(
+    const PlannerInput& input) {
+  return make_executor(*this, choose_proposal(*cluster_, input));
+}
+
+}  // namespace mgs::core

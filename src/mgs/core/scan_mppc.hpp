@@ -101,7 +101,7 @@ template <typename T, typename Op = Plus<T>>
 RunResult scan_mppc(topo::Cluster& cluster, const MppcPartition& part,
                     std::vector<std::vector<GpuBatch<T>>>& batches,
                     std::int64_t n, const ScanPlan& plan, ScanKind kind,
-                    Op op = {}) {
+                    Op op = {}, WorkspacePool* ws = nullptr) {
   MGS_REQUIRE(batches.size() == part.groups.size(),
               "scan_mppc: one batch set per group required");
   RunResult result;
@@ -109,7 +109,7 @@ RunResult scan_mppc(topo::Cluster& cluster, const MppcPartition& part,
   for (std::size_t grp = 0; grp < part.groups.size(); ++grp) {
     RunResult r =
         scan_mps(cluster, part.groups[grp], batches[grp], n,
-                 part.g_of_group[grp], plan, kind, op);
+                 part.g_of_group[grp], plan, kind, op, ws);
     result.payload_bytes += r.payload_bytes;
     if (r.seconds > worst) {
       worst = r.seconds;

@@ -9,6 +9,7 @@
 
 #include "mgs/core/kernels.hpp"
 #include "mgs/core/plan.hpp"
+#include "mgs/core/workspace.hpp"
 #include "mgs/topo/transfer.hpp"
 
 namespace mgs::core {
@@ -21,6 +22,54 @@ struct GpuBatch {
   simt::DeviceBuffer<T> out;
 };
 
+/// Copy G host-resident problems of N elements into already-allocated
+/// per-GPU input portions (portion d of each problem to batches[d]).
+/// Untimed: the paper's evaluation starts with data already in GPU
+/// memory. Factored out of distribute_batch so executors can refill
+/// persistent batches without reallocating.
+template <typename T>
+void scatter_batch(std::span<const T> host, std::vector<GpuBatch<T>>& batches,
+                   std::int64_t n, std::int64_t g) {
+  const int w = static_cast<int>(batches.size());
+  MGS_REQUIRE(w > 0, "scatter_batch: need at least one GPU");
+  MGS_REQUIRE(n % w == 0, "scatter_batch: N must be divisible by W");
+  MGS_REQUIRE(static_cast<std::int64_t>(host.size()) >= n * g,
+              "scatter_batch: host data too small");
+  const std::int64_t n_local = n / w;
+  for (int d = 0; d < w; ++d) {
+    auto dst = batches[static_cast<std::size_t>(d)].in.host_span();
+    MGS_REQUIRE(static_cast<std::int64_t>(dst.size()) >= n_local * g,
+                "scatter_batch: batch input too small");
+    for (std::int64_t gg = 0; gg < g; ++gg) {
+      for (std::int64_t i = 0; i < n_local; ++i) {
+        dst[static_cast<std::size_t>(gg * n_local + i)] =
+            host[static_cast<std::size_t>(gg * n + d * n_local + i)];
+      }
+    }
+  }
+}
+
+/// Reassemble the scanned problems from the per-GPU outputs into a host
+/// range (untimed). Inverse of scatter_batch.
+template <typename T>
+void gather_batch(const std::vector<GpuBatch<T>>& batches, std::int64_t n,
+                  std::int64_t g, std::span<T> host) {
+  const int w = static_cast<int>(batches.size());
+  MGS_REQUIRE(w > 0 && n % w == 0, "gather_batch: bad shape");
+  MGS_REQUIRE(static_cast<std::int64_t>(host.size()) >= n * g,
+              "gather_batch: host range too small");
+  const std::int64_t n_local = n / w;
+  for (int d = 0; d < w; ++d) {
+    const auto src = batches[static_cast<std::size_t>(d)].out.host_span();
+    for (std::int64_t gg = 0; gg < g; ++gg) {
+      for (std::int64_t i = 0; i < n_local; ++i) {
+        host[static_cast<std::size_t>(gg * n + d * n_local + i)] =
+            src[static_cast<std::size_t>(gg * n_local + i)];
+      }
+    }
+  }
+}
+
 /// Split G host-resident problems of N elements across `gpus` (portion d
 /// of each problem to gpus[d]) and allocate matching outputs. Placement is
 /// untimed: the paper's evaluation starts with data already in GPU memory.
@@ -32,8 +81,6 @@ std::vector<GpuBatch<T>> distribute_batch(topo::Cluster& cluster,
   const int w = static_cast<int>(gpus.size());
   MGS_REQUIRE(w > 0, "distribute_batch: need at least one GPU");
   MGS_REQUIRE(n % w == 0, "distribute_batch: N must be divisible by W");
-  MGS_REQUIRE(static_cast<std::int64_t>(host.size()) >= n * g,
-              "distribute_batch: host data too small");
   const std::int64_t n_local = n / w;
   std::vector<GpuBatch<T>> batches;
   batches.reserve(static_cast<std::size_t>(w));
@@ -43,15 +90,9 @@ std::vector<GpuBatch<T>> distribute_batch(topo::Cluster& cluster,
                .template alloc<T>(n_local * g);
     b.out = cluster.device(gpus[static_cast<std::size_t>(d)])
                 .template alloc<T>(n_local * g);
-    auto dst = b.in.host_span();
-    for (std::int64_t gg = 0; gg < g; ++gg) {
-      for (std::int64_t i = 0; i < n_local; ++i) {
-        dst[static_cast<std::size_t>(gg * n_local + i)] =
-            host[static_cast<std::size_t>(gg * n + d * n_local + i)];
-      }
-    }
     batches.push_back(std::move(b));
   }
+  scatter_batch(host, batches, n, g);
   return batches;
 }
 
@@ -59,30 +100,20 @@ std::vector<GpuBatch<T>> distribute_batch(topo::Cluster& cluster,
 template <typename T>
 std::vector<T> collect_batch(const std::vector<GpuBatch<T>>& batches,
                              std::int64_t n, std::int64_t g) {
-  const int w = static_cast<int>(batches.size());
-  MGS_REQUIRE(w > 0 && n % w == 0, "collect_batch: bad shape");
-  const std::int64_t n_local = n / w;
   std::vector<T> host(static_cast<std::size_t>(n * g));
-  for (int d = 0; d < w; ++d) {
-    const auto src = batches[static_cast<std::size_t>(d)].out.host_span();
-    for (std::int64_t gg = 0; gg < g; ++gg) {
-      for (std::int64_t i = 0; i < n_local; ++i) {
-        host[static_cast<std::size_t>(gg * n + d * n_local + i)] =
-            src[static_cast<std::size_t>(gg * n_local + i)];
-      }
-    }
-  }
+  gather_batch(batches, n, g, std::span<T>(host));
   return host;
 }
 
 /// Run Scan-MPS over `gpus` (gpus[0] is the master). Batches must follow
 /// the distribute_batch layout. Returns the simulated makespan across the
-/// participating GPUs plus the phase breakdown.
+/// participating GPUs plus the phase breakdown. When `ws` is given, the
+/// auxiliary arrays are leased from it instead of allocated per call.
 template <typename T, typename Op = Plus<T>>
 RunResult scan_mps(topo::Cluster& cluster, const std::vector<int>& gpus,
                    std::vector<GpuBatch<T>>& batches, std::int64_t n,
                    std::int64_t g, const ScanPlan& plan, ScanKind kind,
-                   Op op = {}) {
+                   Op op = {}, WorkspacePool* ws = nullptr) {
   plan.validate();
   const int w = static_cast<int>(gpus.size());
   MGS_REQUIRE(w > 0 && static_cast<int>(batches.size()) == w,
@@ -106,23 +137,24 @@ RunResult scan_mps(topo::Cluster& cluster, const std::vector<int>& gpus,
 
   // Per-GPU auxiliary arrays (problem-major), and the master's combined
   // array: G rows of W*bx chunk totals ([g][d][c]).
-  std::vector<simt::DeviceBuffer<T>> aux_local;
+  std::vector<WorkspacePool::Handle<T>> aux_local;
   aux_local.reserve(static_cast<std::size_t>(w));
   for (int d = 0; d < w; ++d) {
-    aux_local.push_back(cluster.device(gpus[static_cast<std::size_t>(d)])
-                            .template alloc<T>(lay.aux_elems()));
+    aux_local.push_back(acquire_workspace<T>(
+        ws, cluster.device(gpus[static_cast<std::size_t>(d)]),
+        lay.aux_elems()));
   }
   const int master = gpus[0];
   auto aux_all =
-      cluster.device(master).template alloc<T>(g * w * lay.bx);
+      acquire_workspace<T>(ws, cluster.device(master), g * w * lay.bx);
 
   // ---- Stage 1 on every GPU (concurrent; each device clock advances
   // independently).
   for (int d = 0; d < w; ++d) {
     launch_chunk_reduce(cluster.device(gpus[static_cast<std::size_t>(d)]),
                         batches[static_cast<std::size_t>(d)].in,
-                        aux_local[static_cast<std::size_t>(d)], lay, plan.s13,
-                        op);
+                        aux_local[static_cast<std::size_t>(d)].buffer(), lay,
+                        plan.s13, op);
   }
   const double t_stage1 = phase_start();
   result.breakdown.add("Stage1", t_stage1 - t0);
@@ -130,17 +162,17 @@ RunResult scan_mps(topo::Cluster& cluster, const std::vector<int>& gpus,
   // ---- Gather the chunk reductions on the master: per source GPU one
   // strided 2-D copy (G rows of bx), problem-major on arrival.
   for (int d = 0; d < w; ++d) {
-    xfer.copy_2d(aux_all, static_cast<std::int64_t>(d) * lay.bx,
+    xfer.copy_2d(aux_all.buffer(), static_cast<std::int64_t>(d) * lay.bx,
                  static_cast<std::int64_t>(w) * lay.bx,
-                 aux_local[static_cast<std::size_t>(d)], 0, lay.bx, g,
-                 lay.bx);
+                 aux_local[static_cast<std::size_t>(d)].buffer(), 0, lay.bx,
+                 g, lay.bx);
   }
   const double t_gather = phase_start();
   result.breakdown.add("AuxGather", t_gather - t_stage1);
 
   // ---- Stage 2 on the master only (empirically better than splitting
   // it across GPUs, per Section 4.1).
-  launch_intermediate_scan(cluster.device(master), aux_all,
+  launch_intermediate_scan(cluster.device(master), aux_all.buffer(),
                            static_cast<std::int64_t>(w) * lay.bx, g, plan.s2,
                            op);
   const double t_stage2 = phase_start();
@@ -148,8 +180,8 @@ RunResult scan_mps(topo::Cluster& cluster, const std::vector<int>& gpus,
 
   // ---- Scatter each GPU's slice of scanned prefixes back.
   for (int d = 0; d < w; ++d) {
-    xfer.copy_2d(aux_local[static_cast<std::size_t>(d)], 0, lay.bx, aux_all,
-                 static_cast<std::int64_t>(d) * lay.bx,
+    xfer.copy_2d(aux_local[static_cast<std::size_t>(d)].buffer(), 0, lay.bx,
+                 aux_all.buffer(), static_cast<std::int64_t>(d) * lay.bx,
                  static_cast<std::int64_t>(w) * lay.bx, g, lay.bx);
   }
   const double t_scatter = phase_start();
@@ -160,8 +192,8 @@ RunResult scan_mps(topo::Cluster& cluster, const std::vector<int>& gpus,
     launch_scan_add(cluster.device(gpus[static_cast<std::size_t>(d)]),
                     batches[static_cast<std::size_t>(d)].in,
                     batches[static_cast<std::size_t>(d)].out,
-                    aux_local[static_cast<std::size_t>(d)], lay, plan.s13,
-                    kind, op);
+                    aux_local[static_cast<std::size_t>(d)].buffer(), lay,
+                    plan.s13, kind, op);
   }
   const double t_stage3 = phase_start();
   result.breakdown.add("Stage3", t_stage3 - t_scatter);
@@ -185,7 +217,7 @@ template <typename T, typename Op = Plus<T>>
 RunResult scan_mps_direct(topo::Cluster& cluster, const std::vector<int>& gpus,
                           std::vector<GpuBatch<T>>& batches, std::int64_t n,
                           std::int64_t g, const ScanPlan& plan, ScanKind kind,
-                          Op op = {}) {
+                          Op op = {}, WorkspacePool* ws = nullptr) {
   plan.validate();
   const int w = static_cast<int>(gpus.size());
   MGS_REQUIRE(w > 0 && static_cast<int>(batches.size()) == w,
@@ -211,7 +243,8 @@ RunResult scan_mps_direct(topo::Cluster& cluster, const std::vector<int>& gpus,
   };
   const double t0 = phase_start();
 
-  auto aux_all = cluster.device(master).template alloc<T>(g * w * lay.bx);
+  auto aux_all =
+      acquire_workspace<T>(ws, cluster.device(master), g * w * lay.bx);
   const auto aux_view = aux_all.view();
 
   // ---- Stage 1 with direct peer writes into the master's array.
@@ -254,19 +287,20 @@ RunResult scan_mps_direct(topo::Cluster& cluster, const std::vector<int>& gpus,
   result.breakdown.add("Stage1+P2PWrites", t_stage1 - t0);
 
   // ---- Stage 2 on the master.
-  launch_intermediate_scan(cluster.device(master), aux_all,
+  launch_intermediate_scan(cluster.device(master), aux_all.buffer(),
                            static_cast<std::int64_t>(w) * lay.bx, g, plan.s2,
                            op);
   const double t_stage2 = phase_start();
   result.breakdown.add("Stage2", t_stage2 - t_stage1);
 
   // ---- Scatter slices back, then Stage 3 (same as regular MPS).
-  std::vector<simt::DeviceBuffer<T>> aux_local;
+  std::vector<WorkspacePool::Handle<T>> aux_local;
   aux_local.reserve(static_cast<std::size_t>(w));
   for (int d = 0; d < w; ++d) {
-    aux_local.push_back(cluster.device(gpus[static_cast<std::size_t>(d)])
-                            .template alloc<T>(lay.aux_elems()));
-    xfer.copy_2d(aux_local.back(), 0, lay.bx, aux_all,
+    aux_local.push_back(acquire_workspace<T>(
+        ws, cluster.device(gpus[static_cast<std::size_t>(d)]),
+        lay.aux_elems()));
+    xfer.copy_2d(aux_local.back().buffer(), 0, lay.bx, aux_all.buffer(),
                  static_cast<std::int64_t>(d) * lay.bx,
                  static_cast<std::int64_t>(w) * lay.bx, g, lay.bx);
   }
@@ -277,8 +311,8 @@ RunResult scan_mps_direct(topo::Cluster& cluster, const std::vector<int>& gpus,
     launch_scan_add(cluster.device(gpus[static_cast<std::size_t>(d)]),
                     batches[static_cast<std::size_t>(d)].in,
                     batches[static_cast<std::size_t>(d)].out,
-                    aux_local[static_cast<std::size_t>(d)], lay, plan.s13,
-                    kind, op);
+                    aux_local[static_cast<std::size_t>(d)].buffer(), lay,
+                    plan.s13, kind, op);
   }
   const double t_end = phase_start();
   result.breakdown.add("Stage3", t_end - t_scatter);

@@ -21,7 +21,8 @@ template <typename T, typename Op = Plus<T>>
 RunResult scan_mps_multinode(msg::Communicator& comm,
                              std::vector<GpuBatch<T>>& batches,
                              std::int64_t n, std::int64_t g,
-                             const ScanPlan& plan, ScanKind kind, Op op = {}) {
+                             const ScanPlan& plan, ScanKind kind, Op op = {},
+                             WorkspacePool* ws = nullptr) {
   plan.validate();
   const int ranks = comm.size();
   MGS_REQUIRE(static_cast<int>(batches.size()) == ranks,
@@ -47,13 +48,13 @@ RunResult scan_mps_multinode(msg::Communicator& comm,
   // Master allocates the combined array for Stage 2 (rank-major layout:
   // rank r's contribution at offset r*g*bx, matching MPI_Gather).
   simt::Device& master = cluster.device(comm.device_of(0));
-  auto aux_all = master.template alloc<T>(
-      static_cast<std::int64_t>(ranks) * g * lay.bx);
-  std::vector<simt::DeviceBuffer<T>> aux_local;
+  auto aux_all = acquire_workspace<T>(
+      ws, master, static_cast<std::int64_t>(ranks) * g * lay.bx);
+  std::vector<WorkspacePool::Handle<T>> aux_local;
   aux_local.reserve(static_cast<std::size_t>(ranks));
   for (int r = 0; r < ranks; ++r) {
-    aux_local.push_back(cluster.device(comm.device_of(r))
-                            .template alloc<T>(lay.aux_elems()));
+    aux_local.push_back(acquire_workspace<T>(
+        ws, cluster.device(comm.device_of(r)), lay.aux_elems()));
   }
 
   // "After synchronizing all MPI processes, the first stage is executed."
@@ -64,8 +65,8 @@ RunResult scan_mps_multinode(msg::Communicator& comm,
   for (int r = 0; r < ranks; ++r) {
     launch_chunk_reduce(cluster.device(comm.device_of(r)),
                         batches[static_cast<std::size_t>(r)].in,
-                        aux_local[static_cast<std::size_t>(r)], lay, plan.s13,
-                        op);
+                        aux_local[static_cast<std::size_t>(r)].buffer(), lay,
+                        plan.s13, op);
   }
   const double t_stage1 = phase_start();
   result.breakdown.add("Stage1", t_stage1 - t_sync);
@@ -73,21 +74,21 @@ RunResult scan_mps_multinode(msg::Communicator& comm,
   // ---- MPI_Gather of the chunk reductions to rank 0.
   std::vector<msg::Slice<T>> slices;
   for (int r = 0; r < ranks; ++r) {
-    slices.push_back({&aux_local[static_cast<std::size_t>(r)], 0,
+    slices.push_back({&aux_local[static_cast<std::size_t>(r)].buffer(), 0,
                       lay.aux_elems()});
   }
-  comm.gather(0, slices, aux_all, 0);
+  comm.gather(0, slices, aux_all.buffer(), 0);
 
   // ---- Stage 2 on the master GPU over the rank-major layout.
-  launch_intermediate_scan_ranked(master, aux_all, lay.bx, ranks, g, plan.s2,
-                                  op);
+  launch_intermediate_scan_ranked(master, aux_all.buffer(), lay.bx, ranks, g,
+                                  plan.s2, op);
   const double t_stage2_end = phase_start();
   result.breakdown.add(
       "Stage2", t_stage2_end - t_stage1 - comm.breakdown().get("MPI_Gather"));
 
   // ---- MPI_Scatter the scanned prefixes back (each rank's region of the
   // rank-major array is contiguous).
-  comm.scatter(0, aux_all, 0, slices);
+  comm.scatter(0, aux_all.buffer(), 0, slices);
 
   // ---- Stage 3 on every rank.
   const double t_stage3_begin = phase_start();
@@ -95,8 +96,8 @@ RunResult scan_mps_multinode(msg::Communicator& comm,
     launch_scan_add(cluster.device(comm.device_of(r)),
                     batches[static_cast<std::size_t>(r)].in,
                     batches[static_cast<std::size_t>(r)].out,
-                    aux_local[static_cast<std::size_t>(r)], lay, plan.s13,
-                    kind, op);
+                    aux_local[static_cast<std::size_t>(r)].buffer(), lay,
+                    plan.s13, kind, op);
   }
   const double t_stage3 = phase_start();
   result.breakdown.add("Stage3", t_stage3 - t_stage3_begin);

@@ -6,17 +6,20 @@
 
 #include "mgs/core/kernels.hpp"
 #include "mgs/core/plan.hpp"
+#include "mgs/core/workspace.hpp"
 
 namespace mgs::core {
 
 /// Run the batch scan on one device. `in` and `out` hold G problems of N
 /// contiguous elements each (problem g at offset g*N); they may alias.
 /// The device clock advances by the simulated duration; the returned
-/// RunResult reports it along with the per-stage breakdown.
+/// RunResult reports it along with the per-stage breakdown. When `ws` is
+/// given, the auxiliary array is leased from it instead of allocated.
 template <typename T, typename Op = Plus<T>>
 RunResult scan_sp(simt::Device& dev, const simt::DeviceBuffer<T>& in,
                   simt::DeviceBuffer<T>& out, std::int64_t n, std::int64_t g,
-                  const ScanPlan& plan, ScanKind kind, Op op = {}) {
+                  const ScanPlan& plan, ScanKind kind, Op op = {},
+                  WorkspacePool* ws = nullptr) {
   plan.validate();
   MGS_REQUIRE(n > 0 && g > 0, "scan_sp: N and G must be positive");
   MGS_REQUIRE(in.size() >= n * g && out.size() >= n * g,
@@ -31,14 +34,15 @@ RunResult scan_sp(simt::Device& dev, const simt::DeviceBuffer<T>& in,
     const auto t = launch_direct_scan(dev, in, out, lay, plan.s13, kind, op);
     result.breakdown.add("Stage3", t.seconds);
   } else {
-    auto aux = dev.alloc<T>(lay.aux_elems());
-    const auto t1 = launch_chunk_reduce(dev, in, aux, lay, plan.s13, op);
+    auto aux = acquire_workspace<T>(ws, dev, lay.aux_elems());
+    const auto t1 =
+        launch_chunk_reduce(dev, in, aux.buffer(), lay, plan.s13, op);
     result.breakdown.add("Stage1", t1.seconds);
     const auto t2 =
-        launch_intermediate_scan(dev, aux, lay.bx, lay.g, plan.s2, op);
+        launch_intermediate_scan(dev, aux.buffer(), lay.bx, lay.g, plan.s2, op);
     result.breakdown.add("Stage2", t2.seconds);
     const auto t3 =
-        launch_scan_add(dev, in, out, aux, lay, plan.s13, kind, op);
+        launch_scan_add(dev, in, out, aux.buffer(), lay, plan.s13, kind, op);
     result.breakdown.add("Stage3", t3.seconds);
   }
 

@@ -50,14 +50,15 @@ RunResult segmented_scan_sp(simt::Device& dev,
                             const simt::DeviceBuffer<T>& in,
                             const simt::DeviceBuffer<T>& flags,
                             simt::DeviceBuffer<T>& out, std::int64_t n,
-                            const ScanPlan& plan, Op = {}) {
+                            const ScanPlan& plan, Op = {},
+                            WorkspacePool* ws = nullptr) {
   MGS_REQUIRE(n > 0, "segmented_scan_sp: empty input");
   MGS_REQUIRE(in.size() >= n && flags.size() >= n && out.size() >= n,
               "segmented_scan_sp: buffers must hold N elements");
 
   const double start = dev.clock().now();
-  auto packed = dev.alloc<SegPair<T>>(n);
-  auto packed_out = dev.alloc<SegPair<T>>(n);
+  auto packed = acquire_workspace<SegPair<T>>(ws, dev, n);
+  auto packed_out = acquire_workspace<SegPair<T>>(ws, dev, n);
 
   // Pack kernel: one block per 4096-element slab, warp-vectorized.
   constexpr std::int64_t kSlab = 4096;
@@ -89,7 +90,8 @@ RunResult segmented_scan_sp(simt::Device& dev,
   result.breakdown.add("Pack", t_pack.seconds);
 
   RunResult scan = scan_sp<SegPair<T>, SegOp<T, Op>>(
-      dev, packed, packed_out, n, 1, plan, ScanKind::kInclusive);
+      dev, packed.buffer(), packed_out.buffer(), n, 1, plan,
+      ScanKind::kInclusive, {}, ws);
   result.breakdown.merge(scan.breakdown);
 
   // Unpack kernel.

@@ -91,6 +91,16 @@ Cluster tsubame_kfc_cluster(int nodes) {
   return Cluster(cfg);
 }
 
+Cluster single_gpu_cluster(const sim::DeviceSpec& gpu) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.networks_per_node = 1;
+  cfg.gpus_per_network = 1;
+  cfg.gpu = gpu;
+  cfg.links = LinkSpec{};
+  return Cluster(cfg);
+}
+
 Cluster dgx1_like_cluster(int nodes) {
   ClusterConfig cfg;
   cfg.nodes = nodes;

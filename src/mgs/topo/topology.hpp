@@ -91,6 +91,11 @@ class Cluster {
 /// logical K80 GPUs each; InfiniBand FDR between nodes.
 Cluster tsubame_kfc_cluster(int nodes = 1);
 
+/// Degenerate one-GPU "cluster" (1 node, 1 network, 1 slot). Lets the
+/// single-GPU entry points (easy scan, Scan-SP executors) share the
+/// cluster-based ScanContext machinery without special-casing.
+Cluster single_gpu_cluster(const sim::DeviceSpec& gpu);
+
 /// A DGX-1-class node (what replaced the paper's platform a year later):
 /// 8 Pascal GPUs on one NVLink fabric (modeled as a single "network" with
 /// a much faster P2P link), EDR InfiniBand between nodes. Useful for

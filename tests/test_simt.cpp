@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "mgs/core/op.hpp"
