@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-review/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-review/examples/quickstart" "--n" "65536" "--g" "4")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stream_compaction "/root/repo/build-review/examples/stream_compaction" "--n" "262144")
+set_tests_properties(example_stream_compaction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_radix_sort "/root/repo/build-review/examples/radix_sort" "--n" "65536" "--bits" "8")
+set_tests_properties(example_radix_sort PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_summed_area_table "/root/repo/build-review/examples/summed_area_table" "--width" "256" "--height" "128")
+set_tests_properties(example_summed_area_table PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cluster_explorer "/root/repo/build-review/examples/cluster_explorer" "--cluster" "nodes=2 networks=2 gpus=2")
+set_tests_properties(example_cluster_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_histogram_equalization "/root/repo/build-review/examples/histogram_equalization" "--pixels" "131072")
+set_tests_properties(example_histogram_equalization PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
