@@ -7,9 +7,59 @@
 /// per-problem auxiliary rows staged through host memory) and recovers as
 /// n grows and G shrinks.
 
+#include <filesystem>
+#include <fstream>
+
 #include "common.hpp"
 
 using namespace mgs;
+
+namespace {
+
+/// One (n, W) point run under the --faults schedule, compared against the
+/// healthy run of the same point.
+struct FaultPoint {
+  int nlog = 0;
+  int w = 0;
+  double healthy_s = 0.0;
+  double faulted_s = 0.0;
+  std::string error;
+  sim::FaultReport report;
+};
+
+void write_faults_report(const std::string& spec,
+                         const std::vector<FaultPoint>& points) {
+  std::filesystem::create_directories("bench_results");
+  std::ofstream os("bench_results/bench_fig9_mps_faults.json");
+  os << "{\n"
+     << "  \"bench\": \"bench_fig9_mps\",\n"
+     << "  \"faults\": \"" << spec << "\",\n"
+     << "  \"units\": {\"time\": \"simulated seconds\"},\n"
+     << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    const auto& f = p.report.counters;
+    os << "  {\"nlog\": " << p.nlog << ", \"w\": " << p.w
+       << ", \"healthy_s\": " << p.healthy_s
+       << ", \"faulted_s\": " << p.faulted_s << ", \"overhead_pct\": "
+       << (p.error.empty() && p.healthy_s > 0.0
+               ? (p.faulted_s / p.healthy_s - 1.0) * 100.0
+               : 0.0)
+       << ", \"retries\": " << f.retries
+       << ", \"timeouts\": " << f.timeouts
+       << ", \"corruptions_detected\": " << f.corruptions_detected
+       << ", \"rerouted_transfers\": " << f.rerouted_transfers
+       << ", \"rerouted_bytes\": " << f.rerouted_bytes
+       << ", \"retry_seconds\": " << f.retry_seconds
+       << ", \"degraded\": " << (p.report.degraded ? "true" : "false")
+       << ", \"degraded_mode\": \"" << p.report.degraded_mode << "\""
+       << ", \"error\": \"" << p.error << "\"}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto cfg = bench::parse_bench_config(
@@ -28,6 +78,12 @@ int main(int argc, char** argv) {
   // eliminates per-point allocations (the unified-API calling convention).
   bench::BenchContext bc(1);
 
+  // A second harness carries the fault schedule when --faults is given;
+  // the primary sweep stays healthy so the table is unchanged.
+  bench::BenchContext bc_faulted(1);
+  if (!cfg.faults.empty()) bc_faulted.attach_faults(cfg.faults);
+  std::vector<FaultPoint> fault_points;
+
   util::Table table({"n", "G", "W=1", "W=2", "W=4", "W=8"});
   std::vector<double> w8_over_w4;
   for (int nlog = cfg.min_n_log2; nlog <= cfg.total_log2; ++nlog) {
@@ -44,10 +100,38 @@ int main(int argc, char** argv) {
       row.push_back(util::fmt_double(bench::gbps(total, r.seconds), 2));
       if (w == 4) t4 = r.seconds;
       if (w == 8 && t4 > 0.0) w8_over_w4.push_back(t4 / r.seconds);
+      if (!cfg.faults.empty()) {
+        FaultPoint p;
+        p.nlog = nlog;
+        p.w = w;
+        p.healthy_s = r.seconds;
+        try {
+          const auto rf = bc_faulted.run("Scan-MPS", {.w = w}, data, n, g);
+          p.faulted_s = rf.seconds;
+          p.report = rf.faults;
+        } catch (const util::Error& e) {
+          p.error = e.what();
+        }
+        fault_points.push_back(std::move(p));
+      }
     }
     table.add_row(std::move(row));
   }
   bench::print_table(table, cfg);
+
+  if (!cfg.faults.empty()) {
+    write_faults_report(cfg.faults, fault_points);
+    double worst = 0.0;
+    for (const auto& p : fault_points) {
+      if (p.error.empty() && p.healthy_s > 0.0) {
+        worst = std::max(worst, (p.faulted_s / p.healthy_s - 1.0) * 100.0);
+      }
+    }
+    std::printf(
+        "\nResilience overhead under '%s': worst point +%.1f%% simulated "
+        "time -> bench_results/bench_fig9_mps_faults.json\n",
+        cfg.faults.c_str(), worst);
+  }
 
   std::printf(
       "\nShape checks vs the paper:\n"

@@ -199,13 +199,52 @@ RepeatedCase run_repeated_case(std::string name, std::string executor,
   return c;
 }
 
+// ------------------------------------------------------------------------
+// Resilience overhead: the same scan through the unified API, healthy vs
+// with a --faults schedule attached, compared on *simulated* seconds (the
+// retries/reroutes/backoffs are modeled time). Reported in the JSON.
+
+struct ResilienceCase {
+  std::string executor;
+  std::int64_t n = 0;
+  std::int64_t g = 0;
+  double healthy_s = 0.0;   ///< simulated seconds, no injector
+  double faulted_s = 0.0;   ///< simulated seconds under the schedule
+  std::string error;        ///< typed error, if the run could not complete
+  mgs::sim::FaultReport report;
+};
+
+ResilienceCase run_resilience_case(const std::string& spec,
+                                   std::string executor,
+                                   mc::ExecutorParams params, std::int64_t n,
+                                   std::int64_t g, std::span<const int> data) {
+  ResilienceCase c;
+  c.executor = std::move(executor);
+  c.n = n;
+  c.g = g;
+  mgs::bench::BenchContext healthy(1);
+  c.healthy_s = healthy.run(c.executor, params, data, n, g).seconds;
+  mgs::bench::BenchContext faulted(1);
+  faulted.attach_faults(spec);
+  try {
+    const auto r = faulted.run(c.executor, params, data, n, g);
+    c.faulted_s = r.seconds;
+    c.report = r.faults;
+  } catch (const mgs::util::Error& e) {
+    c.error = e.what();
+  }
+  return c;
+}
+
 void json_path(std::ostream& os, const char* key, const PathTiming& t) {
   os << "    \"" << key << "\": {\"first_ms\": " << t.first_ms
      << ", \"mean_subsequent_ms\": " << t.mean_subsequent_ms
      << ", \"amortized_gbps\": " << t.amortized_gbps << "}";
 }
 
-void write_repeated_report(const std::vector<RepeatedCase>& cases) {
+void write_repeated_report(const std::vector<RepeatedCase>& cases,
+                           const std::string& faults_spec,
+                           const std::vector<ResilienceCase>& resilience) {
   std::filesystem::create_directories("bench_results");
   std::ofstream os("bench_results/bench_micro.json");
   os << "{\n"
@@ -232,10 +271,42 @@ void write_repeated_report(const std::vector<RepeatedCase>& cases) {
        << c.per_call.mean_subsequent_ms / c.context.mean_subsequent_ms << "\n"
        << "  }" << (i + 1 < cases.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ]";
+  if (!resilience.empty()) {
+    os << ",\n  \"resilience\": {\n"
+       << "    \"spec\": \"" << faults_spec << "\",\n"
+       << "    \"units\": {\"time\": \"simulated seconds\"},\n"
+       << "    \"cases\": [\n";
+    for (std::size_t i = 0; i < resilience.size(); ++i) {
+      const auto& c = resilience[i];
+      const auto& f = c.report.counters;
+      os << "    {\n"
+         << "      \"executor\": \"" << c.executor << "\", \"n\": " << c.n
+         << ", \"g\": " << c.g << ",\n"
+         << "      \"healthy_s\": " << c.healthy_s
+         << ", \"faulted_s\": " << c.faulted_s << ", \"overhead_pct\": "
+         << (c.error.empty() && c.healthy_s > 0.0
+                 ? (c.faulted_s / c.healthy_s - 1.0) * 100.0
+                 : 0.0)
+         << ",\n"
+         << "      \"retries\": " << f.retries
+         << ", \"transient_failures\": " << f.transient_failures
+         << ", \"timeouts\": " << f.timeouts
+         << ", \"corruptions_detected\": " << f.corruptions_detected << ",\n"
+         << "      \"rerouted_transfers\": " << f.rerouted_transfers
+         << ", \"rerouted_bytes\": " << f.rerouted_bytes
+         << ", \"retry_seconds\": " << f.retry_seconds << ",\n"
+         << "      \"degraded\": " << (c.report.degraded ? "true" : "false")
+         << ", \"degraded_mode\": \"" << c.report.degraded_mode << "\""
+         << ", \"error\": \"" << c.error << "\"\n"
+         << "    }" << (i + 1 < resilience.size() ? "," : "") << "\n";
+    }
+    os << "    ]\n  }";
+  }
+  os << "\n}\n";
 }
 
-void report_repeated_invocation() {
+void report_repeated_invocation(const std::string& faults_spec) {
   const std::int64_t n = 1 << 20;
   const std::int64_t g = 4;
   const auto data =
@@ -246,6 +317,14 @@ void report_repeated_invocation() {
                                     data));
   cases.push_back(run_repeated_case("scan_mps_w4_repeated", "Scan-MPS",
                                     {.w = 4}, n, g, data));
+
+  std::vector<ResilienceCase> resilience;
+  if (!faults_spec.empty()) {
+    resilience.push_back(
+        run_resilience_case(faults_spec, "Scan-SP", {}, n, g, data));
+    resilience.push_back(
+        run_resilience_case(faults_spec, "Scan-MPS", {.w = 4}, n, g, data));
+  }
 
   std::printf(
       "Repeated-invocation comparison (%d calls, n=2^20, g=4; host "
@@ -259,14 +338,46 @@ void report_repeated_invocation() {
         c.context.first_ms, c.context.mean_subsequent_ms,
         c.per_call.mean_subsequent_ms / c.context.mean_subsequent_ms);
   }
-  write_repeated_report(cases);
+  for (const auto& c : resilience) {
+    if (!c.error.empty()) {
+      std::printf("  %-22s faults: typed error: %s\n", c.executor.c_str(),
+                  c.error.c_str());
+    } else {
+      std::printf(
+          "  %-22s faults: %.3f ms -> %.3f ms simulated (+%.1f%%), "
+          "%llu retries\n",
+          c.executor.c_str(), c.healthy_s * 1e3, c.faulted_s * 1e3,
+          (c.faulted_s / c.healthy_s - 1.0) * 100.0,
+          static_cast<unsigned long long>(c.report.counters.retries));
+    }
+  }
+  write_repeated_report(cases, faults_spec, resilience);
   std::printf("  -> bench_results/bench_micro.json\n\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  report_repeated_invocation();
+  // Peel --faults off before google-benchmark sees the arguments (it
+  // rejects flags it does not know).
+  std::string faults_spec;
+  std::vector<char*> keep;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--faults" && i + 1 < argc) {
+      faults_spec = argv[++i];
+    } else if (a.rfind("--faults=", 0) == 0) {
+      faults_spec = a.substr(9);
+    } else {
+      keep.push_back(argv[i]);
+    }
+  }
+  if (!faults_spec.empty()) {
+    mgs::sim::parse_fault_plan(faults_spec);  // fail fast on a bad spec
+  }
+  argc = static_cast<int>(keep.size());
+  argv = keep.data();
+  report_repeated_invocation(faults_spec);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

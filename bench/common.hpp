@@ -32,6 +32,8 @@ struct BenchConfig {
   int min_n_log2 = 13;    ///< smallest problem size exponent (paper: 13)
   bool csv = false;       ///< machine-readable output
   std::uint64_t seed = 20180521;  ///< IPDPS 2018 :-)
+  std::string faults;     ///< fault-injection spec (see sim/fault.hpp); ""
+                          ///< = healthy run (bit-identical to pre-fault)
 };
 
 inline BenchConfig parse_bench_config(int argc, char** argv,
@@ -41,6 +43,9 @@ inline BenchConfig parse_bench_config(int argc, char** argv,
   cli.describe("min-n-log2", "smallest per-problem size exponent (default 13)");
   cli.describe("csv", "emit CSV instead of an aligned table");
   cli.describe("seed", "RNG seed for the input data");
+  cli.describe("faults",
+               "fault-injection spec, e.g. 'transient:prob=0.01;straggler:dev=1,factor=4' "
+               "(kinds: transient, link-down, device-down, corrupt, straggler, policy)");
   if (cli.help_requested()) {
     cli.print_help(summary);
     std::exit(0);
@@ -51,6 +56,10 @@ inline BenchConfig parse_bench_config(int argc, char** argv,
   cfg.min_n_log2 = static_cast<int>(cli.get_int("min-n-log2", 13));
   cfg.csv = cli.get_bool("csv", false);
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 20180521));
+  cfg.faults = cli.get_string("faults", "");
+  if (!cfg.faults.empty()) {
+    sim::parse_fault_plan(cfg.faults);  // fail fast on a malformed spec
+  }
   MGS_REQUIRE(cfg.total_log2 >= cfg.min_n_log2 && cfg.total_log2 <= 28,
               "--total-log2 must be in [--min-n-log2, 28]");
   return cfg;
@@ -244,6 +253,21 @@ class BenchContext {
 
   core::ScanContext& ctx() { return ctx_; }
 
+  /// Attach a fault-injection schedule (--faults spec) to the harness
+  /// cluster; every subsequent run pays the modeled resilience costs and
+  /// reports them in RunResult::faults. Empty spec detaches (healthy).
+  void attach_faults(const std::string& spec) {
+    if (spec.empty()) {
+      cluster_.set_fault_injector(nullptr);
+      injector_.reset();
+      return;
+    }
+    injector_ = std::make_unique<sim::FaultInjector>(sim::parse_fault_plan(spec));
+    cluster_.set_fault_injector(injector_.get());
+  }
+
+  const sim::FaultInjector* faults() const { return injector_.get(); }
+
   /// The cached executor for (name, params); created on first use.
   core::ScanExecutor& executor(const std::string& name,
                                const core::ExecutorParams& params = {}) {
@@ -279,6 +303,7 @@ class BenchContext {
  private:
   topo::Cluster cluster_;
   core::ScanContext ctx_;
+  std::unique_ptr<sim::FaultInjector> injector_;
   std::map<std::string, std::unique_ptr<core::ScanExecutor>> executors_;
   std::vector<int> out_;
 };

@@ -2,20 +2,33 @@
 # Continuous-integration entry point: configure, build everything (keep
 # going on failure so one broken target doesn't hide the rest), then run
 # the full test suite. Mirrors the local workflow in README.md.
+#
+# MGS_SANITIZE=ON reruns the same pipeline in a separate build directory
+# with AddressSanitizer + UndefinedBehaviorSanitizer (-DMGS_SANITIZE=ON).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
+SANITIZE=${MGS_SANITIZE:-OFF}
+if [[ "$SANITIZE" == ON* || "$SANITIZE" == on* || "$SANITIZE" == 1 ]]; then
+  BUILD_DIR=${BUILD_DIR}-asan
+  EXTRA_FLAGS=(-DMGS_SANITIZE=ON)
+  # Sanitized runs: surface every finding, keep UBSan prints readable.
+  export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1}
+  export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1}
+else
+  EXTRA_FLAGS=()
+fi
 
 if command -v ninja >/dev/null 2>&1; then
   cmake -B "$BUILD_DIR" -S . -G Ninja \
-    -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
+    -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}" "${EXTRA_FLAGS[@]}"
   # ninja: -k 0 = keep going past failures, report them all at the end.
   cmake --build "$BUILD_DIR" -j -- -k 0
 else
   cmake -B "$BUILD_DIR" -S . \
-    -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
+    -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}" "${EXTRA_FLAGS[@]}"
   cmake --build "$BUILD_DIR" -j -- -k
 fi
 

@@ -17,6 +17,17 @@
 /// G host problems of N contiguous elements into `out` and returns the
 /// simulated RunResult. run() resets the cluster clocks, so repeated runs
 /// of one shape report identical modeled times (determinism).
+///
+/// Degraded mode: when the cluster carries a sim::FaultInjector, prepare()
+/// places the run on the surviving GPUs only, and both prepare() and run()
+/// re-place automatically when the injector's liveness epoch moves (a
+/// device died or recovered since the cached placement). A shrunk
+/// placement re-plans -- Scan-MPS picks the largest surviving W that still
+/// divides N, Scan-MP-PC repartitions its groups from the alive GPUs of
+/// each PCIe network, the multi-node proposal drops dead ranks -- and
+/// every proposal collapses to Scan-SP when a single device remains. The
+/// RunResult's FaultReport records the degradation (excluded devices,
+/// re-planned placement, invalidated plan-cache entries).
 
 #include <cstdint>
 #include <memory>
@@ -60,8 +71,14 @@ class ScanExecutor {
   void require_ready(std::span<const std::int32_t> in,
                      std::span<std::int32_t> out) const;
 
+  /// Copy the placement-time degradation record into a run's report
+  /// (counters stay whatever the proposal accumulated).
+  void stamp_report(RunResult& r) const;
+
   std::int64_t n_ = 0;  ///< prepared shape; 0 = not prepared
   std::int64_t g_ = 0;
+  std::uint64_t fault_epoch_ = 0;   ///< liveness epoch of the placement
+  sim::FaultReport prep_report_;    ///< degradation recorded at prepare()
 };
 
 /// Scan-SP on one device of the context's cluster.

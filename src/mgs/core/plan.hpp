@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "mgs/sim/fault.hpp"
 #include "mgs/sim/timeline.hpp"
 #include "mgs/simt/types.hpp"
 #include "mgs/util/check.hpp"
@@ -92,6 +93,7 @@ struct RunResult {
   double seconds = 0.0;          ///< simulated makespan of the whole scan
   std::uint64_t payload_bytes = 0;  ///< bytes read + written of problem data
   sim::Breakdown breakdown;      ///< per-phase accounting (Figure 14)
+  sim::FaultReport faults;       ///< resilience costs; empty when healthy
 
   /// Effective throughput: problem bytes moved per second of simulated
   /// time (N*G elements read and written once). Throws util::Error on a

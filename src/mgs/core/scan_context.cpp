@@ -4,6 +4,7 @@
 
 #include "mgs/core/executor_registry.hpp"
 #include "mgs/core/tuning.hpp"
+#include "mgs/sim/fault.hpp"
 #include "mgs/util/math.hpp"
 
 namespace mgs::core {
@@ -59,6 +60,26 @@ const ScanPlan& ScanContext::plan_for(const PlanKey& key) {
         static_cast<std::uint64_t>(std::max<std::int64_t>(1, bound))));
   }
   return plans_.emplace(key, plan).first->second;
+}
+
+std::size_t ScanContext::invalidate_plans(int max_gpus_per_problem) {
+  std::size_t dropped = 0;
+  for (auto it = plans_.begin(); it != plans_.end();) {
+    if (it->first.gpus_per_problem > max_gpus_per_problem) {
+      auto next = std::next(it);
+      retired_plans_.push_back(plans_.extract(it));
+      it = next;
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::uint64_t ScanContext::fault_epoch() const {
+  const sim::FaultInjector* fi = cluster_->fault_injector();
+  return fi == nullptr ? 0 : fi->epoch();
 }
 
 std::unique_ptr<ScanExecutor> ScanContext::executor_for(

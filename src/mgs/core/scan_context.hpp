@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "mgs/core/autotuner.hpp"
 #include "mgs/core/planner.hpp"
@@ -63,6 +64,20 @@ class ScanContext {
   std::uint64_t plan_cache_hits() const { return hits_; }
   std::uint64_t plan_cache_misses() const { return misses_; }
 
+  /// Drop cached plans that assume more cooperating GPUs than are still
+  /// usable (called by executors when device liveness shrinks a
+  /// placement). Returns the number of entries removed from the lookup.
+  /// Removed entries are retired, not destroyed: their storage (and hence
+  /// any `const ScanPlan&` an executor still holds from an earlier
+  /// prepare) stays valid until the context is destroyed; executors
+  /// re-fetch on their next prepare via the liveness epoch.
+  std::size_t invalidate_plans(int max_gpus_per_problem);
+
+  /// The cluster injector's liveness epoch (0 when no injector is
+  /// attached). Executors cache this at prepare() and re-place when it
+  /// moves.
+  std::uint64_t fault_epoch() const;
+
   /// Premise 4 (Section 4.2) through the unified API: run the planner on
   /// the problem shape and return the proposal's executor, configured
   /// with the (M, W, V, Y) the planner chose.
@@ -73,6 +88,9 @@ class ScanContext {
   Autotuner tuner_;
   WorkspacePool pool_;
   std::map<PlanKey, ScanPlan> plans_;
+  /// Invalidated entries, kept alive (extracted node handles preserve the
+  /// element address) so stale plan references never dangle.
+  std::vector<std::map<PlanKey, ScanPlan>::node_type> retired_plans_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -111,6 +111,7 @@ RunResult scan_mppc(topo::Cluster& cluster, const MppcPartition& part,
         scan_mps(cluster, part.groups[grp], batches[grp], n,
                  part.g_of_group[grp], plan, kind, op, ws);
     result.payload_bytes += r.payload_bytes;
+    result.faults.counters.merge(r.faults.counters);
     if (r.seconds > worst) {
       worst = r.seconds;
       result.breakdown = r.breakdown;

@@ -199,6 +199,7 @@ RunResult scan_mps(topo::Cluster& cluster, const std::vector<int>& gpus,
   result.breakdown.add("Stage3", t_stage3 - t_scatter);
 
   result.seconds = t_stage3 - t0;
+  result.faults.counters = xfer.fault_counters();
   return result;
 }
 
@@ -318,6 +319,7 @@ RunResult scan_mps_direct(topo::Cluster& cluster, const std::vector<int>& gpus,
   result.breakdown.add("Stage3", t_end - t_scatter);
 
   result.seconds = t_end - t0;
+  result.faults.counters = xfer.fault_counters();
   return result;
 }
 

@@ -35,6 +35,7 @@ RunResult scan_mps_multinode(msg::Communicator& comm,
   RunResult result;
   result.payload_bytes = 2ull * static_cast<std::uint64_t>(n) * g * sizeof(T);
   comm.reset_breakdown();
+  comm.reset_fault_counters();
 
   auto phase_start = [&] {
     double t = 0.0;
@@ -107,6 +108,7 @@ RunResult scan_mps_multinode(msg::Communicator& comm,
   result.breakdown.merge(comm.breakdown());
 
   result.seconds = t_end - t0;
+  result.faults.counters = comm.fault_counters();
   return result;
 }
 

@@ -43,12 +43,98 @@ double Communicator::message_time(int src_rank, int dst_rank,
   return links.mpi_overhead_us * 1e-6 + wire;
 }
 
+void Communicator::check_ranks_alive(const char* op) {
+  const sim::FaultInjector* fi = cluster_->fault_injector();
+  if (fi == nullptr) return;
+  for (int r = 0; r < size(); ++r) {
+    if (fi->device_is_down(device_of(r))) {
+      throw CommError(std::string(op) + ": rank " + std::to_string(r) +
+                          " (device " + std::to_string(device_of(r)) +
+                          ") is down",
+                      r);
+    }
+  }
+}
+
+double Communicator::timed_message(int src_rank, int dst_rank,
+                                   std::uint64_t bytes, int blame_rank) {
+  const double base = message_time(src_rank, dst_rank, bytes);
+  sim::FaultInjector* fi = cluster_->fault_injector();
+  if (fi == nullptr) return base;
+
+  const int src = device_of(src_rank);
+  const int dst = device_of(dst_rank);
+  const double attempt_time = base * fi->transfer_slowdown(src, dst);
+  const sim::FaultPlan& plan = fi->plan();
+  const double now = clock_of(src_rank).now();
+  if (fi->device_down_at(src, now)) {
+    throw CommError("message from down rank " + std::to_string(src_rank),
+                    src_rank);
+  }
+  if (fi->device_down_at(dst, now)) {
+    throw CommError("message to down rank " + std::to_string(dst_rank),
+                    dst_rank);
+  }
+  double total = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    const auto verdict = fi->on_transfer_attempt(src, dst, attempt, now);
+    const bool timed_out = attempt_time > plan.timeout_seconds;
+    const double spent = timed_out ? plan.timeout_seconds : attempt_time;
+    total += spent;
+    if (!timed_out && !verdict.transient_fail) {
+      if (verdict.corrupt) {
+        // Checksum mismatch on arrival: pay one re-send.
+        ++faults_seen_.corruptions_detected;
+        ++faults_seen_.retries;
+        faults_seen_.retry_seconds += attempt_time;
+        total += attempt_time;
+      }
+      return total;
+    }
+    if (timed_out) {
+      ++faults_seen_.timeouts;
+    } else {
+      ++faults_seen_.transient_failures;
+    }
+    faults_seen_.retry_seconds += spent;
+    if (attempt >= plan.max_retries) {
+      throw CommError("message rank " + std::to_string(src_rank) + " -> " +
+                          std::to_string(dst_rank) +
+                          (timed_out ? " timed out" : " failed") + " after " +
+                          std::to_string(attempt + 1) + " attempts",
+                      blame_rank);
+    }
+    const double backoff =
+        plan.backoff_base_us * 1e-6 * static_cast<double>(1ll << attempt);
+    total += backoff;
+    faults_seen_.retry_seconds += backoff;
+    ++faults_seen_.retries;
+  }
+}
+
 double Communicator::barrier() {
+  check_ranks_alive("MPI_Barrier");
   double start = 0.0;
   std::vector<double> entry(static_cast<std::size_t>(size()));
   for (int r = 0; r < size(); ++r) {
     entry[static_cast<std::size_t>(r)] = clock_of(r).now();
     start = std::max(start, entry[static_cast<std::size_t>(r)]);
+  }
+  if (const sim::FaultInjector* fi = cluster_->fault_injector()) {
+    // A rank that would dwell in the barrier longer than the per-message
+    // timeout gives up and reports the laggard (MPI_ERR_TIMEDOUT-style).
+    const double timeout = fi->plan().timeout_seconds;
+    double earliest = entry[0];
+    int laggard = 0;
+    for (int r = 0; r < size(); ++r) {
+      earliest = std::min(earliest, entry[static_cast<std::size_t>(r)]);
+      if (entry[static_cast<std::size_t>(r)] >= start) laggard = r;
+    }
+    if (start - earliest > timeout) {
+      throw CommError("MPI_Barrier: timed out waiting for rank " +
+                          std::to_string(laggard),
+                      laggard);
+    }
   }
   int levels = 0;
   for (int n = size(); n > 1; n = (n + 1) / 2) ++levels;

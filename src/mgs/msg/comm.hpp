@@ -14,13 +14,27 @@
 /// long it waited for the others.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "mgs/sim/fault.hpp"
 #include "mgs/sim/timeline.hpp"
 #include "mgs/topo/topology.hpp"
 #include "mgs/topo/transfer.hpp"
 
 namespace mgs::msg {
+
+/// Typed error for a collective or point-to-point operation that could not
+/// complete: a participating rank's device is down, a message exhausted
+/// its retry budget, or a barrier timed out waiting for a straggler.
+/// `failed_rank` identifies the culprit so callers can drop it and
+/// re-plan instead of aborting.
+class CommError : public util::Error {
+ public:
+  CommError(const std::string& what, int failed_rank)
+      : util::Error(what), failed_rank(failed_rank) {}
+  int failed_rank;
+};
 
 /// One rank's slice of a collective buffer.
 template <typename T>
@@ -82,8 +96,22 @@ class Communicator {
   const sim::Breakdown& breakdown() const { return breakdown_; }
   void reset_breakdown() { breakdown_ = sim::Breakdown{}; }
 
+  /// Resilience-cost counters (message retries, corruption re-sends, ...).
+  /// All zero when the cluster has no fault injector.
+  const sim::FaultCounters& fault_counters() const { return faults_seen_; }
+  void reset_fault_counters() { faults_seen_ = sim::FaultCounters{}; }
+
  private:
   double message_time(int src_rank, int dst_rank, std::uint64_t bytes) const;
+  /// Fault-aware message cost: message_time plus straggler slowdown and
+  /// the retry/backoff/re-send loop for transient faults, timeouts and
+  /// corruption. Throws CommError blaming `blame_rank` when the retry
+  /// budget is exhausted. Equals message_time with no injector attached.
+  double timed_message(int src_rank, int dst_rank, std::uint64_t bytes,
+                       int blame_rank);
+  /// Throws CommError for the first participating rank whose device the
+  /// attached injector reports down (no-op without an injector).
+  void check_ranks_alive(const char* op);
   sim::Clock& clock_of(int rank);
   double collective_alpha() const;  ///< software overhead per collective step
   /// Emit a profiler record for one collective (no-op when disabled).
@@ -93,6 +121,7 @@ class Communicator {
   topo::Cluster* cluster_;
   std::vector<int> device_ids_;
   sim::Breakdown breakdown_;
+  sim::FaultCounters faults_seen_;
 };
 
 // ---- template implementations ----
@@ -112,6 +141,7 @@ double Communicator::gather(int root, const std::vector<Slice<T>>& slices,
   MGS_CHECK(recv_offset >= 0 &&
                 recv_offset + count * size() <= recv.size(),
             "gather: receive buffer too small");
+  check_ranks_alive("MPI_Gather");
 
   const double t0 = clock_of(root).now();
   // Start once every participant has entered the collective.
@@ -123,8 +153,8 @@ double Communicator::gather(int root, const std::vector<Slice<T>>& slices,
   double ingest = 0.0;
   for (int r = 0; r < size(); ++r) {
     if (r == root) continue;
-    ingest += message_time(r, root,
-                           static_cast<std::uint64_t>(count) * sizeof(T));
+    ingest += timed_message(r, root,
+                            static_cast<std::uint64_t>(count) * sizeof(T), r);
   }
   int levels = 0;
   for (int n = size(); n > 1; n = (n + 1) / 2) ++levels;
@@ -161,6 +191,7 @@ double Communicator::scatter(int root, const simt::DeviceBuffer<T>& send,
   }
   MGS_CHECK(send_offset >= 0 && send_offset + count * size() <= send.size(),
             "scatter: send buffer too small");
+  check_ranks_alive("MPI_Scatter");
 
   const double t0 = clock_of(root).now();
   double start = 0.0;
@@ -169,8 +200,8 @@ double Communicator::scatter(int root, const simt::DeviceBuffer<T>& send,
   double egress = 0.0;
   for (int r = 0; r < size(); ++r) {
     if (r == root) continue;
-    egress += message_time(root, r,
-                           static_cast<std::uint64_t>(count) * sizeof(T));
+    egress += timed_message(root, r,
+                            static_cast<std::uint64_t>(count) * sizeof(T), r);
   }
   int levels = 0;
   for (int n = size(); n > 1; n = (n + 1) / 2) ++levels;
@@ -206,6 +237,7 @@ double Communicator::bcast(int root, const simt::DeviceBuffer<T>& send,
   }
   MGS_CHECK(send_offset >= 0 && send_offset + count <= send.size(),
             "bcast: send range out of bounds");
+  check_ranks_alive("MPI_Bcast");
 
   const double t0 = clock_of(root).now();
   double start = 0.0;
@@ -218,8 +250,9 @@ double Communicator::bcast(int root, const simt::DeviceBuffer<T>& send,
   for (int r = 0; r < size(); ++r) {
     if (r == root) continue;
     worst_msg = std::max(
-        worst_msg,
-        message_time(root, r, static_cast<std::uint64_t>(count) * sizeof(T)));
+        worst_msg, timed_message(
+                       root, r,
+                       static_cast<std::uint64_t>(count) * sizeof(T), r));
   }
   int levels = 0;
   for (int n = size(); n > 1; n = (n + 1) / 2) ++levels;
@@ -279,13 +312,15 @@ double Communicator::send_recv(int src_rank, int dst_rank,
             "send_recv: send range out of bounds");
   MGS_CHECK(recv_offset >= 0 && recv_offset + count <= recv.size(),
             "send_recv: recv range out of bounds");
+  check_ranks_alive("MPI_SendRecv");
 
   const double t0 = clock_of(dst_rank).now();
   const double start =
       std::max(clock_of(src_rank).now(), clock_of(dst_rank).now());
   const double completion =
-      start + message_time(src_rank, dst_rank,
-                           static_cast<std::uint64_t>(count) * sizeof(T));
+      start + timed_message(src_rank, dst_rank,
+                            static_cast<std::uint64_t>(count) * sizeof(T),
+                            src_rank);
 
   const auto s = send.host_span();
   auto d = recv.host_span();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mgs/sim/fault.hpp"
+
 namespace mgs::topo {
 
 const char* to_string(LinkType t) {
@@ -79,6 +81,17 @@ double Cluster::makespan(const std::vector<int>& device_ids) const {
   double t = 0.0;
   for (int id : device_ids) t = std::max(t, device(id).clock().now());
   return t;
+}
+
+std::vector<int> Cluster::alive_devices() const {
+  std::vector<int> alive;
+  alive.reserve(static_cast<std::size_t>(num_devices()));
+  for (int id = 0; id < num_devices(); ++id) {
+    if (faults_ == nullptr || !faults_->device_is_down(id)) {
+      alive.push_back(id);
+    }
+  }
+  return alive;
 }
 
 Cluster tsubame_kfc_cluster(int nodes) {

@@ -13,6 +13,10 @@
 #include "mgs/simt/device.hpp"
 #include "mgs/util/check.hpp"
 
+namespace mgs::sim {
+class FaultInjector;
+}
+
 namespace mgs::topo {
 
 /// Link performance characteristics (first-order alpha-beta models).
@@ -82,9 +86,22 @@ class Cluster {
   /// Latest clock across a set of devices; empty set -> 0.
   double makespan(const std::vector<int>& device_ids) const;
 
+  /// Attach (or detach with nullptr) a fault injector. The injector is
+  /// borrowed -- it must outlive the cluster while attached -- and is
+  /// consulted by every TransferEngine and Communicator built over this
+  /// cluster, and by the scan executors when placing a run. No injector
+  /// (the default) keeps every path bit-identical to pre-fault behavior.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+  sim::FaultInjector* fault_injector() const { return faults_; }
+
+  /// Devices not marked down by the attached injector (all of them when
+  /// no injector is attached).
+  std::vector<int> alive_devices() const;
+
  private:
   ClusterConfig config_;
   std::vector<std::unique_ptr<simt::Device>> devices_;
+  sim::FaultInjector* faults_ = nullptr;
 };
 
 /// The paper's test platform (Table 1): per node, 2 PCIe networks with 4

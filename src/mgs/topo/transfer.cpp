@@ -1,6 +1,7 @@
 #include "mgs/topo/transfer.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "mgs/sim/profiler.hpp"
 
@@ -23,11 +24,10 @@ void profile_transfer(LinkType link, int dst_dev, double start,
 
 }  // namespace
 
-double TransferEngine::link_time(int src_dev, int dst_dev,
-                                 std::uint64_t bytes) const {
+double TransferEngine::time_on_link(LinkType link, std::uint64_t bytes) const {
   const LinkSpec& links = cluster_->config().links;
   const double b = static_cast<double>(bytes);
-  switch (cluster_->link_between(src_dev, dst_dev)) {
+  switch (link) {
     case LinkType::kSelf:
       // Device-local copy engine: bounded by DRAM (read + write).
       return 1e-6 + 2.0 * b / (cluster_->config().gpu.peak_bandwidth_bps() *
@@ -46,15 +46,14 @@ double TransferEngine::link_time(int src_dev, int dst_dev,
   return 0.0;
 }
 
-double TransferEngine::link_time_2d(int src_dev, int dst_dev,
-                                    std::uint64_t bytes,
-                                    std::uint64_t rows) const {
+double TransferEngine::time_on_link_2d(LinkType link, std::uint64_t bytes,
+                                       std::uint64_t rows) const {
   const LinkSpec& links = cluster_->config().links;
   // Per-row cost scale: the on-device copy engine and P2P peer writes
   // pipeline strided rows almost for free; host staging pays a host
   // round trip on each of its two hops.
   double row_scale = 1.0;
-  switch (cluster_->link_between(src_dev, dst_dev)) {
+  switch (link) {
     case LinkType::kSelf:
       row_scale = 0.1;
       break;
@@ -68,44 +67,120 @@ double TransferEngine::link_time_2d(int src_dev, int dst_dev,
       row_scale = 1.0;  // RDMA scatter/gather entries
       break;
   }
-  return link_time(src_dev, dst_dev, bytes) +
+  return time_on_link(link, bytes) +
          row_scale * links.row_overhead_us * 1e-6 * static_cast<double>(rows);
 }
 
-TransferResult TransferEngine::account_2d(int src_dev, int dst_dev,
-                                          std::uint64_t bytes,
-                                          std::uint64_t rows) {
-  TransferResult r;
-  r.link = cluster_->link_between(src_dev, dst_dev);
-  r.bytes = bytes;
-  r.seconds = link_time_2d(src_dev, dst_dev, bytes, rows);
+double TransferEngine::link_time(int src_dev, int dst_dev,
+                                 std::uint64_t bytes) const {
+  return time_on_link(cluster_->link_between(src_dev, dst_dev), bytes);
+}
 
-  sim::Clock& src_clock = cluster_->device(src_dev).clock();
-  sim::Clock& dst_clock = cluster_->device(dst_dev).clock();
-  const double start = std::max(src_clock.now(), dst_clock.now());
-  src_clock.sync_to(start + r.seconds);
-  dst_clock.sync_to(start + r.seconds);
-
-  breakdown_.add(to_string(r.link), r.seconds);
-  profile_transfer(r.link, dst_dev, start, r.seconds, bytes);
-  return r;
+double TransferEngine::link_time_2d(int src_dev, int dst_dev,
+                                    std::uint64_t bytes,
+                                    std::uint64_t rows) const {
+  return time_on_link_2d(cluster_->link_between(src_dev, dst_dev), bytes,
+                         rows);
 }
 
 TransferResult TransferEngine::account(int src_dev, int dst_dev,
-                                       std::uint64_t bytes) {
+                                       std::uint64_t bytes,
+                                       std::uint64_t rows, bool is_2d,
+                                       bool& corrupt_once) {
   TransferResult r;
-  r.link = cluster_->link_between(src_dev, dst_dev);
   r.bytes = bytes;
-  r.seconds = link_time(src_dev, dst_dev, bytes);
+  LinkType link = cluster_->link_between(src_dev, dst_dev);
 
   sim::Clock& src_clock = cluster_->device(src_dev).clock();
   sim::Clock& dst_clock = cluster_->device(dst_dev).clock();
   const double start = std::max(src_clock.now(), dst_clock.now());
-  src_clock.sync_to(start + r.seconds);
-  dst_clock.sync_to(start + r.seconds);
 
-  breakdown_.add(to_string(r.link), r.seconds);
-  profile_transfer(r.link, dst_dev, start, r.seconds, bytes);
+  sim::FaultInjector* fi = cluster_->fault_injector();
+  double seconds = 0.0;
+  if (fi == nullptr) {
+    // Healthy fast path: identical to the pre-resilience engine.
+    seconds = is_2d ? time_on_link_2d(link, bytes, rows)
+                    : time_on_link(link, bytes);
+  } else {
+    if (fi->device_down_at(src_dev, start)) {
+      throw TransferError("transfer from down device " +
+                              std::to_string(src_dev),
+                          src_dev, dst_dev);
+    }
+    if (fi->device_down_at(dst_dev, start)) {
+      throw TransferError("transfer to down device " +
+                              std::to_string(dst_dev),
+                          src_dev, dst_dev);
+    }
+    if (link != LinkType::kSelf && fi->link_is_down(src_dev, dst_dev)) {
+      if (link == LinkType::kP2P) {
+        // A dead peer link between GPUs of one node still has the host
+        // path: reroute as a D2H+H2D staging pair.
+        link = LinkType::kHostStaged;
+        ++faults_seen_.rerouted_transfers;
+        faults_seen_.rerouted_bytes += bytes;
+      } else {
+        throw TransferError("link " + std::to_string(src_dev) + "->" +
+                                std::to_string(dst_dev) +
+                                " down with no alternate route",
+                            src_dev, dst_dev);
+      }
+    }
+
+    const double base = is_2d ? time_on_link_2d(link, bytes, rows)
+                              : time_on_link(link, bytes);
+    const double attempt_time =
+        base * fi->transfer_slowdown(src_dev, dst_dev);
+    const sim::FaultPlan& plan = fi->plan();
+    for (int attempt = 0;; ++attempt) {
+      const auto verdict =
+          fi->on_transfer_attempt(src_dev, dst_dev, attempt, start + seconds);
+      const bool timed_out = attempt_time > plan.timeout_seconds;
+      const double spent =
+          timed_out ? plan.timeout_seconds : attempt_time;
+      seconds += spent;
+      if (!timed_out && !verdict.transient_fail) {
+        if (verdict.corrupt) {
+          // Checksum mismatch on arrival: one re-transfer (the caller
+          // performs the functional corrupt-verify-repair pass).
+          ++faults_seen_.corruptions_detected;
+          ++faults_seen_.retries;
+          faults_seen_.retry_seconds += attempt_time;
+          seconds += attempt_time;
+          corrupt_once = true;
+        }
+        break;
+      }
+      if (timed_out) {
+        ++faults_seen_.timeouts;
+      } else {
+        ++faults_seen_.transient_failures;
+      }
+      faults_seen_.retry_seconds += spent;
+      if (attempt >= plan.max_retries) {
+        throw TransferError(
+            std::string(timed_out ? "transfer timed out" : "transfer failed") +
+                " after " + std::to_string(attempt + 1) + " attempts (" +
+                std::to_string(src_dev) + "->" + std::to_string(dst_dev) +
+                ")",
+            src_dev, dst_dev);
+      }
+      // Exponential backoff before the retry, charged as modeled time.
+      const double backoff =
+          plan.backoff_base_us * 1e-6 * static_cast<double>(1ll << attempt);
+      seconds += backoff;
+      faults_seen_.retry_seconds += backoff;
+      ++faults_seen_.retries;
+    }
+  }
+
+  r.link = link;
+  r.seconds = seconds;
+  src_clock.sync_to(start + seconds);
+  dst_clock.sync_to(start + seconds);
+
+  breakdown_.add(to_string(link), seconds);
+  profile_transfer(link, dst_dev, start, seconds, bytes);
   return r;
 }
 

@@ -1,0 +1,410 @@
+// Tests for the fault-injection framework and the resilience paths built
+// on it: the fault-spec parser, the TransferEngine retry / reroute /
+// checksum machinery, and the executors' degraded-mode re-planning --
+// under every fault class a proposal must either produce a correct scan
+// or raise a typed error, never a silently wrong result.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mgs/baselines/reference.hpp"
+#include "mgs/core/executor.hpp"
+#include "mgs/sim/fault.hpp"
+#include "mgs/topo/transfer.hpp"
+#include "mgs/topo/topology.hpp"
+#include "mgs/util/random.hpp"
+
+namespace mc = mgs::core;
+namespace ms = mgs::sim;
+namespace mt = mgs::topo;
+using mgs::baselines::reference_batch_scan;
+
+namespace {
+
+constexpr std::int64_t kN = 1 << 12;
+constexpr std::int64_t kG = 4;
+
+using Factory =
+    std::function<std::unique_ptr<mc::ScanExecutor>(mc::ScanContext&)>;
+
+struct Proposal {
+  const char* name;
+  Factory make;
+};
+
+std::vector<Proposal> multi_gpu_proposals() {
+  return {
+      {"Scan-MPS", [](mc::ScanContext& c) { return mc::make_mps_executor(c, 4); }},
+      {"Scan-MPS-direct",
+       [](mc::ScanContext& c) { return mc::make_mps_executor(c, 4, true); }},
+      {"Scan-MP-PC",
+       [](mc::ScanContext& c) { return mc::make_mppc_executor(c, 2, 4); }},
+      {"Scan-MPS-multinode",
+       [](mc::ScanContext& c) { return mc::make_multinode_executor(c, 1, 8); }},
+  };
+}
+
+struct Outcome {
+  double seconds = 0.0;
+  std::vector<std::int32_t> out;
+  mc::RunResult result;
+};
+
+/// One fresh cluster + context + executor run, optionally under a fault
+/// plan ("" = no injector attached at all).
+Outcome run_proposal(const Factory& make, const std::string& spec,
+                     std::span<const std::int32_t> data, std::int64_t n,
+                     std::int64_t g) {
+  auto cluster = mt::tsubame_kfc_cluster(1);
+  std::unique_ptr<ms::FaultInjector> fi;
+  if (!spec.empty()) {
+    fi = std::make_unique<ms::FaultInjector>(ms::parse_fault_plan(spec));
+    cluster.set_fault_injector(fi.get());
+  }
+  mc::ScanContext ctx(cluster);
+  auto ex = make(ctx);
+  ex->prepare(n, g);
+  Outcome o;
+  o.out.resize(static_cast<std::size_t>(n * g));
+  o.result = ex->run(data, o.out, mc::ScanKind::kInclusive);
+  o.seconds = o.result.seconds;
+  return o;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- the parser
+
+TEST(FaultPlanParser, ParsesEventsAndPolicy) {
+  const auto plan = ms::parse_fault_plan(
+      "transient:src=0,dst=1,op=3,count=2; corrupt:prob=0.25;"
+      "link-down:src=2,dst=3; device-down:dev=5,at=0.5;"
+      "straggler:dev=1,factor=4;"
+      "policy:retries=7,backoff-us=10,timeout-s=2,seed=99");
+  ASSERT_EQ(plan.events.size(), 5u);
+  EXPECT_EQ(plan.events[0].kind, ms::FaultKind::kTransientTransfer);
+  EXPECT_EQ(plan.events[0].src, 0);
+  EXPECT_EQ(plan.events[0].dst, 1);
+  EXPECT_EQ(plan.events[0].op, 3);
+  EXPECT_EQ(plan.events[0].count, 2);
+  EXPECT_EQ(plan.events[1].kind, ms::FaultKind::kCorruption);
+  EXPECT_DOUBLE_EQ(plan.events[1].probability, 0.25);
+  EXPECT_EQ(plan.events[2].kind, ms::FaultKind::kLinkDown);
+  EXPECT_EQ(plan.events[3].kind, ms::FaultKind::kDeviceDown);
+  EXPECT_EQ(plan.events[3].device, 5);
+  EXPECT_DOUBLE_EQ(plan.events[3].at_seconds, 0.5);
+  EXPECT_EQ(plan.events[4].kind, ms::FaultKind::kStraggler);
+  EXPECT_DOUBLE_EQ(plan.events[4].factor, 4.0);
+  EXPECT_EQ(plan.max_retries, 7);
+  EXPECT_DOUBLE_EQ(plan.backoff_base_us, 10.0);
+  EXPECT_DOUBLE_EQ(plan.timeout_seconds, 2.0);
+  EXPECT_EQ(plan.seed, 99u);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(ms::parse_fault_plan("").empty());
+}
+
+TEST(FaultPlanParser, RejectsMalformedSpecs) {
+  EXPECT_THROW(ms::parse_fault_plan("explode:dev=1"), mgs::util::Error);
+  EXPECT_THROW(ms::parse_fault_plan("transient:op=0,bogus=1"),
+               mgs::util::Error);
+  EXPECT_THROW(ms::parse_fault_plan("transient:op=abc"), mgs::util::Error);
+  EXPECT_THROW(ms::parse_fault_plan("transient:prob=2"), mgs::util::Error);
+  EXPECT_THROW(ms::parse_fault_plan("transient:count=3"), mgs::util::Error);
+  EXPECT_THROW(ms::parse_fault_plan("device-down:at=1"), mgs::util::Error);
+  EXPECT_THROW(ms::parse_fault_plan("link-down:src=0"), mgs::util::Error);
+  EXPECT_THROW(ms::parse_fault_plan("straggler:factor=2"), mgs::util::Error);
+  EXPECT_THROW(ms::parse_fault_plan("transient"), mgs::util::Error);
+}
+
+TEST(FaultReport, SummaryDistinguishesHealthyRecoveredDegraded) {
+  ms::FaultReport r;
+  EXPECT_EQ(r.summary(), "healthy");
+  r.counters.retries = 2;
+  r.counters.transient_failures = 2;
+  EXPECT_NE(r.summary().find("recovered"), std::string::npos);
+  r.degraded = true;
+  r.degraded_mode = "Scan-MPS W=2";
+  EXPECT_NE(r.summary().find("degraded"), std::string::npos);
+  EXPECT_NE(r.summary().find("Scan-MPS W=2"), std::string::npos);
+}
+
+// ----------------------------------------------------- the transfer engine
+
+namespace {
+
+/// dev-to-dev copy of `n` ints under `spec`; returns (result, counters ok,
+/// payload intact). Uses value i*3+1 so a stuck-at corruption is visible.
+struct CopyProbe {
+  mt::TransferResult result;
+  ms::FaultCounters counters;
+  bool payload_ok = false;
+};
+
+CopyProbe probe_copy(const std::string& spec, int src_dev, int dst_dev,
+                     std::int64_t n = 1024) {
+  auto c = mt::tsubame_kfc_cluster(1);
+  std::unique_ptr<ms::FaultInjector> fi;
+  if (!spec.empty()) {
+    fi = std::make_unique<ms::FaultInjector>(ms::parse_fault_plan(spec));
+    c.set_fault_injector(fi.get());
+  }
+  auto src = c.device(src_dev).alloc<int>(n);
+  auto dst = c.device(dst_dev).alloc<int>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    src.host_span()[static_cast<std::size_t>(i)] = static_cast<int>(i * 3 + 1);
+  }
+  mt::TransferEngine eng(c);
+  CopyProbe p;
+  p.result = eng.copy(dst, 0, src, 0, n);
+  p.counters = eng.fault_counters();
+  p.payload_ok = true;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (dst.host_span()[static_cast<std::size_t>(i)] !=
+        static_cast<int>(i * 3 + 1)) {
+      p.payload_ok = false;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+TEST(TransferFaults, TransientFailureRetriesAndConverges) {
+  const auto healthy = probe_copy("", 0, 1);
+  const auto faulted = probe_copy("transient:src=0,dst=1,op=0", 0, 1);
+  EXPECT_TRUE(faulted.payload_ok);
+  EXPECT_EQ(faulted.counters.transient_failures, 1u);
+  EXPECT_EQ(faulted.counters.retries, 1u);
+  EXPECT_GT(faulted.counters.retry_seconds, 0.0);
+  // The retry and its backoff cost modeled time.
+  EXPECT_GT(faulted.result.seconds, healthy.result.seconds);
+  EXPECT_EQ(faulted.result.link, mt::LinkType::kP2P);
+}
+
+TEST(TransferFaults, DownP2PLinkReroutesThroughHostStaging) {
+  const auto healthy = probe_copy("", 0, 1);
+  const auto faulted = probe_copy("link-down:src=0,dst=1", 0, 1);
+  EXPECT_TRUE(faulted.payload_ok);
+  EXPECT_EQ(faulted.result.link, mt::LinkType::kHostStaged);
+  EXPECT_EQ(faulted.counters.rerouted_transfers, 1u);
+  EXPECT_EQ(faulted.counters.rerouted_bytes, 1024u * sizeof(int));
+  EXPECT_GT(faulted.result.seconds, healthy.result.seconds);
+}
+
+TEST(TransferFaults, DownHostStagedLinkHasNoAlternateRoute) {
+  // Devices 0 and 4 sit on different PCIe networks: host staging is
+  // already the only path, so a down link is fatal -- and typed.
+  try {
+    probe_copy("link-down:src=0,dst=4", 0, 4);
+    FAIL() << "expected TransferError";
+  } catch (const mt::TransferError& e) {
+    EXPECT_EQ(e.src_dev, 0);
+    EXPECT_EQ(e.dst_dev, 4);
+    EXPECT_NE(std::string(e.what()).find("no alternate route"),
+              std::string::npos);
+  }
+}
+
+TEST(TransferFaults, CorruptionIsDetectedAndRepaired) {
+  const auto healthy = probe_copy("", 0, 1);
+  const auto faulted = probe_copy("corrupt:op=0", 0, 1);
+  EXPECT_TRUE(faulted.payload_ok);  // checksum caught it, payload re-copied
+  EXPECT_EQ(faulted.counters.corruptions_detected, 1u);
+  EXPECT_EQ(faulted.counters.retries, 1u);
+  EXPECT_GT(faulted.result.seconds, healthy.result.seconds);
+}
+
+TEST(TransferFaults, TimeoutsExhaustTheRetryBudget) {
+  try {
+    probe_copy("policy:timeout-s=1e-15,retries=2", 0, 1);
+    FAIL() << "expected TransferError";
+  } catch (const mt::TransferError& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+  }
+}
+
+TEST(TransferFaults, StragglerSlowsItsLinksOnly) {
+  const auto healthy = probe_copy("", 0, 1);
+  const auto slow = probe_copy("straggler:dev=1,factor=4", 0, 1);
+  const auto other = probe_copy("straggler:dev=1,factor=4", 2, 3);
+  EXPECT_TRUE(slow.payload_ok);
+  EXPECT_GT(slow.result.seconds, healthy.result.seconds);
+  EXPECT_DOUBLE_EQ(other.result.seconds, healthy.result.seconds);
+  EXPECT_FALSE(slow.counters.any());  // slow, but nothing failed
+}
+
+TEST(TransferFaults, MidRunDeviceDownRaisesTypedError) {
+  auto c = mt::tsubame_kfc_cluster(1);
+  auto fi = ms::FaultInjector(ms::parse_fault_plan("device-down:dev=1,at=1"));
+  c.set_fault_injector(&fi);
+  auto src = c.device(0).alloc<int>(16);
+  auto dst = c.device(1).alloc<int>(16);
+  mt::TransferEngine eng(c);
+  eng.copy(dst, 0, src, 0, 16);  // before t=1s: fine
+  c.device(0).clock().advance(2.0);
+  EXPECT_THROW(eng.copy(dst, 0, src, 0, 16), mt::TransferError);
+}
+
+// ------------------------------------------------- executors under faults
+
+TEST(ExecutorFaults, DisabledFaultsAreBitIdentical) {
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 11);
+  for (const auto& p : multi_gpu_proposals()) {
+    const auto plain = run_proposal(p.make, "", data, kN, kG);
+    // Empty plan, injector attached: the zero-overhead guarantee.
+    const auto armed = run_proposal(p.make, "policy:retries=4", data, kN, kG);
+    EXPECT_DOUBLE_EQ(plain.seconds, armed.seconds) << p.name;
+    EXPECT_EQ(plain.out, armed.out) << p.name;
+    EXPECT_FALSE(armed.result.faults.any()) << p.name;
+    EXPECT_FALSE(armed.result.faults.degraded) << p.name;
+  }
+}
+
+TEST(ExecutorFaults, TransientFaultsRetryAndConvergeEveryProposal) {
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 12);
+  const auto expect = reference_batch_scan<std::int32_t>(
+      data, kN, kG, mc::ScanKind::kInclusive);
+  for (const auto& p : multi_gpu_proposals()) {
+    const auto healthy = run_proposal(p.make, "", data, kN, kG);
+    const auto faulted =
+        run_proposal(p.make, "transient:op=0,count=2", data, kN, kG);
+    EXPECT_EQ(faulted.out, expect) << p.name;
+    EXPECT_GT(faulted.result.faults.counters.transient_failures, 0u) << p.name;
+    EXPECT_GT(faulted.result.faults.counters.retries, 0u) << p.name;
+    EXPECT_GT(faulted.seconds, healthy.seconds) << p.name;
+    EXPECT_FALSE(faulted.result.faults.degraded) << p.name;
+  }
+}
+
+TEST(ExecutorFaults, LinkDownReroutesAndStaysCorrect) {
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 13);
+  const auto expect = reference_batch_scan<std::int32_t>(
+      data, kN, kG, mc::ScanKind::kInclusive);
+  Factory mps = [](mc::ScanContext& c) { return mc::make_mps_executor(c, 4); };
+  const auto healthy = run_proposal(mps, "", data, kN, kG);
+  const auto faulted =
+      run_proposal(mps, "link-down:src=0,dst=1", data, kN, kG);
+  EXPECT_EQ(faulted.out, expect);
+  EXPECT_GT(faulted.result.faults.counters.rerouted_transfers, 0u);
+  EXPECT_GT(faulted.result.faults.counters.rerouted_bytes, 0u);
+  EXPECT_GT(faulted.seconds, healthy.seconds);
+}
+
+TEST(ExecutorFaults, CorruptionIsRepairedEndToEnd) {
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 14);
+  const auto expect = reference_batch_scan<std::int32_t>(
+      data, kN, kG, mc::ScanKind::kInclusive);
+  Factory mps = [](mc::ScanContext& c) { return mc::make_mps_executor(c, 4); };
+  const auto faulted =
+      run_proposal(mps, "corrupt:op=0,count=1000", data, kN, kG);
+  EXPECT_EQ(faulted.out, expect);
+  EXPECT_GT(faulted.result.faults.counters.corruptions_detected, 0u);
+}
+
+TEST(ExecutorFaults, DeviceDownDegradesEveryProposalToACorrectScan) {
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 15);
+  const auto expect = reference_batch_scan<std::int32_t>(
+      data, kN, kG, mc::ScanKind::kInclusive);
+  for (const auto& p : multi_gpu_proposals()) {
+    const auto degraded =
+        run_proposal(p.make, "device-down:dev=2", data, kN, kG);
+    EXPECT_EQ(degraded.out, expect) << p.name;
+    EXPECT_TRUE(degraded.result.faults.degraded) << p.name;
+    EXPECT_FALSE(degraded.result.faults.degraded_mode.empty()) << p.name;
+    ASSERT_FALSE(degraded.result.faults.excluded_devices.empty()) << p.name;
+    EXPECT_EQ(degraded.result.faults.excluded_devices.front(), 2) << p.name;
+    EXPECT_FALSE(degraded.result.faults.replanned.empty()) << p.name;
+  }
+}
+
+TEST(ExecutorFaults, AllButOneDeviceDownCollapsesToScanSp) {
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 16);
+  const auto expect = reference_batch_scan<std::int32_t>(
+      data, kN, kG, mc::ScanKind::kInclusive);
+  // Kill devices 1..7: every proposal must fall back to Scan-SP on dev 0.
+  const std::string spec =
+      "device-down:dev=1;device-down:dev=2;device-down:dev=3;"
+      "device-down:dev=4;device-down:dev=5;device-down:dev=6;"
+      "device-down:dev=7";
+  for (const auto& p : multi_gpu_proposals()) {
+    const auto degraded = run_proposal(p.make, spec, data, kN, kG);
+    EXPECT_EQ(degraded.out, expect) << p.name;
+    EXPECT_TRUE(degraded.result.faults.degraded) << p.name;
+    EXPECT_NE(degraded.result.faults.degraded_mode.find("Scan-SP"),
+              std::string::npos)
+        << p.name << ": " << degraded.result.faults.degraded_mode;
+  }
+}
+
+TEST(ExecutorFaults, SpExecutorRelocatesOffADownDevice) {
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 17);
+  const auto expect = reference_batch_scan<std::int32_t>(
+      data, kN, kG, mc::ScanKind::kInclusive);
+  Factory sp = [](mc::ScanContext& c) { return mc::make_sp_executor(c, 0); };
+  const auto degraded = run_proposal(sp, "device-down:dev=0", data, kN, kG);
+  EXPECT_EQ(degraded.out, expect);
+  EXPECT_TRUE(degraded.result.faults.degraded);
+  EXPECT_EQ(degraded.result.faults.excluded_devices,
+            std::vector<int>{0});
+}
+
+TEST(ExecutorFaults, EpochMovesReplanAndInvalidateCachedPlans) {
+  auto cluster = mt::tsubame_kfc_cluster(1);
+  ms::FaultInjector fi{ms::FaultPlan{}};
+  cluster.set_fault_injector(&fi);
+  mc::ScanContext ctx(cluster);
+  auto ex = mc::make_mps_executor(ctx, 8);
+  ex->prepare(kN, kG);
+
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 18);
+  const auto expect = reference_batch_scan<std::int32_t>(
+      data, kN, kG, mc::ScanKind::kInclusive);
+  std::vector<std::int32_t> out(data.size());
+
+  const auto healthy = ex->run(data, out, mc::ScanKind::kInclusive);
+  EXPECT_EQ(out, expect);
+  EXPECT_FALSE(healthy.faults.degraded);
+  const std::size_t cached = ctx.plan_cache_size();
+
+  // A device dies after prepare(): the next run must notice via the
+  // liveness epoch, re-place on the survivors and retire the 8-GPU plan.
+  fi.mark_device_down(7);
+  std::fill(out.begin(), out.end(), 0);
+  const auto degraded = ex->run(data, out, mc::ScanKind::kInclusive);
+  EXPECT_EQ(out, expect);
+  EXPECT_TRUE(degraded.faults.degraded);
+  EXPECT_EQ(degraded.faults.excluded_devices, std::vector<int>{7});
+  EXPECT_GE(degraded.faults.invalidated_plans, 1u);
+  EXPECT_LT(ctx.plan_cache_size(), cached + 1);
+  EXPECT_NE(ex->describe().find("degraded"), std::string::npos);
+
+  // The device recovers: the epoch moves again and the nominal placement
+  // comes back.
+  fi.mark_device_up(7);
+  std::fill(out.begin(), out.end(), 0);
+  const auto recovered = ex->run(data, out, mc::ScanKind::kInclusive);
+  EXPECT_EQ(out, expect);
+  EXPECT_FALSE(recovered.faults.degraded);
+}
+
+TEST(ExecutorFaults, MidRunDeviceDownRaisesInsteadOfCorrupting) {
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 19);
+  // at > 0: the device is alive at placement time and dies mid-run; the
+  // run must raise a typed error, not return wrong data.
+  Factory mps = [](mc::ScanContext& c) { return mc::make_mps_executor(c, 4); };
+  EXPECT_THROW(run_proposal(mps, "device-down:dev=1,at=1e-9", data, kN, kG),
+               mt::TransferError);
+}

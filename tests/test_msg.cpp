@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "mgs/msg/comm.hpp"
+#include "mgs/sim/fault.hpp"
 
 namespace mm = mgs::msg;
 namespace mt = mgs::topo;
@@ -217,4 +218,123 @@ TEST(Comm, GatherValidatesShapes) {
   std::vector<mm::Slice<int>> uneven = {{&b0, 0, 4}, {&b1, 0, 2}};
   auto recv8 = c.device(0).alloc<int>(8);
   EXPECT_DEATH(comm.gather(0, uneven, recv8, 0), "equal-size");
+}
+
+// ---------------------------------------------------------------------------
+// Negative paths: collectives over a cluster with injected faults must
+// raise a typed CommError identifying the failed rank -- never silently
+// deliver partial data.
+
+namespace {
+
+/// Per-rank buffers + slices for a `ranks`-wide collective of `count`
+/// elements each.
+struct CollectiveBufs {
+  std::vector<mgs::simt::DeviceBuffer<int>> bufs;
+  std::vector<mm::Slice<int>> slices;
+
+  CollectiveBufs(mt::Cluster& c, mm::Communicator& comm, std::int64_t count) {
+    bufs.reserve(static_cast<std::size_t>(comm.size()));
+    for (int r = 0; r < comm.size(); ++r) {
+      bufs.push_back(c.device(comm.device_of(r)).alloc<int>(count));
+      slices.push_back({&bufs.back(), 0, count});
+    }
+  }
+};
+
+}  // namespace
+
+TEST(CommFaults, GatherWithDownRankRaisesCommError) {
+  auto c = mt::tsubame_kfc_cluster(1);
+  auto fi = mgs::sim::FaultInjector(
+      mgs::sim::parse_fault_plan("device-down:dev=2"));
+  c.set_fault_injector(&fi);
+  auto comm = make_comm(c, 4);
+  CollectiveBufs b(c, comm, 4);
+  auto recv = c.device(0).alloc<int>(16);
+  try {
+    comm.gather(0, b.slices, recv, 0);
+    FAIL() << "expected CommError";
+  } catch (const mm::CommError& e) {
+    EXPECT_EQ(e.failed_rank, 2);
+    EXPECT_NE(std::string(e.what()).find("MPI_Gather"), std::string::npos);
+  }
+}
+
+TEST(CommFaults, ScatterWithDownRankRaisesCommError) {
+  auto c = mt::tsubame_kfc_cluster(1);
+  auto fi = mgs::sim::FaultInjector(
+      mgs::sim::parse_fault_plan("device-down:dev=1"));
+  c.set_fault_injector(&fi);
+  auto comm = make_comm(c, 4);
+  CollectiveBufs b(c, comm, 4);
+  auto send = c.device(0).alloc<int>(16);
+  try {
+    comm.scatter(0, send, 0, b.slices);
+    FAIL() << "expected CommError";
+  } catch (const mm::CommError& e) {
+    EXPECT_EQ(e.failed_rank, 1);
+  }
+}
+
+TEST(CommFaults, BcastWithDownRankRaisesCommError) {
+  auto c = mt::tsubame_kfc_cluster(1);
+  auto fi = mgs::sim::FaultInjector(
+      mgs::sim::parse_fault_plan("device-down:dev=3"));
+  c.set_fault_injector(&fi);
+  auto comm = make_comm(c, 4);
+  CollectiveBufs b(c, comm, 8);
+  auto send = c.device(0).alloc<int>(8);
+  try {
+    comm.bcast(0, send, 0, b.slices);
+    FAIL() << "expected CommError";
+  } catch (const mm::CommError& e) {
+    EXPECT_EQ(e.failed_rank, 3);
+  }
+}
+
+TEST(CommFaults, BarrierTimeoutBlamesTheLaggard) {
+  auto c = mt::tsubame_kfc_cluster(1);
+  auto fi = mgs::sim::FaultInjector(
+      mgs::sim::parse_fault_plan("policy:timeout-s=0.5"));
+  c.set_fault_injector(&fi);
+  auto comm = make_comm(c, 4);
+  c.device(3).clock().advance(1.0);  // dwell beyond the timeout
+  try {
+    comm.barrier();
+    FAIL() << "expected CommError";
+  } catch (const mm::CommError& e) {
+    EXPECT_EQ(e.failed_rank, 3);
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+  }
+}
+
+TEST(CommFaults, RetryExhaustionRaisesCommError) {
+  auto c = mt::tsubame_kfc_cluster(1);
+  // Every first attempt on the 0->1 pair fails and no retry is allowed.
+  auto fi = mgs::sim::FaultInjector(mgs::sim::parse_fault_plan(
+      "transient:src=0,dst=1,op=0,count=1000;policy:retries=0"));
+  c.set_fault_injector(&fi);
+  auto comm = make_comm(c, 2);
+  auto a = c.device(0).alloc<int>(16);
+  auto b = c.device(1).alloc<int>(16);
+  EXPECT_THROW(comm.send_recv(0, 1, a, 0, b, 0, 16), mm::CommError);
+  EXPECT_GT(comm.fault_counters().transient_failures, 0u);
+}
+
+TEST(CommFaults, HealthyClusterUnaffectedByDetachedInjector) {
+  // Attaching and detaching an injector leaves collective times identical.
+  auto run_once = [](mt::Cluster& c, mgs::sim::FaultInjector* fi) {
+    c.set_fault_injector(fi);
+    auto comm = make_comm(c, 4);
+    CollectiveBufs b(c, comm, 64);
+    auto recv = c.device(0).alloc<int>(256);
+    return comm.gather(0, b.slices, recv, 0);
+  };
+  auto c1 = mt::tsubame_kfc_cluster(1);
+  const double plain = run_once(c1, nullptr);
+  auto c2 = mt::tsubame_kfc_cluster(1);
+  auto fi = mgs::sim::FaultInjector(mgs::sim::FaultPlan{});
+  const double with_empty_plan = run_once(c2, &fi);
+  EXPECT_DOUBLE_EQ(plain, with_empty_plan);
 }
