@@ -5,6 +5,13 @@
 /// Expected shape (paper): the MPI overhead stays almost constant across
 /// problem sizes; MPI_Gather/MPI_Scatter shrink as G decreases (fewer
 /// Stage-2 elements); compute stages grow with per-problem size.
+///
+/// Besides the table, the largest-n point is re-run under a TraceSession
+/// and exported as bench_results/bench_fig14_breakdown.json -- the JSON
+/// run-report whose critical-path section is the programmatic Figure 14
+/// (render with `mgs_trace --in bench_results/bench_fig14_breakdown.json`).
+
+#include <filesystem>
 
 #include "common.hpp"
 
@@ -51,5 +58,25 @@ int main(int argc, char** argv) {
       "decreases\n(fewer Stage-2 elements): gather %0.1f us at the smallest "
       "n vs %0.1f us at the largest.\n",
       gather_small * 1e6, gather_large * 1e6);
+
+  // Representative traced run (largest n, one problem per GPU pair) ->
+  // JSON run-report with span-level critical-path attribution.
+  {
+    const std::int64_t n = total;
+    const std::int64_t g = 1;
+    const auto plan = bench::tuned_plan_multinode(2, 4, data, n, g);
+    obs::TraceSession ts;
+    const auto r = bench::multinode_run(2, 4, data, n, g, plan);
+    std::filesystem::create_directories("bench_results");
+    core::write_run_report_file(
+        "bench_results/bench_fig14_breakdown.json",
+        core::make_run_info("Scan-MPS-multinode", n, 8, r), ts);
+    std::printf("-> bench_results/bench_fig14_breakdown.json "
+                "(mgs_trace --in ... renders the attribution)\n");
+    if (cfg.trace_guard) {
+      cfg.trace_guard->set_run_info(
+          core::make_run_info("Scan-MPS-multinode", n, 8, r));
+    }
+  }
   return 0;
 }

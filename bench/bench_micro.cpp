@@ -5,7 +5,10 @@
 /// These measure *host wall-clock* of the functional simulator (useful
 /// for keeping the simulator itself fast); the figure harnesses report
 /// *simulated* device time. The repeated-invocation results are also
-/// written to bench_results/bench_micro.json.
+/// written to bench_results/bench_micro.json, together with a "trace"
+/// section summarizing a traced Scan-MPS run whose full JSON run-report
+/// lands next to it (override the path with --trace FILE; render with
+/// `mgs_trace --in FILE`).
 
 #include <benchmark/benchmark.h>
 
@@ -236,6 +239,37 @@ ResilienceCase run_resilience_case(const std::string& spec,
   return c;
 }
 
+// ------------------------------------------------------------------------
+// Traced representative run: one Scan-MPS invocation through the unified
+// API under an obs::TraceSession. The full run-report goes to its own
+// file; bench_micro.json gets a "trace" section summarizing it.
+
+struct TraceSummary {
+  std::string report_path;
+  std::size_t spans = 0;
+  std::size_t metric_series = 0;
+  double makespan_s = 0.0;
+  mgs::obs::CategorySeconds by_category;
+};
+
+TraceSummary run_traced_case(const std::string& trace_path,
+                             std::span<const int> data, std::int64_t n,
+                             std::int64_t g) {
+  TraceSummary s;
+  s.report_path = trace_path;
+  mgs::obs::TraceSession ts;
+  mgs::bench::BenchContext bc(1);
+  const auto r = bc.run("Scan-MPS", {.w = 4}, data, n, g);
+  mgs::core::write_run_report_file(
+      trace_path, mgs::core::make_run_info("Scan-MPS", n, 4, r), ts);
+  const auto cp = mgs::obs::analyze_last_run(ts.spans());
+  s.spans = ts.size();
+  s.metric_series = ts.metrics().snapshot().size();
+  s.makespan_s = cp.total_seconds;
+  s.by_category = cp.by_category;
+  return s;
+}
+
 void json_path(std::ostream& os, const char* key, const PathTiming& t) {
   os << "    \"" << key << "\": {\"first_ms\": " << t.first_ms
      << ", \"mean_subsequent_ms\": " << t.mean_subsequent_ms
@@ -244,7 +278,8 @@ void json_path(std::ostream& os, const char* key, const PathTiming& t) {
 
 void write_repeated_report(const std::vector<RepeatedCase>& cases,
                            const std::string& faults_spec,
-                           const std::vector<ResilienceCase>& resilience) {
+                           const std::vector<ResilienceCase>& resilience,
+                           const TraceSummary& trace) {
   std::filesystem::create_directories("bench_results");
   std::ofstream os("bench_results/bench_micro.json");
   os << "{\n"
@@ -303,10 +338,21 @@ void write_repeated_report(const std::vector<RepeatedCase>& cases,
     }
     os << "    ]\n  }";
   }
+  os << ",\n  \"trace\": {\n"
+     << "    \"report\": \"" << trace.report_path << "\",\n"
+     << "    \"spans\": " << trace.spans
+     << ", \"metric_series\": " << trace.metric_series << ",\n"
+     << "    \"critical_path\": {\"makespan_s\": " << trace.makespan_s;
+  for (int c = 0; c < mgs::obs::kNumCategories; ++c) {
+    os << ", \"" << mgs::obs::to_string(static_cast<mgs::obs::Category>(c))
+       << "_s\": " << trace.by_category.seconds[static_cast<std::size_t>(c)];
+  }
+  os << "}\n  }";
   os << "\n}\n";
 }
 
-void report_repeated_invocation(const std::string& faults_spec) {
+void report_repeated_invocation(const std::string& faults_spec,
+                                const std::string& trace_path) {
   const std::int64_t n = 1 << 20;
   const std::int64_t g = 4;
   const auto data =
@@ -351,16 +397,22 @@ void report_repeated_invocation(const std::string& faults_spec) {
           static_cast<unsigned long long>(c.report.counters.retries));
     }
   }
-  write_repeated_report(cases, faults_spec, resilience);
+  std::filesystem::create_directories("bench_results");
+  const auto trace = run_traced_case(trace_path, data, n, g);
+  std::printf("  traced Scan-MPS run: %zu spans, makespan %.3f ms -> %s\n",
+              trace.spans, trace.makespan_s * 1e3,
+              trace.report_path.c_str());
+  write_repeated_report(cases, faults_spec, resilience, trace);
   std::printf("  -> bench_results/bench_micro.json\n\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel --faults off before google-benchmark sees the arguments (it
-  // rejects flags it does not know).
+  // Peel --faults / --trace off before google-benchmark sees the
+  // arguments (it rejects flags it does not know).
   std::string faults_spec;
+  std::string trace_path = "bench_results/bench_micro_run_report.json";
   std::vector<char*> keep;
   for (int i = 0; i < argc; ++i) {
     const std::string a = argv[i];
@@ -368,6 +420,10 @@ int main(int argc, char** argv) {
       faults_spec = argv[++i];
     } else if (a.rfind("--faults=", 0) == 0) {
       faults_spec = a.substr(9);
+    } else if (a == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (a.rfind("--trace=", 0) == 0) {
+      trace_path = a.substr(8);
     } else {
       keep.push_back(argv[i]);
     }
@@ -377,7 +433,7 @@ int main(int argc, char** argv) {
   }
   argc = static_cast<int>(keep.size());
   argv = keep.data();
-  report_repeated_invocation(faults_spec);
+  report_repeated_invocation(faults_spec, trace_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -27,6 +27,36 @@
 
 namespace mgs::bench {
 
+/// Records every run of the harness in an obs::TraceSession and writes
+/// the JSON run-report at scope exit (the --trace flag). Held by
+/// shared_ptr in BenchConfig so the session outlives parse_bench_config
+/// and dies when the harness exits.
+class TraceGuard {
+ public:
+  explicit TraceGuard(std::string path) : path_(std::move(path)) {
+    info_.executor = "bench-harness";
+  }
+  ~TraceGuard() {
+    try {
+      core::write_run_report_file(path_, info_, session_);
+      std::fprintf(stderr, "trace: wrote %s\n", path_.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace: %s\n", e.what());
+    }
+  }
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+  /// Stamp the report header with a representative run's summary.
+  void set_run_info(obs::RunInfo info) { info_ = std::move(info); }
+  obs::TraceSession& session() { return session_; }
+
+ private:
+  std::string path_;
+  obs::RunInfo info_;
+  obs::TraceSession session_;
+};
+
 struct BenchConfig {
   int total_log2 = 22;    ///< total elements per data point (paper: 28)
   int min_n_log2 = 13;    ///< smallest problem size exponent (paper: 13)
@@ -34,6 +64,8 @@ struct BenchConfig {
   std::uint64_t seed = 20180521;  ///< IPDPS 2018 :-)
   std::string faults;     ///< fault-injection spec (see sim/fault.hpp); ""
                           ///< = healthy run (bit-identical to pre-fault)
+  std::string trace;      ///< run-report output path (--trace); "" = off
+  std::shared_ptr<TraceGuard> trace_guard;  ///< live session when tracing
 };
 
 inline BenchConfig parse_bench_config(int argc, char** argv,
@@ -46,6 +78,9 @@ inline BenchConfig parse_bench_config(int argc, char** argv,
   cli.describe("faults",
                "fault-injection spec, e.g. 'transient:prob=0.01;straggler:dev=1,factor=4' "
                "(kinds: transient, link-down, device-down, corrupt, straggler, policy)");
+  cli.describe("trace",
+               "record every run in an obs::TraceSession and write the JSON "
+               "run-report here at exit (inspect with mgs_trace --in FILE)");
   if (cli.help_requested()) {
     cli.print_help(summary);
     std::exit(0);
@@ -59,6 +94,10 @@ inline BenchConfig parse_bench_config(int argc, char** argv,
   cfg.faults = cli.get_string("faults", "");
   if (!cfg.faults.empty()) {
     sim::parse_fault_plan(cfg.faults);  // fail fast on a malformed spec
+  }
+  cfg.trace = cli.get_string("trace", "");
+  if (!cfg.trace.empty()) {
+    cfg.trace_guard = std::make_shared<TraceGuard>(cfg.trace);
   }
   MGS_REQUIRE(cfg.total_log2 >= cfg.min_n_log2 && cfg.total_log2 <= 28,
               "--total-log2 must be in [--min-n-log2, 28]");

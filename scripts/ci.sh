@@ -33,3 +33,8 @@ else
 fi
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+# Sample observability artifacts (uploaded by the GitHub Actions
+# workflow): a traced 4-GPU Scan-MPS run-report + Perfetto trace +
+# Prometheus metrics, rendered once to prove the loader works.
+"$BUILD_DIR"/tools/mgs_trace --demo --out "$BUILD_DIR/obs_sample"

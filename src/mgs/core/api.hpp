@@ -19,4 +19,5 @@
 #include "mgs/core/scan_context.hpp" // plan cache + workspace pool
 #include "mgs/core/executor.hpp"     // unified proposal interface
 #include "mgs/core/executor_registry.hpp"  // named executor lookup
+#include "mgs/core/run_report.hpp"   // RunResult -> obs exporters bridge
 #include "mgs/core/easy.hpp"         // one-call convenience scan

@@ -131,6 +131,7 @@ class SpExecutor final : public ScanExecutor {
                 ScanKind kind) override {
     require_ready(in, out);
     prepare(n_, g_);  // re-place if device liveness changed since prepare()
+    obs::ScopedSpan run_span = trace_run();
     ctx_->cluster().reset_clocks();
     std::copy(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(n_ * g_),
               in_.host_span().begin());
@@ -141,6 +142,7 @@ class SpExecutor final : public ScanExecutor {
     std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(n_ * g_),
               out.begin());
     stamp_report(r);
+    finish_run(run_span, r);
     return r;
   }
 
@@ -215,9 +217,11 @@ class MpsExecutor final : public ScanExecutor {
                 ScanKind kind) override {
     require_ready(in, out);
     prepare(n_, g_);
+    obs::ScopedSpan run_span = trace_run();
     if (use_sp_) {
       RunResult r = sp_.run(*ctx_, *plan_, in, out, n_, g_, kind);
       stamp_report(r);
+      finish_run(run_span, r);
       return r;
     }
     ctx_->cluster().reset_clocks();
@@ -236,6 +240,7 @@ class MpsExecutor final : public ScanExecutor {
                                          &ctx_->workspace());
     gather_batch<std::int32_t>(batches, n_, g_, out);
     stamp_report(r);
+    finish_run(run_span, r);
     return r;
   }
 
@@ -359,9 +364,11 @@ class MppcExecutor final : public ScanExecutor {
                 ScanKind kind) override {
     require_ready(in, out);
     prepare(n_, g_);
+    obs::ScopedSpan run_span = trace_run();
     if (use_sp_) {
       RunResult r = sp_.run(*ctx_, *plan_, in, out, n_, g_, kind);
       stamp_report(r);
+      finish_run(run_span, r);
       return r;
     }
     ctx_->cluster().reset_clocks();
@@ -390,6 +397,7 @@ class MppcExecutor final : public ScanExecutor {
                       static_cast<std::size_t>(part_.g_of_group[grp] * n_)));
     }
     stamp_report(r);
+    finish_run(run_span, r);
     return r;
   }
 
@@ -557,9 +565,11 @@ class MultinodeExecutor final : public ScanExecutor {
                 ScanKind kind) override {
     require_ready(in, out);
     prepare(n_, g_);
+    obs::ScopedSpan run_span = trace_run();
     if (use_sp_) {
       RunResult r = sp_.run(*ctx_, *plan_, in, out, n_, g_, kind);
       stamp_report(r);
+      finish_run(run_span, r);
       return r;
     }
     ctx_->cluster().reset_clocks();
@@ -573,6 +583,7 @@ class MultinodeExecutor final : public ScanExecutor {
         *comm_, batches, n_, g_, *plan_, kind, {}, &ctx_->workspace());
     gather_batch<std::int32_t>(batches, n_, g_, out);
     stamp_report(r);
+    finish_run(run_span, r);
     return r;
   }
 
@@ -653,6 +664,50 @@ void ScanExecutor::stamp_report(RunResult& r) const {
   r.faults.excluded_devices = prep_report_.excluded_devices;
   r.faults.replanned = prep_report_.replanned;
   r.faults.invalidated_plans = prep_report_.invalidated_plans;
+}
+
+obs::ScopedSpan ScanExecutor::trace_run() const {
+  obs::TraceSession* ts = obs::TraceSession::current();
+  if (ts == nullptr) return obs::ScopedSpan{};
+
+  obs::SpanRecord run;
+  run.name = name();
+  run.kind = obs::SpanKind::kRun;
+  run.category = obs::Category::kOther;
+  run.notes.emplace_back("n", std::to_string(n_));
+  run.notes.emplace_back("g", std::to_string(g_));
+  obs::ScopedSpan span(std::move(run));
+
+  obs::SpanRecord plan;
+  plan.name = "plan";
+  plan.kind = obs::SpanKind::kPlan;
+  plan.category = obs::Category::kOther;
+  plan.notes.emplace_back("config", describe());
+  ts->add_event(std::move(plan));
+
+  if (prep_report_.degraded) {
+    obs::SpanRecord replan;
+    replan.name = "replan";
+    replan.kind = obs::SpanKind::kFault;
+    replan.category = obs::Category::kOther;
+    replan.notes.emplace_back("mode", prep_report_.degraded_mode);
+    for (const std::string& step : prep_report_.replanned) {
+      replan.notes.emplace_back("step", step);
+    }
+    ts->add_event(std::move(replan));
+    ts->metrics().inc("fault_events_total", {{"kind", "replan"}});
+    ts->metrics().inc("degraded_runs_total", {{"executor", name()}});
+  }
+  ts->metrics().inc("runs_total", {{"executor", name()}});
+  return span;
+}
+
+void ScanExecutor::finish_run(obs::ScopedSpan& span, RunResult& r) const {
+  obs::TraceSession* ts = obs::TraceSession::current();
+  if (ts == nullptr) return;
+  span.close(r.seconds);
+  ts->metrics().add("run_seconds", {{"executor", name()}}, r.seconds);
+  r.metrics = ts->metrics().snapshot();
 }
 
 std::unique_ptr<ScanExecutor> make_sp_executor(ScanContext& ctx,

@@ -37,6 +37,7 @@
 #include "mgs/core/op.hpp"
 #include "mgs/core/plan.hpp"
 #include "mgs/core/scan_context.hpp"
+#include "mgs/obs/span.hpp"
 
 namespace mgs::core {
 
@@ -74,6 +75,15 @@ class ScanExecutor {
   /// Copy the placement-time degradation record into a run's report
   /// (counters stay whatever the proposal accumulated).
   void stamp_report(RunResult& r) const;
+
+  /// Open the kRun span for this run (simulated t = 0, i.e. the clock
+  /// reset), with a kPlan child describing the placement and -- for a
+  /// degraded placement -- kFault "replan" children. Inactive (and free
+  /// beyond one branch) when no TraceSession is installed.
+  obs::ScopedSpan trace_run() const;
+  /// Close the run span at the run's makespan and snapshot the session's
+  /// metrics into r.metrics. Call after stamp_report on every return path.
+  void finish_run(obs::ScopedSpan& span, RunResult& r) const;
 
   std::int64_t n_ = 0;  ///< prepared shape; 0 = not prepared
   std::int64_t g_ = 0;

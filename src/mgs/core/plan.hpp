@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "mgs/obs/metrics.hpp"
 #include "mgs/sim/fault.hpp"
 #include "mgs/sim/timeline.hpp"
 #include "mgs/simt/types.hpp"
@@ -94,6 +95,9 @@ struct RunResult {
   std::uint64_t payload_bytes = 0;  ///< bytes read + written of problem data
   sim::Breakdown breakdown;      ///< per-phase accounting (Figure 14)
   sim::FaultReport faults;       ///< resilience costs; empty when healthy
+  /// Metrics recorded during this run when an obs::TraceSession was
+  /// installed (empty otherwise): transfer/kernel/plan-cache counters.
+  obs::MetricsSnapshot metrics;
 
   /// Effective throughput: problem bytes moved per second of simulated
   /// time (N*G elements read and written once). Throws util::Error on a

@@ -1,0 +1,75 @@
+#pragma once
+/// \file run_report.hpp
+/// Bridge between core::RunResult and the obs exporters: build the
+/// obs::RunInfo header from a run and write the JSON run-report /
+/// Perfetto trace / Prometheus files a harness or tool wants to leave
+/// behind. Header-only so mgs_obs stays below mgs_core in the layering.
+
+#include <fstream>
+#include <string>
+
+#include "mgs/core/plan.hpp"
+#include "mgs/obs/critical_path.hpp"
+#include "mgs/obs/export.hpp"
+#include "mgs/obs/span.hpp"
+#include "mgs/util/check.hpp"
+
+namespace mgs::core {
+
+/// RunInfo header for a completed run (non-zero fault counters only).
+inline obs::RunInfo make_run_info(const std::string& executor,
+                                  std::int64_t n, int devices,
+                                  const RunResult& r) {
+  obs::RunInfo info;
+  info.executor = executor;
+  info.n = static_cast<std::uint64_t>(n);
+  info.devices = devices;
+  info.seconds = r.seconds;
+  info.payload_bytes = r.payload_bytes;
+  info.breakdown = r.breakdown.entries();
+  const auto& c = r.faults.counters;
+  auto push = [&](const char* key, std::uint64_t v) {
+    if (v != 0) info.fault_counters.emplace_back(key, v);
+  };
+  push("transient_failures", c.transient_failures);
+  push("retries", c.retries);
+  push("timeouts", c.timeouts);
+  push("corruptions_detected", c.corruptions_detected);
+  push("rerouted_transfers", c.rerouted_transfers);
+  push("rerouted_bytes", c.rerouted_bytes);
+  return info;
+}
+
+/// Write the "mgs-run-report-v1" JSON for everything `ts` recorded; the
+/// critical path is derived from the last run span (or the whole
+/// recording when there is none).
+inline void write_run_report_file(const std::string& path,
+                                  const obs::RunInfo& info,
+                                  const obs::TraceSession& ts) {
+  const auto spans = ts.spans();
+  const auto cp = obs::analyze_last_run(spans);
+  std::ofstream os(path);
+  MGS_REQUIRE(os.good(), "run-report: cannot open " + path);
+  obs::write_run_report(os, info, ts.metrics().snapshot(), spans, cp);
+  MGS_REQUIRE(os.good(), "run-report: write failed for " + path);
+}
+
+/// Write the Chrome/Perfetto trace for everything `ts` recorded.
+inline void write_chrome_trace_file(const std::string& path,
+                                    const obs::TraceSession& ts) {
+  std::ofstream os(path);
+  MGS_REQUIRE(os.good(), "trace: cannot open " + path);
+  obs::write_chrome_trace(os, ts.spans());
+  MGS_REQUIRE(os.good(), "trace: write failed for " + path);
+}
+
+/// Write the Prometheus text exposition for the session's metrics.
+inline void write_prometheus_file(const std::string& path,
+                                  const obs::TraceSession& ts) {
+  std::ofstream os(path);
+  MGS_REQUIRE(os.good(), "metrics: cannot open " + path);
+  obs::write_prometheus(os, ts.metrics().snapshot());
+  MGS_REQUIRE(os.good(), "metrics: write failed for " + path);
+}
+
+}  // namespace mgs::core

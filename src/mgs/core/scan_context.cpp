@@ -4,6 +4,7 @@
 
 #include "mgs/core/executor_registry.hpp"
 #include "mgs/core/tuning.hpp"
+#include "mgs/obs/span.hpp"
 #include "mgs/sim/fault.hpp"
 #include "mgs/util/math.hpp"
 
@@ -35,9 +36,15 @@ const ScanPlan& ScanContext::plan_for(const PlanKey& key) {
               "ScanContext::plan_for: bad plan key");
   if (const auto it = plans_.find(key); it != plans_.end()) {
     ++hits_;
+    if (obs::TraceSession* ts = obs::TraceSession::current()) {
+      ts->metrics().inc("plan_cache_hits");
+    }
     return it->second;
   }
   ++misses_;
+  if (obs::TraceSession* ts = obs::TraceSession::current()) {
+    ts->metrics().inc("plan_cache_misses");
+  }
 
   const sim::DeviceSpec& spec = cluster_->config().gpu;
   ScanPlan plan;
@@ -59,7 +66,11 @@ const ScanPlan& ScanContext::plan_for(const PlanKey& key) {
     plan.s13.k = static_cast<int>(util::floor_pow2(
         static_cast<std::uint64_t>(std::max<std::int64_t>(1, bound))));
   }
-  return plans_.emplace(key, plan).first->second;
+  const ScanPlan& cached = plans_.emplace(key, plan).first->second;
+  if (obs::TraceSession* ts = obs::TraceSession::current()) {
+    ts->metrics().set("plan_cache_size", static_cast<double>(plans_.size()));
+  }
+  return cached;
 }
 
 std::size_t ScanContext::invalidate_plans(int max_gpus_per_problem) {
@@ -72,6 +83,14 @@ std::size_t ScanContext::invalidate_plans(int max_gpus_per_problem) {
       ++dropped;
     } else {
       ++it;
+    }
+  }
+  if (dropped != 0) {
+    if (obs::TraceSession* ts = obs::TraceSession::current()) {
+      ts->metrics().add("plan_cache_invalidated", {},
+                        static_cast<double>(dropped));
+      ts->metrics().set("plan_cache_size",
+                        static_cast<double>(plans_.size()));
     }
   }
   return dropped;

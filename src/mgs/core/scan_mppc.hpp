@@ -107,9 +107,22 @@ RunResult scan_mppc(topo::Cluster& cluster, const MppcPartition& part,
   RunResult result;
   double worst = -1.0;
   for (std::size_t grp = 0; grp < part.groups.size(); ++grp) {
+    // One stage span per group pipeline; groups run concurrently on
+    // disjoint devices, so these spans overlap on the simulated timeline
+    // (the critical-path analyzer's segment cut handles the overlap).
+    obs::ScopedSpan group_stage;
+    double group_t0 = 0.0;
+    if (obs::TraceSession::current() != nullptr) {
+      for (int d : part.groups[grp]) {
+        group_t0 = std::max(group_t0, cluster.device(d).clock().now());
+      }
+      group_stage = obs::open_stage(
+          ("group" + std::to_string(grp)).c_str(), group_t0);
+    }
     RunResult r =
         scan_mps(cluster, part.groups[grp], batches[grp], n,
                  part.g_of_group[grp], plan, kind, op, ws);
+    group_stage.close(group_t0 + r.seconds);
     result.payload_bytes += r.payload_bytes;
     result.faults.counters.merge(r.faults.counters);
     if (r.seconds > worst) {

@@ -10,6 +10,7 @@
 #include "mgs/core/kernels.hpp"
 #include "mgs/core/plan.hpp"
 #include "mgs/core/workspace.hpp"
+#include "mgs/obs/span.hpp"
 #include "mgs/topo/transfer.hpp"
 
 namespace mgs::core {
@@ -150,6 +151,7 @@ RunResult scan_mps(topo::Cluster& cluster, const std::vector<int>& gpus,
 
   // ---- Stage 1 on every GPU (concurrent; each device clock advances
   // independently).
+  auto stage1 = obs::open_stage("Stage1", t0);
   for (int d = 0; d < w; ++d) {
     launch_chunk_reduce(cluster.device(gpus[static_cast<std::size_t>(d)]),
                         batches[static_cast<std::size_t>(d)].in,
@@ -157,10 +159,12 @@ RunResult scan_mps(topo::Cluster& cluster, const std::vector<int>& gpus,
                         plan.s13, op);
   }
   const double t_stage1 = phase_start();
+  stage1.close(t_stage1);
   result.breakdown.add("Stage1", t_stage1 - t0);
 
   // ---- Gather the chunk reductions on the master: per source GPU one
   // strided 2-D copy (G rows of bx), problem-major on arrival.
+  auto gather_stage = obs::open_stage("AuxGather", t_stage1);
   for (int d = 0; d < w; ++d) {
     xfer.copy_2d(aux_all.buffer(), static_cast<std::int64_t>(d) * lay.bx,
                  static_cast<std::int64_t>(w) * lay.bx,
@@ -168,26 +172,32 @@ RunResult scan_mps(topo::Cluster& cluster, const std::vector<int>& gpus,
                  g, lay.bx);
   }
   const double t_gather = phase_start();
+  gather_stage.close(t_gather);
   result.breakdown.add("AuxGather", t_gather - t_stage1);
 
   // ---- Stage 2 on the master only (empirically better than splitting
   // it across GPUs, per Section 4.1).
+  auto stage2 = obs::open_stage("Stage2", t_gather, master);
   launch_intermediate_scan(cluster.device(master), aux_all.buffer(),
                            static_cast<std::int64_t>(w) * lay.bx, g, plan.s2,
                            op);
   const double t_stage2 = phase_start();
+  stage2.close(t_stage2);
   result.breakdown.add("Stage2", t_stage2 - t_gather);
 
   // ---- Scatter each GPU's slice of scanned prefixes back.
+  auto scatter_stage = obs::open_stage("AuxScatter", t_stage2);
   for (int d = 0; d < w; ++d) {
     xfer.copy_2d(aux_local[static_cast<std::size_t>(d)].buffer(), 0, lay.bx,
                  aux_all.buffer(), static_cast<std::int64_t>(d) * lay.bx,
                  static_cast<std::int64_t>(w) * lay.bx, g, lay.bx);
   }
   const double t_scatter = phase_start();
+  scatter_stage.close(t_scatter);
   result.breakdown.add("AuxScatter", t_scatter - t_stage2);
 
   // ---- Stage 3 on every GPU.
+  auto stage3 = obs::open_stage("Stage3", t_scatter);
   for (int d = 0; d < w; ++d) {
     launch_scan_add(cluster.device(gpus[static_cast<std::size_t>(d)]),
                     batches[static_cast<std::size_t>(d)].in,
@@ -196,6 +206,7 @@ RunResult scan_mps(topo::Cluster& cluster, const std::vector<int>& gpus,
                     plan.s13, kind, op);
   }
   const double t_stage3 = phase_start();
+  stage3.close(t_stage3);
   result.breakdown.add("Stage3", t_stage3 - t_scatter);
 
   result.seconds = t_stage3 - t0;
@@ -249,6 +260,7 @@ RunResult scan_mps_direct(topo::Cluster& cluster, const std::vector<int>& gpus,
   const auto aux_view = aux_all.view();
 
   // ---- Stage 1 with direct peer writes into the master's array.
+  auto stage1 = obs::open_stage("Stage1+P2PWrites", t0);
   for (int d = 0; d < w; ++d) {
     simt::Device& dev = cluster.device(gpus[static_cast<std::size_t>(d)]);
     simt::LaunchConfig cfg;
@@ -280,21 +292,46 @@ RunResult scan_mps_direct(topo::Cluster& cluster, const std::vector<int>& gpus,
       const double exposed = std::max(0.0, wire - 0.5 * t.seconds);
       dev.clock().advance(exposed);
       cluster.device(master).clock().sync_to(dev.clock().now());
+      if (exposed > 0.0) {
+        if (obs::TraceSession* ts = obs::TraceSession::current()) {
+          // The overlapped portion of the peer writes hides behind the
+          // kernel; only the exposed tail occupies the link as a span.
+          obs::SpanRecord rec;
+          rec.name = "p2p_writes";
+          rec.kind = obs::SpanKind::kTransfer;
+          rec.category = obs::Category::kP2P;
+          rec.device = master;
+          rec.src_device = gpus[static_cast<std::size_t>(d)];
+          rec.start_seconds = dev.clock().now() - exposed;
+          rec.end_seconds = dev.clock().now();
+          const std::uint64_t wire_bytes =
+              static_cast<std::uint64_t>(g) * lay.bx * sizeof(T);
+          rec.bytes = wire_bytes;
+          rec.notes.emplace_back("link", "p2p");
+          ts->add_event(std::move(rec));
+          ts->metrics().add("transfer_bytes", {{"kind", "p2p"}},
+                            static_cast<double>(wire_bytes));
+        }
+      }
     }
   }
   const double t_stage1 = phase_start();
   // The master may only start Stage 2 once every peer's writes landed.
   cluster.device(master).clock().sync_to(t_stage1);
+  stage1.close(t_stage1);
   result.breakdown.add("Stage1+P2PWrites", t_stage1 - t0);
 
   // ---- Stage 2 on the master.
+  auto stage2 = obs::open_stage("Stage2", t_stage1, master);
   launch_intermediate_scan(cluster.device(master), aux_all.buffer(),
                            static_cast<std::int64_t>(w) * lay.bx, g, plan.s2,
                            op);
   const double t_stage2 = phase_start();
+  stage2.close(t_stage2);
   result.breakdown.add("Stage2", t_stage2 - t_stage1);
 
   // ---- Scatter slices back, then Stage 3 (same as regular MPS).
+  auto scatter_stage = obs::open_stage("AuxScatter", t_stage2);
   std::vector<WorkspacePool::Handle<T>> aux_local;
   aux_local.reserve(static_cast<std::size_t>(w));
   for (int d = 0; d < w; ++d) {
@@ -306,8 +343,10 @@ RunResult scan_mps_direct(topo::Cluster& cluster, const std::vector<int>& gpus,
                  static_cast<std::int64_t>(w) * lay.bx, g, lay.bx);
   }
   const double t_scatter = phase_start();
+  scatter_stage.close(t_scatter);
   result.breakdown.add("AuxScatter", t_scatter - t_stage2);
 
+  auto stage3 = obs::open_stage("Stage3", t_scatter);
   for (int d = 0; d < w; ++d) {
     launch_scan_add(cluster.device(gpus[static_cast<std::size_t>(d)]),
                     batches[static_cast<std::size_t>(d)].in,
@@ -316,6 +355,7 @@ RunResult scan_mps_direct(topo::Cluster& cluster, const std::vector<int>& gpus,
                     plan.s13, kind, op);
   }
   const double t_end = phase_start();
+  stage3.close(t_end);
   result.breakdown.add("Stage3", t_end - t_scatter);
 
   result.seconds = t_end - t0;

@@ -59,10 +59,13 @@ RunResult scan_mps_multinode(msg::Communicator& comm,
   }
 
   // "After synchronizing all MPI processes, the first stage is executed."
+  auto entry_stage = obs::open_stage("EntryBarrier", t0);
   comm.barrier();
   const double t_sync = phase_start();
+  entry_stage.close(t_sync);
 
   // ---- Stage 1 on every rank.
+  auto stage1 = obs::open_stage("Stage1", t_sync);
   for (int r = 0; r < ranks; ++r) {
     launch_chunk_reduce(cluster.device(comm.device_of(r)),
                         batches[static_cast<std::size_t>(r)].in,
@@ -70,29 +73,38 @@ RunResult scan_mps_multinode(msg::Communicator& comm,
                         plan.s13, op);
   }
   const double t_stage1 = phase_start();
+  stage1.close(t_stage1);
   result.breakdown.add("Stage1", t_stage1 - t_sync);
 
   // ---- MPI_Gather of the chunk reductions to rank 0.
+  auto gather_stage = obs::open_stage("MPI_Gather", t_stage1);
   std::vector<msg::Slice<T>> slices;
   for (int r = 0; r < ranks; ++r) {
     slices.push_back({&aux_local[static_cast<std::size_t>(r)].buffer(), 0,
                       lay.aux_elems()});
   }
   comm.gather(0, slices, aux_all.buffer(), 0);
+  const double t_gather = phase_start();
+  gather_stage.close(t_gather);
 
   // ---- Stage 2 on the master GPU over the rank-major layout.
+  auto stage2 = obs::open_stage("Stage2", t_gather, comm.device_of(0));
   launch_intermediate_scan_ranked(master, aux_all.buffer(), lay.bx, ranks, g,
                                   plan.s2, op);
   const double t_stage2_end = phase_start();
+  stage2.close(t_stage2_end);
   result.breakdown.add(
       "Stage2", t_stage2_end - t_stage1 - comm.breakdown().get("MPI_Gather"));
 
   // ---- MPI_Scatter the scanned prefixes back (each rank's region of the
   // rank-major array is contiguous).
+  auto scatter_stage = obs::open_stage("MPI_Scatter", t_stage2_end);
   comm.scatter(0, aux_all.buffer(), 0, slices);
 
   // ---- Stage 3 on every rank.
   const double t_stage3_begin = phase_start();
+  scatter_stage.close(t_stage3_begin);
+  auto stage3 = obs::open_stage("Stage3", t_stage3_begin);
   for (int r = 0; r < ranks; ++r) {
     launch_scan_add(cluster.device(comm.device_of(r)),
                     batches[static_cast<std::size_t>(r)].in,
@@ -101,10 +113,13 @@ RunResult scan_mps_multinode(msg::Communicator& comm,
                     plan.s13, kind, op);
   }
   const double t_stage3 = phase_start();
+  stage3.close(t_stage3);
   result.breakdown.add("Stage3", t_stage3 - t_stage3_begin);
 
+  auto exit_stage = obs::open_stage("ExitBarrier", t_stage3);
   comm.barrier();
   const double t_end = phase_start();
+  exit_stage.close(t_end);
   result.breakdown.merge(comm.breakdown());
 
   result.seconds = t_end - t0;

@@ -7,6 +7,7 @@
 #include "mgs/core/kernels.hpp"
 #include "mgs/core/plan.hpp"
 #include "mgs/core/workspace.hpp"
+#include "mgs/obs/span.hpp"
 
 namespace mgs::core {
 
@@ -31,18 +32,26 @@ RunResult scan_sp(simt::Device& dev, const simt::DeviceBuffer<T>& in,
   const double start = dev.clock().now();
 
   if (lay.bx == 1) {
+    auto stage3 = obs::open_stage("Stage3", start, dev.id());
     const auto t = launch_direct_scan(dev, in, out, lay, plan.s13, kind, op);
+    stage3.close(dev.clock().now());
     result.breakdown.add("Stage3", t.seconds);
   } else {
     auto aux = acquire_workspace<T>(ws, dev, lay.aux_elems());
+    auto stage1 = obs::open_stage("Stage1", dev.clock().now(), dev.id());
     const auto t1 =
         launch_chunk_reduce(dev, in, aux.buffer(), lay, plan.s13, op);
+    stage1.close(dev.clock().now());
     result.breakdown.add("Stage1", t1.seconds);
+    auto stage2 = obs::open_stage("Stage2", dev.clock().now(), dev.id());
     const auto t2 =
         launch_intermediate_scan(dev, aux.buffer(), lay.bx, lay.g, plan.s2, op);
+    stage2.close(dev.clock().now());
     result.breakdown.add("Stage2", t2.seconds);
+    auto stage3 = obs::open_stage("Stage3", dev.clock().now(), dev.id());
     const auto t3 =
         launch_scan_add(dev, in, out, aux.buffer(), lay, plan.s13, kind, op);
+    stage3.close(dev.clock().now());
     result.breakdown.add("Stage3", t3.seconds);
   }
 

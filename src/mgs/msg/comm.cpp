@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "mgs/obs/span.hpp"
 #include "mgs/sim/profiler.hpp"
 
 namespace mgs::msg {
@@ -62,6 +63,27 @@ double Communicator::timed_message(int src_rank, int dst_rank,
   sim::FaultInjector* fi = cluster_->fault_injector();
   if (fi == nullptr) return base;
 
+  // Message retries/timeouts/re-sends become kFault children of whatever
+  // span is open (the enclosing collective's stage), since the collective
+  // span itself is only recorded after its completion time is known.
+  obs::TraceSession* ts = obs::TraceSession::current();
+  std::uint64_t obs_retries = 0;
+  const auto fault_event = [&](const char* kind, double at, int attempt) {
+    if (ts == nullptr) return;
+    obs::SpanRecord ev;
+    ev.name = kind;
+    ev.kind = obs::SpanKind::kFault;
+    ev.category = obs::Category::kOther;
+    ev.device = device_of(dst_rank);
+    ev.src_device = device_of(src_rank);
+    ev.start_seconds = at;
+    ev.end_seconds = at;
+    ev.notes.emplace_back("attempt", std::to_string(attempt));
+    ev.notes.emplace_back("op", "message");
+    ts->add_event(std::move(ev));
+    ts->metrics().inc("fault_events_total", {{"kind", kind}});
+  };
+
   const int src = device_of(src_rank);
   const int dst = device_of(dst_rank);
   const double attempt_time = base * fi->transfer_slowdown(src, dst);
@@ -86,8 +108,14 @@ double Communicator::timed_message(int src_rank, int dst_rank,
         // Checksum mismatch on arrival: pay one re-send.
         ++faults_seen_.corruptions_detected;
         ++faults_seen_.retries;
+        ++obs_retries;
+        fault_event("corrupt-resend", now + total, attempt);
         faults_seen_.retry_seconds += attempt_time;
         total += attempt_time;
+      }
+      if (ts != nullptr && obs_retries != 0) {
+        ts->metrics().add("fault_retries", {},
+                          static_cast<double>(obs_retries));
       }
       return total;
     }
@@ -96,6 +124,7 @@ double Communicator::timed_message(int src_rank, int dst_rank,
     } else {
       ++faults_seen_.transient_failures;
     }
+    fault_event(timed_out ? "timeout" : "transient", now + total, attempt);
     faults_seen_.retry_seconds += spent;
     if (attempt >= plan.max_retries) {
       throw CommError("message rank " + std::to_string(src_rank) + " -> " +
@@ -109,6 +138,7 @@ double Communicator::timed_message(int src_rank, int dst_rank,
     total += backoff;
     faults_seen_.retry_seconds += backoff;
     ++faults_seen_.retries;
+    ++obs_retries;
   }
 }
 
@@ -149,15 +179,38 @@ double Communicator::barrier() {
 void Communicator::profile_collective(const char* name, double start,
                                       double completion,
                                       std::uint64_t bytes) {
-  if (!sim::Profiler::instance().enabled()) return;
-  sim::ProfileRecord rec;
+  if (sim::Profiler::instance().enabled()) {
+    sim::ProfileRecord rec;
+    rec.name = name;
+    rec.kind = sim::EventKind::kCollective;
+    rec.device_id = device_of(0);
+    rec.start_seconds = start;
+    rec.duration_seconds = completion - start;
+    rec.bytes = bytes;
+    sim::Profiler::instance().record(std::move(rec));
+  }
+  trace_collective(name, start, completion, bytes);
+}
+
+void Communicator::trace_collective(const char* name, double start,
+                                    double completion, std::uint64_t bytes) {
+  obs::TraceSession* ts = obs::TraceSession::current();
+  if (ts == nullptr) return;
+  obs::SpanRecord rec;
   rec.name = name;
-  rec.kind = sim::EventKind::kCollective;
-  rec.device_id = device_of(0);
+  rec.kind = obs::SpanKind::kCollective;
+  rec.category = obs::Category::kMpi;
+  rec.device = device_of(0);
   rec.start_seconds = start;
-  rec.duration_seconds = completion - start;
+  rec.end_seconds = completion;
   rec.bytes = bytes;
-  sim::Profiler::instance().record(std::move(rec));
+  ts->add_event(std::move(rec));
+  obs::MetricsRegistry& m = ts->metrics();
+  m.inc("mpi_ops_total", {{"op", name}});
+  m.add("mpi_seconds", {{"op", name}}, completion - start);
+  if (bytes != 0) {
+    m.add("transfer_bytes", {{"kind", "mpi"}}, static_cast<double>(bytes));
+  }
 }
 
 }  // namespace mgs::msg

@@ -114,9 +114,12 @@ class Communicator {
   void check_ranks_alive(const char* op);
   sim::Clock& clock_of(int rank);
   double collective_alpha() const;  ///< software overhead per collective step
-  /// Emit a profiler record for one collective (no-op when disabled).
+  /// Emit a profiler record for one collective (no-op when disabled) and,
+  /// when a TraceSession is installed, a kCollective span plus mpi metrics.
   void profile_collective(const char* name, double start, double completion,
                           std::uint64_t bytes);
+  void trace_collective(const char* name, double start, double completion,
+                        std::uint64_t bytes);
 
   topo::Cluster* cluster_;
   std::vector<int> device_ids_;

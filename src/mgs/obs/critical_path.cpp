@@ -1,0 +1,277 @@
+#include "mgs/obs/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "mgs/util/check.hpp"
+#include "mgs/util/table.hpp"
+
+namespace mgs::obs {
+
+namespace {
+
+bool is_leaf(const SpanRecord& s) {
+  return s.kind == SpanKind::kKernel || s.kind == SpanKind::kTransfer ||
+         s.kind == SpanKind::kCollective;
+}
+
+double overlap(double a0, double a1, double b0, double b1) {
+  return std::max(0.0, std::min(a1, b1) - std::max(a0, b0));
+}
+
+/// Busy seconds by category per device for every leaf clipped to [a, b).
+/// Transfers occupy both endpoints.
+std::map<int, CategorySeconds> device_busy(
+    const std::vector<const SpanRecord*>& leaves, double a, double b) {
+  std::map<int, CategorySeconds> busy;
+  for (const SpanRecord* s : leaves) {
+    const double o = overlap(s->start_seconds, s->end_seconds, a, b);
+    if (o <= 0.0) continue;
+    if (s->device >= 0) busy[s->device][s->category] += o;
+    if (s->src_device >= 0 && s->src_device != s->device) {
+      busy[s->src_device][s->category] += o;
+    }
+  }
+  return busy;
+}
+
+/// Attribute the window [a, b) to categories: the busiest device's time by
+/// category (scaled down if overlapping leaves over-fill the window), the
+/// rest idle. Returns the critical device (-1 when the window is empty).
+int attribute_window(const std::vector<const SpanRecord*>& leaves, double a,
+                     double b, CategorySeconds& out) {
+  const double len = b - a;
+  if (len <= 0.0) return -1;
+  const auto busy = device_busy(leaves, a, b);
+  int critical = -1;
+  double best = -1.0;
+  for (const auto& [dev, cats] : busy) {
+    const double t = cats.total();
+    if (t > best) {
+      best = t;
+      critical = dev;
+    }
+  }
+  if (critical < 0) {
+    out[Category::kIdle] += len;
+    return -1;
+  }
+  const CategorySeconds& cats = busy.at(critical);
+  const double total = cats.total();
+  const double scale = total > len ? len / total : 1.0;
+  for (int c = 0; c < kNumCategories; ++c) {
+    out.seconds[static_cast<std::size_t>(c)] +=
+        cats.seconds[static_cast<std::size_t>(c)] * scale;
+  }
+  out[Category::kIdle] += len - std::min(total, len);
+  return critical;
+}
+
+std::string note_value(const SpanRecord& s, const std::string& key,
+                       const std::string& fallback) {
+  for (const auto& [k, v] : s.notes) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+double CategorySeconds::total() const {
+  double t = 0.0;
+  for (double s : seconds) t += s;
+  return t;
+}
+
+void CategorySeconds::add(const CategorySeconds& o) {
+  for (std::size_t i = 0; i < seconds.size(); ++i) seconds[i] += o.seconds[i];
+}
+
+CriticalPathReport analyze_run(const std::vector<SpanRecord>& spans,
+                               std::uint64_t run_id) {
+  CriticalPathReport rep;
+  if (spans.empty()) return rep;
+
+  // Membership: descendants of the run span, or everything for run_id 0.
+  // Span ids are 1-based insertion indices, so parents precede children
+  // and one forward pass settles membership.
+  std::vector<char> in_run(spans.size() + 1, run_id == 0 ? 1 : 0);
+  const SpanRecord* run = nullptr;
+  if (run_id != 0) {
+    MGS_REQUIRE(run_id <= spans.size() &&
+                    spans[static_cast<std::size_t>(run_id - 1)].id == run_id,
+                "analyze_run: unknown run span id");
+    run = &spans[static_cast<std::size_t>(run_id - 1)];
+    in_run[static_cast<std::size_t>(run_id)] = 1;
+    for (const SpanRecord& s : spans) {
+      if (s.parent != 0 && s.parent <= spans.size() &&
+          in_run[static_cast<std::size_t>(s.parent)]) {
+        in_run[static_cast<std::size_t>(s.id)] = 1;
+      }
+    }
+  }
+
+  std::vector<const SpanRecord*> leaves;
+  std::vector<const SpanRecord*> stages;
+  double lo = 1e300, hi = -1e300;
+  for (const SpanRecord& s : spans) {
+    if (!in_run[static_cast<std::size_t>(s.id)]) continue;
+    if (is_leaf(s)) leaves.push_back(&s);
+    const bool direct_stage =
+        s.kind == SpanKind::kStage &&
+        (run != nullptr ? s.parent == run_id : s.parent == 0);
+    if (direct_stage) stages.push_back(&s);
+    if (s.kind != SpanKind::kPlan && s.kind != SpanKind::kFault) {
+      lo = std::min(lo, s.start_seconds);
+      hi = std::max(hi, s.end_seconds);
+    }
+  }
+  if (run != nullptr) {
+    lo = run->start_seconds;
+    hi = run->end_seconds;
+  }
+  if (hi < lo) return rep;
+  rep.start_seconds = lo;
+  rep.end_seconds = hi;
+  rep.total_seconds = hi - lo;
+
+  // Cut the window at every stage boundary; attribute each segment.
+  std::set<double> cuts{lo, hi};
+  for (const SpanRecord* s : stages) {
+    if (s->start_seconds > lo && s->start_seconds < hi) {
+      cuts.insert(s->start_seconds);
+    }
+    if (s->end_seconds > lo && s->end_seconds < hi) cuts.insert(s->end_seconds);
+  }
+  double prev = lo;
+  bool first = true;
+  for (double t : cuts) {
+    if (!first) attribute_window(leaves, prev, t, rep.by_category);
+    prev = t;
+    first = false;
+  }
+
+  // Stage rows (reporting view; windows may overlap across groups).
+  std::sort(stages.begin(), stages.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              return a->start_seconds < b->start_seconds ||
+                     (a->start_seconds == b->start_seconds && a->id < b->id);
+            });
+  for (const SpanRecord* s : stages) {
+    CriticalPathReport::StageRow row;
+    row.name = s->name;
+    row.start_seconds = s->start_seconds;
+    row.end_seconds = s->end_seconds;
+    row.critical_device =
+        attribute_window(leaves, s->start_seconds, s->end_seconds,
+                         row.by_category);
+    rep.stages.push_back(std::move(row));
+  }
+
+  // Per-device rows over the whole window.
+  const auto busy = device_busy(leaves, lo, hi);
+  for (const auto& [dev, cats] : busy) {
+    CriticalPathReport::DeviceRow row;
+    row.device = dev;
+    row.busy = cats;
+    row.idle_seconds = std::max(0.0, rep.total_seconds - cats.total());
+    rep.devices.push_back(std::move(row));
+  }
+
+  // Per-link traffic.
+  std::map<std::tuple<int, int, std::string>, CriticalPathReport::LinkRow>
+      links;
+  for (const SpanRecord* s : leaves) {
+    if (s->kind == SpanKind::kKernel) continue;
+    const std::string link = note_value(
+        *s, "link",
+        s->kind == SpanKind::kCollective ? "mpi" : to_string(s->category));
+    auto& row = links[{s->src_device, s->device, link}];
+    row.src = s->src_device;
+    row.dst = s->device;
+    row.link = link;
+    ++row.transfers;
+    row.bytes += s->bytes;
+    row.seconds += s->duration();
+  }
+  for (auto& [key, row] : links) {
+    (void)key;
+    rep.links.push_back(std::move(row));
+  }
+  return rep;
+}
+
+CriticalPathReport analyze_last_run(const std::vector<SpanRecord>& spans) {
+  std::uint64_t run_id = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.kind == SpanKind::kRun) run_id = s.id;
+  }
+  return analyze_run(spans, run_id);
+}
+
+std::string format_report(const CriticalPathReport& rep) {
+  std::ostringstream os;
+  os << "makespan: " << util::fmt_time_us(rep.total_seconds) << " (window "
+     << rep.start_seconds * 1e6 << " .. " << rep.end_seconds * 1e6
+     << " us)\n\ncategory attribution:\n";
+  {
+    util::Table t({"category", "seconds(us)", "share"});
+    for (int c = 0; c < kNumCategories; ++c) {
+      const double s = rep.by_category.seconds[static_cast<std::size_t>(c)];
+      if (s <= 0.0) continue;
+      t.add_row({to_string(static_cast<Category>(c)),
+                 util::fmt_double(s * 1e6, 2),
+                 rep.total_seconds > 0.0
+                     ? util::fmt_double(100.0 * s / rep.total_seconds, 1) + "%"
+                     : "-"});
+    }
+    t.print(os);
+  }
+  if (!rep.stages.empty()) {
+    os << "\nstages (critical-path breakdown):\n";
+    util::Table t({"stage", "start(us)", "dur(us)", "crit-dev", "compute",
+                   "p2p", "host", "mpi", "idle"});
+    for (const auto& s : rep.stages) {
+      t.add_row({s.name, util::fmt_double(s.start_seconds * 1e6, 1),
+                 util::fmt_double(s.seconds() * 1e6, 1),
+                 s.critical_device < 0 ? "-"
+                                       : std::to_string(s.critical_device),
+                 util::fmt_double(s.by_category[Category::kCompute] * 1e6, 1),
+                 util::fmt_double(s.by_category[Category::kP2P] * 1e6, 1),
+                 util::fmt_double(
+                     s.by_category[Category::kHostStaged] * 1e6, 1),
+                 util::fmt_double(s.by_category[Category::kMpi] * 1e6, 1),
+                 util::fmt_double(s.by_category[Category::kIdle] * 1e6, 1)});
+    }
+    t.print(os);
+  }
+  if (!rep.devices.empty()) {
+    os << "\nper-device busy/idle:\n";
+    util::Table t({"device", "compute", "p2p", "host", "mpi", "idle"});
+    for (const auto& d : rep.devices) {
+      t.add_row({std::to_string(d.device),
+                 util::fmt_double(d.busy[Category::kCompute] * 1e6, 1),
+                 util::fmt_double(d.busy[Category::kP2P] * 1e6, 1),
+                 util::fmt_double(d.busy[Category::kHostStaged] * 1e6, 1),
+                 util::fmt_double(d.busy[Category::kMpi] * 1e6, 1),
+                 util::fmt_double(d.idle_seconds * 1e6, 1)});
+    }
+    t.print(os);
+  }
+  if (!rep.links.empty()) {
+    os << "\nper-link traffic:\n";
+    util::Table t({"src", "dst", "link", "ops", "bytes", "seconds(us)"});
+    for (const auto& l : rep.links) {
+      t.add_row({l.src < 0 ? "-" : std::to_string(l.src),
+                 l.dst < 0 ? "-" : std::to_string(l.dst), l.link,
+                 std::to_string(l.transfers), util::fmt_bytes(l.bytes),
+                 util::fmt_double(l.seconds * 1e6, 1)});
+    }
+    t.print(os);
+  }
+  return os.str();
+}
+
+}  // namespace mgs::obs

@@ -1,0 +1,264 @@
+#include "mgs/obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace mgs::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+namespace {
+
+void write_notes_json(std::ostream& os, const SpanRecord& s) {
+  os << "[";
+  bool first = true;
+  for (const auto& [k, v] : s.notes) {
+    if (!first) os << ",";
+    first = false;
+    os << "[\"" << json_escape(k) << "\",\"" << json_escape(v) << "\"]";
+  }
+  os << "]";
+}
+
+void write_labels_json(std::ostream& os, const LabelSet& labels) {
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+  }
+  os << "}";
+}
+
+void write_categories_json(std::ostream& os, const CategorySeconds& cs) {
+  os << "{";
+  for (int c = 0; c < kNumCategories; ++c) {
+    if (c != 0) os << ",";
+    os << "\"" << to_string(static_cast<Category>(c))
+       << "\":" << json_double(cs.seconds[static_cast<std::size_t>(c)]);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<SpanRecord>& spans) {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  std::set<int> devices;
+  for (const SpanRecord& s : spans) {
+    devices.insert(s.device);
+    if (!first) os << ",";
+    first = false;
+    const double us = s.start_seconds * 1e6;
+    const double dur = s.duration() * 1e6;
+    os << "\n{\"name\":\"" << json_escape(s.name) << "\",\"cat\":\""
+       << to_string(s.category) << "\",\"pid\":0,\"tid\":" << s.device;
+    if (dur > 0.0) {
+      os << ",\"ph\":\"X\",\"ts\":" << json_double(us)
+         << ",\"dur\":" << json_double(dur);
+    } else {
+      os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << json_double(us);
+    }
+    os << ",\"args\":{\"kind\":\"" << to_string(s.kind)
+       << "\",\"id\":" << s.id << ",\"parent\":" << s.parent;
+    if (s.bytes != 0) os << ",\"bytes\":" << s.bytes;
+    if (s.src_device >= 0) os << ",\"src_device\":" << s.src_device;
+    for (const auto& [k, v] : s.notes) {
+      os << ",\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+    }
+    os << "}}";
+  }
+  for (const int d : devices) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << d
+       << ",\"args\":{\"name\":\""
+       << (d < 0 ? std::string("host") : "dev" + std::to_string(d))
+       << "\"}}";
+  }
+  os << "\n]}\n";
+}
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snap) {
+  std::string last_name;
+  for (const MetricValue& m : snap) {
+    const std::string name = "mgs_" + m.name;
+    if (m.name != last_name) {
+      os << "# TYPE " << name << " " << to_string(m.type) << "\n";
+      last_name = m.name;
+    }
+    std::string labels;
+    for (const auto& [k, v] : m.labels) {
+      labels += labels.empty() ? "" : ",";
+      labels += k + "=\"" + json_escape(v) + "\"";
+    }
+    if (m.type == MetricType::kHistogram) {
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+        cum += m.buckets[b];
+        const std::string le =
+            b < m.bounds.size() ? json_double(m.bounds[b]) : "+Inf";
+        os << name << "_bucket{" << labels << (labels.empty() ? "" : ",")
+           << "le=\"" << le << "\"} " << cum << "\n";
+      }
+      os << name << "_sum" << (labels.empty() ? "" : "{" + labels + "}")
+         << " " << json_double(m.value) << "\n";
+      os << name << "_count" << (labels.empty() ? "" : "{" + labels + "}")
+         << " " << m.count << "\n";
+    } else {
+      os << name << (labels.empty() ? "" : "{" + labels + "}") << " "
+         << json_double(m.value) << "\n";
+    }
+  }
+}
+
+void write_run_report(std::ostream& os, const RunInfo& info,
+                      const MetricsSnapshot& metrics,
+                      const std::vector<SpanRecord>& spans,
+                      const CriticalPathReport& cp) {
+  os << "{\n\"schema\":\"mgs-run-report-v1\",\n\"run\":{";
+  os << "\"executor\":\"" << json_escape(info.executor) << "\"";
+  os << ",\"n\":" << info.n;
+  os << ",\"devices\":" << info.devices;
+  os << ",\"seconds\":" << json_double(info.seconds);
+  os << ",\"payload_bytes\":" << info.payload_bytes;
+  os << ",\"breakdown\":{";
+  bool first = true;
+  for (const auto& [phase, secs] : info.breakdown) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(phase) << "\":" << json_double(secs);
+  }
+  os << "},\"faults\":{";
+  first = true;
+  for (const auto& [name, count] : info.fault_counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << count;
+  }
+  os << "}},\n\"metrics\":[";
+  first = true;
+  for (const MetricValue& m : metrics) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(m.name) << "\",\"type\":\""
+       << to_string(m.type) << "\",\"labels\":";
+    write_labels_json(os, m.labels);
+    os << ",\"value\":" << json_double(m.value);
+    if (m.type == MetricType::kHistogram) {
+      os << ",\"count\":" << m.count << ",\"bounds\":[";
+      for (std::size_t i = 0; i < m.bounds.size(); ++i) {
+        os << (i ? "," : "") << json_double(m.bounds[i]);
+      }
+      os << "],\"buckets\":[";
+      for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+        os << (i ? "," : "") << m.buckets[i];
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "],\n\"spans\":[";
+  first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"id\":" << s.id << ",\"parent\":" << s.parent
+       << ",\"name\":\"" << json_escape(s.name) << "\",\"kind\":\""
+       << to_string(s.kind) << "\",\"category\":\"" << to_string(s.category)
+       << "\",\"device\":" << s.device << ",\"src_device\":" << s.src_device
+       << ",\"start\":" << json_double(s.start_seconds)
+       << ",\"end\":" << json_double(s.end_seconds);
+    if (s.bytes != 0) os << ",\"bytes\":" << s.bytes;
+    if (s.alu_ops != 0) os << ",\"alu_ops\":" << s.alu_ops;
+    if (s.occupancy != 0.0) {
+      os << ",\"occupancy\":" << json_double(s.occupancy);
+    }
+    if (!s.notes.empty()) {
+      os << ",\"notes\":";
+      write_notes_json(os, s);
+    }
+    os << "}";
+  }
+  os << "],\n\"critical_path\":{";
+  os << "\"start\":" << json_double(cp.start_seconds)
+     << ",\"end\":" << json_double(cp.end_seconds)
+     << ",\"total\":" << json_double(cp.total_seconds) << ",\"by_category\":";
+  write_categories_json(os, cp.by_category);
+  os << ",\"stages\":[";
+  first = true;
+  for (const auto& st : cp.stages) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(st.name)
+       << "\",\"start\":" << json_double(st.start_seconds)
+       << ",\"end\":" << json_double(st.end_seconds)
+       << ",\"critical_device\":" << st.critical_device << ",\"by_category\":";
+    write_categories_json(os, st.by_category);
+    os << "}";
+  }
+  os << "],\"devices\":[";
+  first = true;
+  for (const auto& d : cp.devices) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"device\":" << d.device << ",\"busy\":";
+    write_categories_json(os, d.busy);
+    os << ",\"idle\":" << json_double(d.idle_seconds) << "}";
+  }
+  os << "],\"links\":[";
+  first = true;
+  for (const auto& l : cp.links) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"src\":" << l.src << ",\"dst\":" << l.dst << ",\"link\":\""
+       << json_escape(l.link) << "\",\"transfers\":" << l.transfers
+       << ",\"bytes\":" << l.bytes
+       << ",\"seconds\":" << json_double(l.seconds) << "}";
+  }
+  os << "]}\n}\n";
+}
+
+}  // namespace mgs::obs

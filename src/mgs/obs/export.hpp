@@ -1,0 +1,58 @@
+#pragma once
+/// \file export.hpp
+/// Exporters for recorded traces and metrics:
+///  - Chrome/Perfetto trace-event JSON (load in chrome://tracing or
+///    ui.perfetto.dev; one track per simulated device),
+///  - Prometheus text exposition format,
+///  - the mgs JSON run-report consumed by tools/mgs_trace and the bench
+///    harness ("mgs-run-report-v1": run summary + metrics + spans +
+///    critical-path attribution in one file).
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mgs/obs/critical_path.hpp"
+#include "mgs/obs/metrics.hpp"
+#include "mgs/obs/span.hpp"
+
+namespace mgs::obs {
+
+/// Run summary stamped into the report header (mirrors core::RunResult
+/// without depending on mgs_core, which sits above this library).
+struct RunInfo {
+  std::string executor;
+  std::uint64_t n = 0;          ///< elements scanned
+  int devices = 0;              ///< simulated GPUs
+  double seconds = 0.0;         ///< RunResult::seconds
+  std::uint64_t payload_bytes = 0;
+  /// Ordered phase -> seconds pairs (RunResult::breakdown).
+  std::vector<std::pair<std::string, double>> breakdown;
+  /// Non-zero fault counters (RunResult::faults).
+  std::vector<std::pair<std::string, std::uint64_t>> fault_counters;
+};
+
+/// JSON string escaping (control chars, quotes, backslash).
+std::string json_escape(const std::string& s);
+
+/// Round-trip-safe JSON number for a double (max_digits10 precision).
+std::string json_double(double v);
+
+/// Chrome trace-event format: "X" complete events (ts/dur in us of
+/// simulated time, tid = device), zero-duration spans as "i" instants,
+/// plus thread-name metadata per device.
+void write_chrome_trace(std::ostream& os, const std::vector<SpanRecord>& spans);
+
+/// Prometheus text exposition format; every series is prefixed "mgs_".
+/// Histograms emit cumulative _bucket{le=...}, _sum and _count.
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snap);
+
+/// The full JSON run-report ("mgs-run-report-v1").
+void write_run_report(std::ostream& os, const RunInfo& info,
+                      const MetricsSnapshot& metrics,
+                      const std::vector<SpanRecord>& spans,
+                      const CriticalPathReport& critical_path);
+
+}  // namespace mgs::obs

@@ -1,0 +1,131 @@
+#include "mgs/obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "mgs/util/check.hpp"
+
+namespace mgs::obs {
+
+namespace {
+
+LabelSet sorted(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string series_key(const std::string& name, const LabelSet& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+const char* to_string(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+const MetricValue* find_metric(const MetricsSnapshot& snap,
+                               const std::string& name,
+                               const LabelSet& labels) {
+  const LabelSet want = sorted(labels);
+  for (const auto& m : snap) {
+    if (m.name == name && m.labels == want) return &m;
+  }
+  return nullptr;
+}
+
+MetricValue& MetricsRegistry::series(const std::string& name,
+                                     const LabelSet& labels, MetricType type) {
+  LabelSet ls = sorted(labels);
+  const std::string key = series_key(name, ls);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    MetricValue v;
+    v.name = name;
+    v.type = type;
+    v.labels = std::move(ls);
+    it = by_key_.emplace(key, std::move(v)).first;
+  }
+  MGS_REQUIRE(it->second.type == type,
+              "MetricsRegistry: series '" + name +
+                  "' already registered as a different type");
+  return it->second;
+}
+
+void MetricsRegistry::add(const std::string& name, const LabelSet& labels,
+                          double delta) {
+  MGS_REQUIRE(delta >= 0.0, "MetricsRegistry: counters are monotone");
+  std::lock_guard<std::mutex> lock(mutex_);
+  series(name, labels, MetricType::kCounter).value += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, const LabelSet& labels,
+                          double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series(name, labels, MetricType::kGauge).value = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, const LabelSet& labels,
+                              double value,
+                              const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricValue& s = series(name, labels, MetricType::kHistogram);
+  if (s.buckets.empty()) {
+    MGS_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()),
+                "MetricsRegistry: histogram bounds must ascend");
+    s.bounds = bounds;
+    s.buckets.assign(s.bounds.size() + 1, 0);
+  }
+  std::size_t b = 0;
+  while (b < s.bounds.size() && value > s.bounds[b]) ++b;
+  ++s.buckets[b];
+  ++s.count;
+  s.value += value;
+}
+
+const std::vector<double>& MetricsRegistry::byte_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double x = 64.0; x <= 64.0 * 1024 * 1024; x *= 4.0) b.push_back(x);
+    return b;
+  }();
+  return bounds;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.reserve(by_key_.size());
+  for (const auto& [key, v] : by_key_) {
+    (void)key;
+    snap.push_back(v);
+  }
+  // by_key_ iterates in key order == (name, labels) order already.
+  return snap;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return by_key_.size();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  by_key_.clear();
+}
+
+}  // namespace mgs::obs

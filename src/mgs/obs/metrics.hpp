@@ -1,0 +1,83 @@
+#pragma once
+/// \file metrics.hpp
+/// Labeled metrics registry: counters, gauges and histograms keyed by
+/// (name, label set), snapshotted into core::RunResult::metrics and
+/// exported in Prometheus text format. Thread-safe; cheap enough for the
+/// instrumented hot paths (one map lookup per update, and updates only
+/// happen when a TraceSession is installed).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mgs::obs {
+
+/// Sorted key/value label pairs ("kind=p2p"). Order-insensitive on input;
+/// stored sorted so equal sets compare equal.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricType t);
+
+/// One metric series in a snapshot (value type, not a live handle).
+struct MetricValue {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  LabelSet labels;
+  double value = 0.0;  ///< counter total / gauge level / histogram sum
+  // Histogram-only fields:
+  std::uint64_t count = 0;            ///< observations
+  std::vector<double> bounds;         ///< upper bounds, ascending
+  std::vector<std::uint64_t> buckets; ///< per-bucket counts, bounds.size()+1
+                                      ///< (last = +Inf overflow)
+};
+
+/// A full registry dump, sorted by (name, labels) for stable output.
+using MetricsSnapshot = std::vector<MetricValue>;
+
+/// Find a series in a snapshot; nullptr when absent. Labels must match
+/// exactly (after sorting).
+const MetricValue* find_metric(const MetricsSnapshot& snap,
+                               const std::string& name,
+                               const LabelSet& labels = {});
+
+class MetricsRegistry {
+ public:
+  /// Counter: monotone add (delta must be >= 0).
+  void add(const std::string& name, const LabelSet& labels, double delta);
+  void inc(const std::string& name, const LabelSet& labels = {}) {
+    add(name, labels, 1.0);
+  }
+  void add(const std::string& name, double delta) { add(name, {}, delta); }
+
+  /// Gauge: set the current level.
+  void set(const std::string& name, const LabelSet& labels, double value);
+  void set(const std::string& name, double value) { set(name, {}, value); }
+
+  /// Histogram: record one observation. Bounds are fixed on first use of
+  /// a (name, labels) series; later calls may pass empty bounds.
+  void observe(const std::string& name, const LabelSet& labels, double value,
+               const std::vector<double>& bounds);
+
+  /// Power-of-two byte-size bounds (64 B .. 64 MiB), the default for the
+  /// transfer-size histograms.
+  static const std::vector<double>& byte_bounds();
+
+  MetricsSnapshot snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  /// Type mismatches on a (name, labels) series throw util::Error.
+  MetricValue& series(const std::string& name, const LabelSet& labels,
+                      MetricType type);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, MetricValue> by_key_;
+};
+
+}  // namespace mgs::obs

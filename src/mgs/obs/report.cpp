@@ -1,0 +1,363 @@
+#include "mgs/obs/report.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "mgs/util/check.hpp"
+
+namespace mgs::obs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    MGS_REQUIRE(pos_ == text_.size(),
+                "json: trailing characters at offset " + std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    MGS_REQUIRE(pos_ < text_.size(), "json: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    MGS_REQUIRE(peek() == c, std::string("json: expected '") + c +
+                                 "' at offset " + std::to_string(pos_));
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.str = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        v.boolean = c == 't';
+        literal(c == 't' ? "true" : "false");
+        return v;
+      }
+      case 'n': {
+        literal("null");
+        return JsonValue{};
+      }
+      default:
+        return parse_number();
+    }
+  }
+
+  void literal(const char* word) {
+    skip_ws();
+    for (const char* p = word; *p != '\0'; ++p) {
+      MGS_REQUIRE(pos_ < text_.size() && text_[pos_] == *p,
+                  std::string("json: bad literal, expected ") + word);
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    MGS_REQUIRE(pos_ > start,
+                "json: expected value at offset " + std::to_string(start));
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    char* end = nullptr;
+    const std::string tok = text_.substr(start, pos_ - start);
+    v.number = std::strtod(tok.c_str(), &end);
+    MGS_REQUIRE(end != nullptr && *end == '\0', "json: bad number '" + tok +
+                                                    "'");
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      MGS_REQUIRE(pos_ < text_.size(), "json: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      MGS_REQUIRE(pos_ < text_.size(), "json: unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          MGS_REQUIRE(pos_ + 4 <= text_.size(), "json: bad \\u escape");
+          const unsigned long cp =
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // Only BMP code points below 0x80 are ever emitted by our
+          // writer; encode anything else as UTF-8 for robustness.
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          MGS_REQUIRE(false, std::string("json: bad escape '\\") + e + "'");
+      }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (consume(']')) return v;
+    while (true) {
+      v.array.push_back(parse_value());
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (consume('}')) return v;
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+SpanKind kind_from_string(const std::string& name) {
+  for (const SpanKind k :
+       {SpanKind::kRun, SpanKind::kPlan, SpanKind::kStage, SpanKind::kKernel,
+        SpanKind::kTransfer, SpanKind::kCollective, SpanKind::kFault}) {
+    if (name == to_string(k)) return k;
+  }
+  return SpanKind::kStage;
+}
+
+MetricType metric_type_from_string(const std::string& name) {
+  if (name == "gauge") return MetricType::kGauge;
+  if (name == "histogram") return MetricType::kHistogram;
+  return MetricType::kCounter;
+}
+
+std::uint64_t u64_or(const JsonValue* v, std::uint64_t fallback) {
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) return fallback;
+  return static_cast<std::uint64_t>(v->number);
+}
+
+int int_or(const JsonValue* v, int fallback) {
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) return fallback;
+  return static_cast<int>(v->number);
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::num_or(double fallback) const {
+  return type == Type::kNumber ? number : fallback;
+}
+
+std::string JsonValue::str_or(std::string fallback) const {
+  return type == Type::kString ? str : std::move(fallback);
+}
+
+JsonValue parse_json(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+RunReport parse_run_report(const JsonValue& doc) {
+  MGS_REQUIRE(doc.type == JsonValue::Type::kObject,
+              "run-report: document is not an object");
+  const JsonValue* schema = doc.find("schema");
+  MGS_REQUIRE(schema != nullptr &&
+                  schema->str_or("") == "mgs-run-report-v1",
+              "run-report: unknown schema (want mgs-run-report-v1)");
+
+  RunReport rep;
+  if (const JsonValue* run = doc.find("run")) {
+    rep.run.executor = run->find("executor") != nullptr
+                           ? run->find("executor")->str_or("")
+                           : "";
+    rep.run.n = u64_or(run->find("n"), 0);
+    rep.run.devices = int_or(run->find("devices"), 0);
+    rep.run.seconds =
+        run->find("seconds") != nullptr ? run->find("seconds")->num_or(0.0)
+                                        : 0.0;
+    rep.run.payload_bytes = u64_or(run->find("payload_bytes"), 0);
+    if (const JsonValue* bd = run->find("breakdown")) {
+      for (const auto& [phase, secs] : bd->object) {
+        rep.run.breakdown.emplace_back(phase, secs.num_or(0.0));
+      }
+    }
+    if (const JsonValue* f = run->find("faults")) {
+      for (const auto& [name, count] : f->object) {
+        rep.run.fault_counters.emplace_back(
+            name, static_cast<std::uint64_t>(count.num_or(0.0)));
+      }
+    }
+  }
+
+  if (const JsonValue* metrics = doc.find("metrics")) {
+    for (const JsonValue& m : metrics->array) {
+      MetricValue mv;
+      mv.name = m.find("name") != nullptr ? m.find("name")->str_or("") : "";
+      mv.type = metric_type_from_string(
+          m.find("type") != nullptr ? m.find("type")->str_or("counter")
+                                    : "counter");
+      if (const JsonValue* labels = m.find("labels")) {
+        for (const auto& [k, v] : labels->object) {
+          mv.labels.emplace_back(k, v.str_or(""));
+        }
+      }
+      mv.value =
+          m.find("value") != nullptr ? m.find("value")->num_or(0.0) : 0.0;
+      mv.count = u64_or(m.find("count"), 0);
+      if (const JsonValue* bounds = m.find("bounds")) {
+        for (const JsonValue& b : bounds->array) {
+          mv.bounds.push_back(b.num_or(0.0));
+        }
+      }
+      if (const JsonValue* buckets = m.find("buckets")) {
+        for (const JsonValue& b : buckets->array) {
+          mv.buckets.push_back(static_cast<std::uint64_t>(b.num_or(0.0)));
+        }
+      }
+      rep.metrics.push_back(std::move(mv));
+    }
+  }
+
+  if (const JsonValue* spans = doc.find("spans")) {
+    for (const JsonValue& s : spans->array) {
+      SpanRecord sr;
+      sr.id = u64_or(s.find("id"), 0);
+      sr.parent = u64_or(s.find("parent"), 0);
+      sr.name = s.find("name") != nullptr ? s.find("name")->str_or("") : "";
+      sr.kind = kind_from_string(
+          s.find("kind") != nullptr ? s.find("kind")->str_or("stage")
+                                    : "stage");
+      sr.category = category_from_string(
+          s.find("category") != nullptr ? s.find("category")->str_or("other")
+                                        : "other");
+      sr.device = int_or(s.find("device"), -1);
+      sr.src_device = int_or(s.find("src_device"), -1);
+      sr.start_seconds =
+          s.find("start") != nullptr ? s.find("start")->num_or(0.0) : 0.0;
+      sr.end_seconds =
+          s.find("end") != nullptr ? s.find("end")->num_or(0.0) : 0.0;
+      sr.bytes = u64_or(s.find("bytes"), 0);
+      sr.alu_ops = u64_or(s.find("alu_ops"), 0);
+      sr.occupancy = s.find("occupancy") != nullptr
+                         ? s.find("occupancy")->num_or(0.0)
+                         : 0.0;
+      if (const JsonValue* notes = s.find("notes")) {
+        for (const JsonValue& kv : notes->array) {
+          if (kv.array.size() == 2) {
+            sr.notes.emplace_back(kv.array[0].str_or(""),
+                                  kv.array[1].str_or(""));
+          }
+        }
+      }
+      rep.spans.push_back(std::move(sr));
+    }
+  }
+
+  rep.critical_path = analyze_last_run(rep.spans);
+  return rep;
+}
+
+RunReport load_run_report(const std::string& path) {
+  std::ifstream in(path);
+  MGS_REQUIRE(in.good(), "run-report: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_run_report(parse_json(buf.str()));
+}
+
+}  // namespace mgs::obs

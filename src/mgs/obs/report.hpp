@@ -1,0 +1,55 @@
+#pragma once
+/// \file report.hpp
+/// Loading exported JSON run-reports back into memory: a minimal JSON
+/// value type + recursive-descent parser (the toolchain has no external
+/// JSON dependency) and the typed RunReport used by tools/mgs_trace.
+/// The parser accepts exactly the subset write_run_report emits plus
+/// ordinary whitespace; malformed input throws util::Error.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mgs/obs/export.hpp"
+#include "mgs/obs/metrics.hpp"
+#include "mgs/obs/span.hpp"
+
+namespace mgs::obs {
+
+/// Tagged JSON value. Objects keep key order and allow duplicate keys
+/// (lookup returns the first).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// Typed accessors with defaults (never throw).
+  double num_or(double fallback) const;
+  std::string str_or(std::string fallback) const;
+};
+
+/// Parse a complete JSON document; trailing garbage is an error.
+JsonValue parse_json(const std::string& text);
+
+/// A loaded run-report: everything write_run_report emitted. The
+/// critical path is re-derived from the spans on load so the CLI always
+/// agrees with the analyzer, not with a possibly stale file section.
+struct RunReport {
+  RunInfo run;
+  MetricsSnapshot metrics;
+  std::vector<SpanRecord> spans;
+  CriticalPathReport critical_path;
+};
+
+/// Decode a parsed "mgs-run-report-v1" document.
+RunReport parse_run_report(const JsonValue& doc);
+/// Read + parse + decode a run-report file.
+RunReport load_run_report(const std::string& path);
+
+}  // namespace mgs::obs

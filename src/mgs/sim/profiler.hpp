@@ -69,13 +69,22 @@ class Profiler {
   bool enabled_ = false;
 };
 
-/// RAII enable/disable for tests and scoped profiling sessions.
+/// RAII enable for tests and scoped profiling sessions. The constructor
+/// saves the profiler's prior enabled state and the destructor restores
+/// it, so nested scopes do not clobber an outer enable.
 class ProfileScope {
  public:
-  ProfileScope() { Profiler::instance().enable(); }
-  ~ProfileScope() { Profiler::instance().disable(); }
+  ProfileScope() : prev_(Profiler::instance().enabled()) {
+    Profiler::instance().enable();
+  }
+  ~ProfileScope() {
+    if (!prev_) Profiler::instance().disable();
+  }
   ProfileScope(const ProfileScope&) = delete;
   ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  bool prev_ = false;
 };
 
 }  // namespace mgs::sim

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "mgs/obs/span.hpp"
 #include "mgs/sim/cost_model.hpp"
 #include "mgs/sim/profiler.hpp"
 #include "mgs/simt/device.hpp"
@@ -135,6 +136,24 @@ sim::KernelTime launch(Device& dev, const LaunchConfig& cfg, Fn&& body) {
     rec.alu_ops = total.alu_ops;
     rec.occupancy = t.occ.warp_occupancy;
     sim::Profiler::instance().record(std::move(rec));
+  }
+  if (obs::TraceSession* ts = obs::TraceSession::current()) {
+    obs::SpanRecord rec;
+    rec.name = cfg.name;
+    rec.kind = obs::SpanKind::kKernel;
+    rec.category = obs::Category::kCompute;
+    rec.device = dev.id();
+    rec.start_seconds = start;
+    rec.end_seconds = start + t.seconds;
+    rec.bytes = total.total_bytes();
+    rec.alu_ops = total.alu_ops;
+    rec.occupancy = t.occ.warp_occupancy;
+    ts->add_event(std::move(rec));
+    obs::MetricsRegistry& m = ts->metrics();
+    m.inc("kernel_launches_total", {{"name", cfg.name}});
+    m.add("kernel_seconds", {{"name", cfg.name}}, t.seconds);
+    m.add("kernel_bytes", {{"name", cfg.name}},
+          static_cast<double>(total.total_bytes()));
   }
   return t;
 }

@@ -2,12 +2,27 @@
 
 #include <algorithm>
 #include <string>
+#include <vector>
 
+#include "mgs/obs/span.hpp"
 #include "mgs/sim/profiler.hpp"
 
 namespace mgs::topo {
 
 namespace {
+
+obs::Category category_of(LinkType link) {
+  switch (link) {
+    case LinkType::kP2P:
+      return obs::Category::kP2P;
+    case LinkType::kSelf:
+    case LinkType::kHostStaged:
+      return obs::Category::kHostStaged;
+    case LinkType::kInterNode:
+      return obs::Category::kMpi;
+  }
+  return obs::Category::kOther;
+}
 
 void profile_transfer(LinkType link, int dst_dev, double start,
                       double seconds, std::uint64_t bytes) {
@@ -95,6 +110,28 @@ TransferResult TransferEngine::account(int src_dev, int dst_dev,
   sim::Clock& dst_clock = cluster_->device(dst_dev).clock();
   const double start = std::max(src_clock.now(), dst_clock.now());
 
+  // Fault-recovery sub-events are buffered here (with absolute simulated
+  // times) and attached as children of the transfer span once its extent
+  // is known. Empty on the healthy path and when no session is installed.
+  obs::TraceSession* ts = obs::TraceSession::current();
+  std::vector<obs::SpanRecord> fault_events;
+  std::uint64_t obs_retries = 0;
+  const auto fault_event =
+      [&](const char* name, double at,
+          std::initializer_list<std::pair<std::string, std::string>> notes) {
+        if (ts == nullptr) return;
+        obs::SpanRecord ev;
+        ev.name = name;
+        ev.kind = obs::SpanKind::kFault;
+        ev.category = obs::Category::kOther;
+        ev.device = dst_dev;
+        ev.src_device = src_dev;
+        ev.start_seconds = at;
+        ev.end_seconds = at;
+        ev.notes.assign(notes.begin(), notes.end());
+        fault_events.push_back(std::move(ev));
+      };
+
   sim::FaultInjector* fi = cluster_->fault_injector();
   double seconds = 0.0;
   if (fi == nullptr) {
@@ -119,6 +156,8 @@ TransferResult TransferEngine::account(int src_dev, int dst_dev,
         link = LinkType::kHostStaged;
         ++faults_seen_.rerouted_transfers;
         faults_seen_.rerouted_bytes += bytes;
+        fault_event("reroute", start,
+                    {{"from", "p2p"}, {"to", "host-staged"}});
       } else {
         throw TransferError("link " + std::to_string(src_dev) + "->" +
                                 std::to_string(dst_dev) +
@@ -145,6 +184,9 @@ TransferResult TransferEngine::account(int src_dev, int dst_dev,
           // performs the functional corrupt-verify-repair pass).
           ++faults_seen_.corruptions_detected;
           ++faults_seen_.retries;
+          ++obs_retries;
+          fault_event("corrupt-retransfer", start + seconds,
+                      {{"attempt", std::to_string(attempt)}});
           faults_seen_.retry_seconds += attempt_time;
           seconds += attempt_time;
           corrupt_once = true;
@@ -156,6 +198,8 @@ TransferResult TransferEngine::account(int src_dev, int dst_dev,
       } else {
         ++faults_seen_.transient_failures;
       }
+      fault_event(timed_out ? "timeout" : "transient", start + seconds,
+                  {{"attempt", std::to_string(attempt)}});
       faults_seen_.retry_seconds += spent;
       if (attempt >= plan.max_retries) {
         throw TransferError(
@@ -171,6 +215,7 @@ TransferResult TransferEngine::account(int src_dev, int dst_dev,
       seconds += backoff;
       faults_seen_.retry_seconds += backoff;
       ++faults_seen_.retries;
+      ++obs_retries;
     }
   }
 
@@ -181,6 +226,35 @@ TransferResult TransferEngine::account(int src_dev, int dst_dev,
 
   breakdown_.add(to_string(link), seconds);
   profile_transfer(link, dst_dev, start, seconds, bytes);
+  if (ts != nullptr) {
+    obs::SpanRecord rec;
+    rec.name = std::string("copy:") + to_string(link);
+    rec.kind = obs::SpanKind::kTransfer;
+    rec.category = category_of(link);
+    rec.device = dst_dev;
+    rec.src_device = src_dev;
+    rec.start_seconds = start;
+    rec.end_seconds = start + seconds;
+    rec.bytes = bytes;
+    rec.notes.emplace_back("link", to_string(link));
+    const std::uint64_t span_id = ts->add_event(std::move(rec));
+    obs::MetricsRegistry& m = ts->metrics();
+    for (obs::SpanRecord& ev : fault_events) {
+      const std::string kind_name = ev.name;
+      ev.parent = span_id;
+      ts->add_event(std::move(ev));
+      m.inc("fault_events_total", {{"kind", kind_name}});
+    }
+    if (obs_retries != 0) {
+      m.add("fault_retries", {}, static_cast<double>(obs_retries));
+    }
+    const std::string kind = to_string(link);
+    m.inc("transfers_total", {{"kind", kind}});
+    m.add("transfer_bytes", {{"kind", kind}}, static_cast<double>(bytes));
+    m.add("transfer_seconds", {{"kind", kind}}, seconds);
+    m.observe("transfer_size_bytes", {}, static_cast<double>(bytes),
+              obs::MetricsRegistry::byte_bounds());
+  }
   return r;
 }
 

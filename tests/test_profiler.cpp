@@ -142,6 +142,21 @@ TEST_F(ProfilerTest, ChromeTraceIsWellFormedJson) {
   EXPECT_EQ(depth, 0);
 }
 
+TEST_F(ProfilerTest, NestedScopeRestoresOuterEnable) {
+  EXPECT_FALSE(ms::Profiler::instance().enabled());
+  {
+    ms::ProfileScope outer;
+    EXPECT_TRUE(ms::Profiler::instance().enabled());
+    {
+      ms::ProfileScope inner;
+      EXPECT_TRUE(ms::Profiler::instance().enabled());
+    }
+    // The inner scope must not clobber the outer enable.
+    EXPECT_TRUE(ms::Profiler::instance().enabled());
+  }
+  EXPECT_FALSE(ms::Profiler::instance().enabled());
+}
+
 TEST_F(ProfilerTest, ClearResets) {
   ms::ProfileScope scope;
   ms::Profiler::instance().record({"x", ms::EventKind::kKernel, 0, 0, 1, 2, 3, 0.5});
