@@ -59,6 +59,38 @@ void write_faults_report(const std::string& spec,
   os << "  ]\n}\n";
 }
 
+/// One (n, W) point of the overlapped pipeline against the synchronous
+/// stage path (same executor cache, same plans apart from the pipeline).
+struct OverlapPoint {
+  int nlog = 0;
+  int w = 0;
+  int waves = 1;
+  double sync_s = 0.0;
+  double overlap_s = 0.0;
+  double reduction_pct() const {
+    return sync_s > 0.0 ? (1.0 - overlap_s / sync_s) * 100.0 : 0.0;
+  }
+};
+
+void write_overlap_report(const std::vector<OverlapPoint>& points) {
+  std::filesystem::create_directories("bench_results");
+  std::ofstream os("bench_results/bench_fig9_overlap.json");
+  os << "{\n"
+     << "  \"bench\": \"bench_fig9_mps\",\n"
+     << "  \"comparison\": \"overlapped pipeline vs synchronous stages\",\n"
+     << "  \"units\": {\"time\": \"simulated seconds\"},\n"
+     << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    os << "  {\"nlog\": " << p.nlog << ", \"w\": " << p.w
+       << ", \"waves\": " << p.waves << ", \"sync_s\": " << p.sync_s
+       << ", \"overlap_s\": " << p.overlap_s
+       << ", \"reduction_pct\": " << p.reduction_pct() << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,6 +118,7 @@ int main(int argc, char** argv) {
 
   util::Table table({"n", "G", "W=1", "W=2", "W=4", "W=8"});
   std::vector<double> w8_over_w4;
+  std::vector<OverlapPoint> overlap_points;
   for (int nlog = cfg.min_n_log2; nlog <= cfg.total_log2; ++nlog) {
     const std::int64_t n = std::int64_t{1} << nlog;
     const std::int64_t g = total / n;
@@ -100,6 +133,21 @@ int main(int argc, char** argv) {
       row.push_back(util::fmt_double(bench::gbps(total, r.seconds), 2));
       if (w == 4) t4 = r.seconds;
       if (w == 8 && t4 > 0.0) w8_over_w4.push_back(t4 / r.seconds);
+      if (w > 1 && g > 1) {
+        // Same point on the forced-synchronous stage path: the overlap
+        // comparison the pipeline doc quotes.
+        const auto rs = bc.run(
+            "Scan-MPS",
+            {.w = w, .pipeline = core::PipelineMode::kSync}, data, n, g);
+        OverlapPoint p;
+        p.nlog = nlog;
+        p.w = w;
+        p.waves =
+            bc.ctx().plan_for(n, g, 4, w).pipe.waves;
+        p.sync_s = rs.seconds;
+        p.overlap_s = r.seconds;
+        overlap_points.push_back(p);
+      }
       if (!cfg.faults.empty()) {
         FaultPoint p;
         p.nlog = nlog;
@@ -131,6 +179,26 @@ int main(int argc, char** argv) {
         "\nResilience overhead under '%s': worst point +%.1f%% simulated "
         "time -> bench_results/bench_fig9_mps_faults.json\n",
         cfg.faults.c_str(), worst);
+  }
+
+  if (!overlap_points.empty()) {
+    write_overlap_report(overlap_points);
+    double w4_sum = 0.0;
+    double w4_min = 1e300;
+    int w4_count = 0;
+    for (const auto& p : overlap_points) {
+      if (p.w != 4) continue;
+      w4_sum += p.reduction_pct();
+      w4_min = std::min(w4_min, p.reduction_pct());
+      ++w4_count;
+    }
+    if (w4_count > 0) {
+      std::printf(
+          "\nOverlapped pipeline vs synchronous stages (W=4): mean "
+          "-%.1f%%, min -%.1f%% modeled makespan -> "
+          "bench_results/bench_fig9_overlap.json\n",
+          w4_sum / w4_count, w4_min);
+    }
   }
 
   std::printf(

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -28,15 +29,30 @@
 namespace mgs::bench {
 
 /// Records every run of the harness in an obs::TraceSession and writes
-/// the JSON run-report at scope exit (the --trace flag). Held by
-/// shared_ptr in BenchConfig so the session outlives parse_bench_config
-/// and dies when the harness exits.
+/// the JSON run-report when flushed (the --trace flag). Held by
+/// shared_ptr in BenchConfig so the session outlives parse_bench_config.
+/// Live guards register an atexit sweep, so the report is written even
+/// when a harness leaves through std::exit (which skips destructors of
+/// automatic and shared_ptr-held objects); the destructor unregisters and
+/// flushes for the normal return path, and flush() is idempotent.
 class TraceGuard {
  public:
   explicit TraceGuard(std::string path) : path_(std::move(path)) {
     info_.executor = "bench-harness";
+    register_guard(this);
   }
   ~TraceGuard() {
+    unregister_guard(this);
+    flush();
+  }
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+  /// Write the report; second and later calls (e.g. the atexit sweep
+  /// after a normal destruction) are no-ops.
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
     try {
       core::write_run_report_file(path_, info_, session_);
       std::fprintf(stderr, "trace: wrote %s\n", path_.c_str());
@@ -44,15 +60,34 @@ class TraceGuard {
       std::fprintf(stderr, "trace: %s\n", e.what());
     }
   }
-  TraceGuard(const TraceGuard&) = delete;
-  TraceGuard& operator=(const TraceGuard&) = delete;
 
   /// Stamp the report header with a representative run's summary.
   void set_run_info(obs::RunInfo info) { info_ = std::move(info); }
   obs::TraceSession& session() { return session_; }
 
  private:
+  static std::vector<TraceGuard*>& live_guards() {
+    static std::vector<TraceGuard*> guards;
+    return guards;
+  }
+  static void flush_live_guards() {
+    for (TraceGuard* g : live_guards()) g->flush();
+  }
+  static void register_guard(TraceGuard* g) {
+    static const bool registered = [] {
+      std::atexit(&flush_live_guards);
+      return true;
+    }();
+    (void)registered;
+    live_guards().push_back(g);
+  }
+  static void unregister_guard(TraceGuard* g) {
+    auto& v = live_guards();
+    v.erase(std::remove(v.begin(), v.end(), g), v.end());
+  }
+
   std::string path_;
+  bool flushed_ = false;
   obs::RunInfo info_;
   obs::TraceSession session_;
 };
@@ -310,11 +345,12 @@ class BenchContext {
   /// The cached executor for (name, params); created on first use.
   core::ScanExecutor& executor(const std::string& name,
                                const core::ExecutorParams& params = {}) {
-    const std::string key = name + "/d" + std::to_string(params.device) +
-                            "/w" + std::to_string(params.w) + "/y" +
-                            std::to_string(params.y) + "/v" +
-                            std::to_string(params.v) + "/m" +
-                            std::to_string(params.m);
+    const std::string key =
+        name + "/d" + std::to_string(params.device) + "/w" +
+        std::to_string(params.w) + "/y" + std::to_string(params.y) + "/v" +
+        std::to_string(params.v) + "/m" + std::to_string(params.m) + "/p" +
+        std::to_string(static_cast<int>(params.pipeline)) + "x" +
+        std::to_string(params.waves);
     auto it = executors_.find(key);
     if (it == executors_.end()) {
       it = executors_.emplace(key, core::make_executor(name, ctx_, params))

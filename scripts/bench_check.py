@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Modeled-makespan regression gate.
+
+Compares the critical-path makespan of a freshly traced run-report
+(`bench_micro --trace FILE` writes one) against the committed baseline
+`bench_results/BENCH_baseline.json` and fails if the modeled makespan
+regressed by more than the tolerance (default 5%).
+
+The makespan is *simulated* device time, so it is deterministic: any
+drift is a real change to the performance model or the pipeline
+schedule, never host noise. Improvements are reported and always pass;
+intentional model changes should re-snapshot the baseline
+(`cp bench_results/bench_micro_run_report.json
+bench_results/BENCH_baseline.json`) in the same commit.
+
+Usage:
+  scripts/bench_check.py [--baseline FILE] [--current FILE]
+                         [--tolerance-pct PCT]
+
+Exit status: 0 on pass, 1 on regression, 2 on malformed input.
+Stdlib-only; no third-party packages.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_makespan(path: str) -> tuple[float, dict]:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_check: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    try:
+        total = float(doc["critical_path"]["total"])
+    except (KeyError, TypeError, ValueError):
+        print(
+            f"bench_check: {path} has no critical_path.total "
+            "(is it a run-report from bench_micro --trace?)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    if total <= 0.0:
+        print(f"bench_check: {path}: non-positive makespan {total}",
+              file=sys.stderr)
+        sys.exit(2)
+    return total, doc
+
+
+def stage_breakdown(doc: dict) -> dict[str, float]:
+    run = doc.get("run", {})
+    breakdown = run.get("breakdown", {})
+    return {k: float(v) for k, v in breakdown.items()} if isinstance(
+        breakdown, dict) else {}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline",
+                    default="bench_results/BENCH_baseline.json")
+    ap.add_argument("--current",
+                    default="bench_results/bench_micro_run_report.json")
+    ap.add_argument("--tolerance-pct", type=float, default=5.0,
+                    help="max allowed makespan regression, percent")
+    args = ap.parse_args()
+
+    base_total, base_doc = load_makespan(args.baseline)
+    cur_total, cur_doc = load_makespan(args.current)
+
+    delta_pct = (cur_total / base_total - 1.0) * 100.0
+    print(f"bench_check: baseline makespan {base_total * 1e6:10.3f} us "
+          f"({args.baseline})")
+    print(f"bench_check: current  makespan {cur_total * 1e6:10.3f} us "
+          f"({args.current})")
+    print(f"bench_check: delta {delta_pct:+.2f}% "
+          f"(tolerance +{args.tolerance_pct:.1f}%)")
+
+    base_stages = stage_breakdown(base_doc)
+    cur_stages = stage_breakdown(cur_doc)
+    for name in sorted(set(base_stages) | set(cur_stages)):
+        b = base_stages.get(name)
+        c = cur_stages.get(name)
+        if b and c:
+            print(f"bench_check:   {name:<12} {b * 1e6:9.3f} -> "
+                  f"{c * 1e6:9.3f} us ({(c / b - 1.0) * 100.0:+.1f}%)")
+        else:
+            print(f"bench_check:   {name:<12} "
+                  f"{'(new)' if b is None else '(removed)'}")
+
+    if delta_pct > args.tolerance_pct:
+        print(
+            f"bench_check: FAIL - modeled makespan regressed "
+            f"{delta_pct:+.2f}% (> {args.tolerance_pct:.1f}%). If the "
+            "change is intentional, re-snapshot BENCH_baseline.json in "
+            "the same commit.",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench_check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,3 +38,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 # workflow): a traced 4-GPU Scan-MPS run-report + Perfetto trace +
 # Prometheus metrics, rendered once to prove the loader works.
 "$BUILD_DIR"/tools/mgs_trace --demo --out "$BUILD_DIR/obs_sample"
+
+# Bench smoke: trace one representative Scan-MPS run (simulated time is
+# deterministic) and gate on the modeled makespan against the committed
+# baseline. The microbenchmark sweep itself is skipped via the filter --
+# only the traced run-report matters here.
+"$BUILD_DIR"/bench/bench_micro \
+  --trace bench_results/bench_micro_run_report.json \
+  --benchmark_filter='^$'
+python3 scripts/bench_check.py \
+  --baseline bench_results/BENCH_baseline.json \
+  --current bench_results/bench_micro_run_report.json

@@ -159,8 +159,8 @@ class SpExecutor final : public ScanExecutor {
 
 class MpsExecutor final : public ScanExecutor {
  public:
-  MpsExecutor(ScanContext& ctx, int w, bool direct)
-      : ctx_(&ctx), direct_(direct) {
+  MpsExecutor(ScanContext& ctx, int w, bool direct, PipelineChoice pipe)
+      : ctx_(&ctx), direct_(direct), pipe_(pipe) {
     const auto& cfg = ctx.cluster().config();
     w_req_ = (w > 0) ? w
                      : (direct ? cfg.gpus_per_network : cfg.gpus_per_node());
@@ -176,7 +176,7 @@ class MpsExecutor final : public ScanExecutor {
     std::ostringstream os;
     os << name() << " over " << w_ << " GPUs of node 0 (master "
        << gpus_.front() << ")";
-    if (plan_ != nullptr) {
+    if (plan_.has_value()) {
       os << "; n=" << n_ << " g=" << g_ << "; " << plan_->describe();
     }
     if (prep_report_.degraded) {
@@ -191,14 +191,15 @@ class MpsExecutor final : public ScanExecutor {
     if (n == n_ && g == g_ && epoch == fault_epoch_) return;
     place(n);
     if (use_sp_) {
-      plan_ = &ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), 1);
+      plan_ = ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), 1);
       sp_.prepare(*ctx_, gpus_.front(), n * g);
       ins_.clear();
       outs_.clear();
     } else {
       MGS_REQUIRE(n % w_ == 0, "Scan-MPS executor: N must be divisible by W");
-      plan_ =
-          &ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), w_);
+      plan_ = apply_pipeline_choice(
+          ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), w_),
+          pipe_);
       const std::int64_t per_gpu = (n / w_) * g;
       ins_.clear();
       outs_.clear();
@@ -291,11 +292,12 @@ class MpsExecutor final : public ScanExecutor {
 
   ScanContext* ctx_;
   bool direct_;
+  PipelineChoice pipe_;
   int w_req_ = 1;
   int w_ = 1;
   bool use_sp_ = false;
   std::vector<int> gpus_;
-  const ScanPlan* plan_ = nullptr;
+  std::optional<ScanPlan> plan_;
   std::vector<Handle> ins_;
   std::vector<Handle> outs_;
   SpFallback sp_;
@@ -305,7 +307,8 @@ class MpsExecutor final : public ScanExecutor {
 
 class MppcExecutor final : public ScanExecutor {
  public:
-  MppcExecutor(ScanContext& ctx, int y, int v, int m) : ctx_(&ctx) {
+  MppcExecutor(ScanContext& ctx, int y, int v, int m, PipelineChoice pipe)
+      : ctx_(&ctx), pipe_(pipe) {
     const auto& cfg = ctx.cluster().config();
     y_ = (y > 0) ? y : cfg.networks_per_node;
     v_req_ = (v > 0) ? v : cfg.gpus_per_network;
@@ -319,7 +322,7 @@ class MppcExecutor final : public ScanExecutor {
     std::ostringstream os;
     os << "Scan-MP-PC with Y=" << y_ << " networks/node, V=" << v_
        << " GPUs/network, M=" << m_ << " nodes";
-    if (plan_ != nullptr) {
+    if (plan_.has_value()) {
       os << " (" << part_.groups.size() << " groups); n=" << n_ << " g=" << g_
          << "; " << plan_->describe();
     }
@@ -338,11 +341,12 @@ class MppcExecutor final : public ScanExecutor {
     ins_.clear();
     outs_.clear();
     if (use_sp_) {
-      plan_ = &ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), 1);
+      plan_ = ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), 1);
       sp_.prepare(*ctx_, sp_device_, n * g);
     } else {
-      plan_ =
-          &ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), v_);
+      plan_ = apply_pipeline_choice(
+          ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), v_),
+          pipe_);
       for (std::size_t grp = 0; grp < part_.groups.size(); ++grp) {
         const std::int64_t per_gpu = (n / v_) * part_.g_of_group[grp];
         std::vector<Handle> gin, gout;
@@ -492,6 +496,7 @@ class MppcExecutor final : public ScanExecutor {
   }
 
   ScanContext* ctx_;
+  PipelineChoice pipe_;
   int y_ = 1;
   int v_req_ = 1;
   int v_ = 1;
@@ -499,7 +504,7 @@ class MppcExecutor final : public ScanExecutor {
   bool use_sp_ = false;
   int sp_device_ = -1;
   MppcPartition part_;
-  const ScanPlan* plan_ = nullptr;
+  std::optional<ScanPlan> plan_;
   std::vector<std::vector<Handle>> ins_;
   std::vector<std::vector<Handle>> outs_;
   SpFallback sp_;
@@ -509,7 +514,8 @@ class MppcExecutor final : public ScanExecutor {
 
 class MultinodeExecutor final : public ScanExecutor {
  public:
-  MultinodeExecutor(ScanContext& ctx, int m, int w) : ctx_(&ctx) {
+  MultinodeExecutor(ScanContext& ctx, int m, int w, PipelineChoice pipe)
+      : ctx_(&ctx), pipe_(pipe) {
     const auto& cfg = ctx.cluster().config();
     m_ = (m > 0) ? m : cfg.nodes;
     w_ = (w > 0) ? w : cfg.gpus_per_node();
@@ -524,7 +530,7 @@ class MultinodeExecutor final : public ScanExecutor {
     std::ostringstream os;
     os << "Scan-MPS-multinode over " << m_ << " nodes x " << w_
        << " GPUs (one MPI rank per GPU)";
-    if (plan_ != nullptr) {
+    if (plan_.has_value()) {
       os << "; n=" << n_ << " g=" << g_ << "; " << plan_->describe();
     }
     if (prep_report_.degraded) {
@@ -542,12 +548,13 @@ class MultinodeExecutor final : public ScanExecutor {
     ins_.clear();
     outs_.clear();
     if (use_sp_) {
-      plan_ = &ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), 1);
+      plan_ = ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), 1);
       sp_.prepare(*ctx_, sp_device_, n * g);
     } else {
       const int ranks = comm_->size();
-      plan_ = &ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)),
-                              ranks);
+      plan_ = apply_pipeline_choice(
+          ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), ranks),
+          pipe_);
       const std::int64_t per_rank = (n / ranks) * g;
       for (int r = 0; r < ranks; ++r) {
         simt::Device& dev = ctx_->cluster().device(comm_->device_of(r));
@@ -637,12 +644,13 @@ class MultinodeExecutor final : public ScanExecutor {
   }
 
   ScanContext* ctx_;
+  PipelineChoice pipe_;
   int m_ = 1;
   int w_ = 1;
   bool use_sp_ = false;
   int sp_device_ = -1;
   std::optional<msg::Communicator> comm_;
-  const ScanPlan* plan_ = nullptr;
+  std::optional<ScanPlan> plan_;
   std::vector<Handle> ins_;
   std::vector<Handle> outs_;
   SpFallback sp_;
@@ -716,18 +724,21 @@ std::unique_ptr<ScanExecutor> make_sp_executor(ScanContext& ctx,
 }
 
 std::unique_ptr<ScanExecutor> make_mps_executor(ScanContext& ctx, int w,
-                                                bool direct) {
-  return std::make_unique<MpsExecutor>(ctx, w, direct);
+                                                bool direct,
+                                                PipelineChoice pipe) {
+  return std::make_unique<MpsExecutor>(ctx, w, direct, pipe);
 }
 
 std::unique_ptr<ScanExecutor> make_mppc_executor(ScanContext& ctx, int y,
-                                                 int v, int m) {
-  return std::make_unique<MppcExecutor>(ctx, y, v, m);
+                                                 int v, int m,
+                                                 PipelineChoice pipe) {
+  return std::make_unique<MppcExecutor>(ctx, y, v, m, pipe);
 }
 
 std::unique_ptr<ScanExecutor> make_multinode_executor(ScanContext& ctx, int m,
-                                                      int w) {
-  return std::make_unique<MultinodeExecutor>(ctx, m, w);
+                                                      int w,
+                                                      PipelineChoice pipe) {
+  return std::make_unique<MultinodeExecutor>(ctx, m, w, pipe);
 }
 
 }  // namespace mgs::core

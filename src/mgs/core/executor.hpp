@@ -97,18 +97,23 @@ std::unique_ptr<ScanExecutor> make_sp_executor(ScanContext& ctx,
 
 /// Scan-MPS over `w` GPUs of node 0 (0 = every GPU of the node). With
 /// `direct`, Stage 1 peer-writes straight into the master's auxiliary
-/// array (requires all GPUs on one PCIe network).
+/// array (requires all GPUs on one PCIe network). `pipe` overrides the
+/// planner's pipeline choice (kSync forces the synchronous stage path,
+/// kOverlap the event-driven one; waves > 0 pins the wave count).
 std::unique_ptr<ScanExecutor> make_mps_executor(ScanContext& ctx, int w = 0,
-                                                bool direct = false);
+                                                bool direct = false,
+                                                PipelineChoice pipe = {});
 
 /// Scan-MP-PC: `y` PCIe networks per node on `m` nodes, `v` GPUs from
-/// each (0 = hardware maximum).
+/// each (0 = hardware maximum). `pipe` as for make_mps_executor.
 std::unique_ptr<ScanExecutor> make_mppc_executor(ScanContext& ctx, int y = 0,
-                                                 int v = 0, int m = 1);
+                                                 int v = 0, int m = 1,
+                                                 PipelineChoice pipe = {});
 
 /// Multi-node Scan-MPS over `m` nodes with `w` GPUs each via the MPI-like
-/// communicator (0 = whole cluster).
+/// communicator (0 = whole cluster). `pipe` as for make_mps_executor.
 std::unique_ptr<ScanExecutor> make_multinode_executor(ScanContext& ctx,
-                                                      int m = 0, int w = 0);
+                                                      int m = 0, int w = 0,
+                                                      PipelineChoice pipe = {});
 
 }  // namespace mgs::core

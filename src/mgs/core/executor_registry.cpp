@@ -12,23 +12,27 @@ const std::vector<ExecutorInfo>& all_executors() {
        }},
       {"Scan-MPS", "problem scattering across one node's GPUs (Section 4.1)",
        [](ScanContext& ctx, const ExecutorParams& p) {
-         return make_mps_executor(ctx, p.w, /*direct=*/false);
+         return make_mps_executor(ctx, p.w, /*direct=*/false,
+                                  PipelineChoice{p.pipeline, p.waves});
        }},
       {"Scan-MPS-direct",
        "MPS with UVA peer writes into the master's auxiliary array",
        [](ScanContext& ctx, const ExecutorParams& p) {
-         return make_mps_executor(ctx, p.w, /*direct=*/true);
+         return make_mps_executor(ctx, p.w, /*direct=*/true,
+                                  PipelineChoice{p.pipeline, p.waves});
        }},
       {"Scan-MP-PC",
        "per-PCIe-network groups with prioritized communications "
        "(Section 4.1.1)",
        [](ScanContext& ctx, const ExecutorParams& p) {
-         return make_mppc_executor(ctx, p.y, p.v, p.m > 0 ? p.m : 1);
+         return make_mppc_executor(ctx, p.y, p.v, p.m > 0 ? p.m : 1,
+                                   PipelineChoice{p.pipeline, p.waves});
        }},
       {"Scan-MPS-multinode",
        "MPS across nodes with one MPI rank per GPU (Section 4.1)",
        [](ScanContext& ctx, const ExecutorParams& p) {
-         return make_multinode_executor(ctx, p.m, p.w);
+         return make_multinode_executor(ctx, p.m, p.w,
+                                        PipelineChoice{p.pipeline, p.waves});
        }},
   };
   return kExecutors;

@@ -22,6 +22,10 @@ struct ExecutorParams {
   int y = 0;       ///< MP-PC: PCIe networks per node
   int v = 0;       ///< MP-PC: GPUs per network
   int m = 0;       ///< MP-PC / multi-node: nodes
+  /// Multi-GPU proposals: pipeline override (kAuto keeps the planner's
+  /// event-driven default; kSync forces the synchronous stage path).
+  PipelineMode pipeline = PipelineMode::kAuto;
+  int waves = 0;   ///< pipeline wave count; 0 = planner's cost-model pick
 };
 
 struct ExecutorInfo {

@@ -20,18 +20,26 @@ namespace mgs::core {
 
 /// Stage 1. `in` holds G portions of lay.n_local contiguous elements
 /// (problem g at offset g*n_local); `aux` receives the chunk reductions,
-/// problem-major (aux[g*bx + c]).
+/// problem-major (aux[g*bx + c]). `g_begin`/`g_count` restrict the launch
+/// to a slice of the batch dimension (a pipeline wave); indexing into `in`
+/// and `aux` stays absolute, so slices compose to exactly the full launch.
 template <typename T, typename Op>
 sim::KernelTime launch_chunk_reduce(simt::Device& dev,
                                     const simt::DeviceBuffer<T>& in,
                                     simt::DeviceBuffer<T>& aux,
                                     const BatchLayout& lay,
-                                    const StagePlan& sp, Op op) {
+                                    const StagePlan& sp, Op op,
+                                    std::int64_t g_begin = 0,
+                                    std::int64_t g_count = -1) {
+  if (g_count < 0) g_count = lay.g - g_begin;
+  MGS_CHECK(g_begin >= 0 && g_count >= 0 && g_begin + g_count <= lay.g,
+            "chunk_reduce: batch slice out of range");
   MGS_CHECK(in.size() >= lay.elems_per_gpu(), "chunk_reduce: input too small");
   MGS_CHECK(aux.size() >= lay.aux_elems(), "chunk_reduce: aux too small");
+  if (g_count == 0) return {};
   simt::LaunchConfig cfg;
   cfg.name = "chunk_reduce";
-  cfg.grid = {static_cast<int>(lay.bx), static_cast<int>(lay.g), 1};
+  cfg.grid = {static_cast<int>(lay.bx), static_cast<int>(g_count), 1};
   cfg.block = {sp.lx, sp.ly, 1};
   cfg.regs_per_thread = sp.regs_per_thread();
   cfg.smem_per_block = sp.smem_bytes(sizeof(T));
@@ -39,7 +47,7 @@ sim::KernelTime launch_chunk_reduce(simt::Device& dev,
   const auto auxv = aux.view();
   return simt::launch(dev, cfg, [=](simt::BlockCtx& ctx) {
     const std::int64_t c = ctx.block_idx().x;
-    const std::int64_t g = ctx.block_idx().y;
+    const std::int64_t g = g_begin + ctx.block_idx().y;
     const std::int64_t chunk_off = c * lay.chunk;
     const std::int64_t len =
         std::min<std::int64_t>(lay.chunk, lay.n_local - chunk_off);
@@ -84,6 +92,64 @@ sim::KernelTime launch_intermediate_scan(simt::Device& dev,
             auxv.store_warp_partial(row_base + i0, n, v, ctx.stats());
           },
           op);
+    }
+  });
+}
+
+/// Stage 2 slice for the wave-pipelined path, contiguous layout: rows
+/// [g_begin, g_begin+g_count) of `aux`, columns [c_begin, c_begin+c_count)
+/// of each row, exclusively scanned in place with a per-row running carry
+/// kept in `carry` (>= g_begin+g_count elements). Column chunk 0 seeds the
+/// carry from the identity; later chunks seed from (and update) the carry
+/// the previous chunk of the same row wrote, so processing every chunk of a
+/// row in ascending column order reproduces launch_intermediate_scan's
+/// output bit-for-bit. Issue chunks of one row in column order on a single
+/// in-order stream; distinct rows are independent.
+template <typename T, typename Op>
+sim::KernelTime launch_intermediate_scan_slice(
+    simt::Device& dev, simt::DeviceBuffer<T>& aux, std::int64_t row_len,
+    std::int64_t g_begin, std::int64_t g_count, std::int64_t c_begin,
+    std::int64_t c_count, simt::DeviceBuffer<T>& carry, const StagePlan& s2,
+    Op op) {
+  MGS_CHECK(g_begin >= 0 && g_count >= 0, "intermediate_scan_slice: bad rows");
+  MGS_CHECK(c_begin >= 0 && c_count >= 0 && c_begin + c_count <= row_len,
+            "intermediate_scan_slice: bad columns");
+  MGS_CHECK(aux.size() >= (g_begin + g_count) * row_len,
+            "intermediate_scan_slice: aux too small");
+  MGS_CHECK(carry.size() >= g_begin + g_count,
+            "intermediate_scan_slice: carry too small");
+  if (g_count == 0 || c_count == 0) return {};
+  simt::LaunchConfig cfg;
+  cfg.name = "intermediate_scan";
+  cfg.grid = {1, static_cast<int>(util::div_up(
+                     static_cast<std::uint64_t>(g_count),
+                     static_cast<std::uint64_t>(s2.ly))),
+              1};
+  cfg.block = {s2.lx, s2.ly, 1};
+  cfg.regs_per_thread = s2.regs_per_thread();
+  cfg.smem_per_block = s2.smem_bytes(sizeof(T));
+  const auto auxv = aux.view();
+  const auto carryv = carry.view();
+  return simt::launch(dev, cfg, [=](simt::BlockCtx& ctx) {
+    for (int r = 0; r < s2.ly; ++r) {
+      const std::int64_t local_row =
+          static_cast<std::int64_t>(ctx.block_idx().y) * s2.ly + r;
+      if (local_row >= g_count) break;
+      const std::int64_t row = g_begin + local_row;
+      const std::int64_t base = row * row_len + c_begin;
+      const T carry_in =
+          (c_begin == 0) ? Op::identity() : carryv.load(row, ctx.stats());
+      const T total = warp_row_scan_exclusive_carry<T>(
+          ctx, c_count,
+          [&](std::int64_t i0, int n) {
+            return auxv.load_warp_partial(base + i0, n, Op::identity(),
+                                          ctx.stats());
+          },
+          [&](std::int64_t i0, int n, const simt::WarpReg<T>& v) {
+            auxv.store_warp_partial(base + i0, n, v, ctx.stats());
+          },
+          op, carry_in);
+      carryv.store(row, op(carry_in, total), ctx.stats());
     }
   });
 }
@@ -136,6 +202,71 @@ sim::KernelTime launch_intermediate_scan_ranked(
   });
 }
 
+/// Ranked-layout counterpart of launch_intermediate_scan_slice: element
+/// indices [c_begin, c_begin+c_count) of rows [g_begin, g_begin+g_count),
+/// addressed through the rank-major permutation. The wave-pipelined
+/// multinode Stage 2 uses one column chunk per rank (c_begin = rank*bx,
+/// c_count = bx), issued in ascending rank order per row.
+template <typename T, typename Op>
+sim::KernelTime launch_intermediate_scan_ranked_slice(
+    simt::Device& dev, simt::DeviceBuffer<T>& aux, std::int64_t bx,
+    std::int64_t ranks, std::int64_t g, std::int64_t g_begin,
+    std::int64_t g_count, std::int64_t c_begin, std::int64_t c_count,
+    simt::DeviceBuffer<T>& carry, const StagePlan& s2, Op op) {
+  const std::int64_t row_len = ranks * bx;
+  MGS_CHECK(g_begin >= 0 && g_count >= 0 && g_begin + g_count <= g,
+            "intermediate_scan_ranked_slice: bad rows");
+  MGS_CHECK(c_begin >= 0 && c_count >= 0 && c_begin + c_count <= row_len,
+            "intermediate_scan_ranked_slice: bad columns");
+  MGS_CHECK(aux.size() >= ranks * g * bx,
+            "intermediate_scan_ranked_slice: aux too small");
+  MGS_CHECK(carry.size() >= g_begin + g_count,
+            "intermediate_scan_ranked_slice: carry too small");
+  if (g_count == 0 || c_count == 0) return {};
+  simt::LaunchConfig cfg;
+  cfg.name = "intermediate_scan_ranked";
+  cfg.grid = {1, static_cast<int>(util::div_up(
+                     static_cast<std::uint64_t>(g_count),
+                     static_cast<std::uint64_t>(s2.ly))),
+              1};
+  cfg.block = {s2.lx, s2.ly, 1};
+  cfg.regs_per_thread = s2.regs_per_thread();
+  cfg.smem_per_block = s2.smem_bytes(sizeof(T));
+  const auto auxv = aux.view();
+  const auto carryv = carry.view();
+  return simt::launch(dev, cfg, [=](simt::BlockCtx& ctx) {
+    for (int r = 0; r < s2.ly; ++r) {
+      const std::int64_t local_row =
+          static_cast<std::int64_t>(ctx.block_idx().y) * s2.ly + r;
+      if (local_row >= g_count) break;
+      const std::int64_t row = g_begin + local_row;
+      const auto offset_of = [&](std::int64_t i) {
+        return (i / bx) * (g * bx) + row * bx + (i % bx);
+      };
+      const T carry_in =
+          (c_begin == 0) ? Op::identity() : carryv.load(row, ctx.stats());
+      const T total = warp_row_scan_exclusive_carry<T>(
+          ctx, c_count,
+          [&](std::int64_t i0, int n) {
+            simt::WarpReg<T> v;
+            for (int l = 0; l < simt::kWarpSize; ++l) {
+              v[l] = (l < n)
+                         ? auxv.load(offset_of(c_begin + i0 + l), ctx.stats())
+                         : Op::identity();
+            }
+            return v;
+          },
+          [&](std::int64_t i0, int n, const simt::WarpReg<T>& v) {
+            for (int l = 0; l < n; ++l) {
+              auxv.store(offset_of(c_begin + i0 + l), v[l], ctx.stats());
+            }
+          },
+          op, carry_in);
+      carryv.store(row, op(carry_in, total), ctx.stats());
+    }
+  });
+}
+
 /// Stage 3. `aux` holds the *exclusively scanned* chunk totals for this
 /// GPU's chunks, problem-major like Stage 1 wrote them. `in` and `out` may
 /// alias (in-place scan).
@@ -145,13 +276,19 @@ sim::KernelTime launch_scan_add(simt::Device& dev,
                                 simt::DeviceBuffer<T>& out,
                                 const simt::DeviceBuffer<T>& aux,
                                 const BatchLayout& lay, const StagePlan& sp,
-                                ScanKind kind, Op op) {
+                                ScanKind kind, Op op,
+                                std::int64_t g_begin = 0,
+                                std::int64_t g_count = -1) {
+  if (g_count < 0) g_count = lay.g - g_begin;
+  MGS_CHECK(g_begin >= 0 && g_count >= 0 && g_begin + g_count <= lay.g,
+            "scan_add: batch slice out of range");
   MGS_CHECK(in.size() >= lay.elems_per_gpu(), "scan_add: input too small");
   MGS_CHECK(out.size() >= lay.elems_per_gpu(), "scan_add: output too small");
   MGS_CHECK(aux.size() >= lay.aux_elems(), "scan_add: aux too small");
+  if (g_count == 0) return {};
   simt::LaunchConfig cfg;
   cfg.name = "scan_add";
-  cfg.grid = {static_cast<int>(lay.bx), static_cast<int>(lay.g), 1};
+  cfg.grid = {static_cast<int>(lay.bx), static_cast<int>(g_count), 1};
   cfg.block = {sp.lx, sp.ly, 1};
   cfg.regs_per_thread = sp.regs_per_thread();
   cfg.smem_per_block = sp.smem_bytes(sizeof(T));
@@ -160,7 +297,7 @@ sim::KernelTime launch_scan_add(simt::Device& dev,
   const auto auxv = aux.view();
   return simt::launch(dev, cfg, [=](simt::BlockCtx& ctx) {
     const std::int64_t c = ctx.block_idx().x;
-    const std::int64_t g = ctx.block_idx().y;
+    const std::int64_t g = g_begin + ctx.block_idx().y;
     const std::int64_t chunk_off = c * lay.chunk;
     const std::int64_t len =
         std::min<std::int64_t>(lay.chunk, lay.n_local - chunk_off);

@@ -24,6 +24,7 @@ void ScanPlan::validate() const {
               "ScanPlan: stages 1/3 put every thread of a block on one "
               "problem (L_y^{1,3} = 1)");
   MGS_REQUIRE(s2.k == 1, "ScanPlan: K^2 = 1 (Premise 3)");
+  MGS_REQUIRE(pipe.waves >= 1, "ScanPlan: pipeline needs >= 1 wave");
 }
 
 std::string ScanPlan::describe() const {
@@ -33,7 +34,28 @@ std::string ScanPlan::describe() const {
      << " [P=" << s13.p << ", Lx=" << s13.lx << ", chunk=" << s13.chunk()
      << ", regs=" << s13.regs_per_thread() << "]"
      << "; stage2: (lx=" << s2.lx << ", ly=" << s2.ly << ", p=" << s2.p << ")";
+  if (pipe.overlap) {
+    os << "; pipeline: overlapped, waves=" << pipe.waves;
+  } else {
+    os << "; pipeline: synchronous";
+  }
   return os.str();
+}
+
+ScanPlan apply_pipeline_choice(ScanPlan plan, const PipelineChoice& choice) {
+  switch (choice.mode) {
+    case PipelineMode::kAuto:
+      break;
+    case PipelineMode::kSync:
+      plan.pipe.overlap = false;
+      break;
+    case PipelineMode::kOverlap:
+      plan.pipe.overlap = true;
+      break;
+  }
+  if (choice.waves > 0) plan.pipe.waves = choice.waves;
+  if (plan.pipe.waves < 1) plan.pipe.waves = 1;
+  return plan;
 }
 
 BatchLayout make_layout(std::int64_t n_local, std::int64_t g,

@@ -62,15 +62,47 @@ struct StagePlan {
   void validate() const;
 };
 
+/// Stream-pipeline shape for the multi-GPU paths. When overlap is on, the
+/// executors replace the bulk-synchronous barriers between Stage 1, the aux
+/// gather, Stage 2, the prefix scatter and Stage 3 with per-device
+/// event-driven dependencies, and split the batch dimension G into `waves`
+/// pipelined sub-batches so communication of wave v overlaps compute of
+/// wave v+1 (Premise-3-style cost-model pick in core::pick_wave_count).
+/// Default-constructed plans keep overlap off: legacy call sites are
+/// bit-identical in both results and modeled times.
+struct PipelinePlan {
+  bool overlap = false;  ///< event-driven pipeline instead of barriers
+  int waves = 1;         ///< batch-dimension sub-batches (>= 1)
+};
+
 /// Full plan for the three-kernel pipeline. Stages 1 and 3 share a plan
 /// (B_x^1 = B_x^3, same SM resources -- Section 3.1); stage 2 has its own.
 struct ScanPlan {
   StagePlan s13;
   StagePlan s2;
+  PipelinePlan pipe;
 
   void validate() const;
   std::string describe() const;
 };
+
+/// User-facing override for the pipeline choice, carried by executor
+/// factories: kAuto defers to the planner (overlap on for multi-GPU plans,
+/// cost-model wave count), kSync forces the legacy bulk-synchronous path,
+/// kOverlap forces the pipeline on.
+enum class PipelineMode {
+  kAuto,
+  kSync,
+  kOverlap,
+};
+
+struct PipelineChoice {
+  PipelineMode mode = PipelineMode::kAuto;
+  int waves = 0;  ///< 0 = planner-chosen; > 0 overrides the wave count
+};
+
+/// Apply a user override on top of a planned ScanPlan.
+ScanPlan apply_pipeline_choice(ScanPlan plan, const PipelineChoice& choice);
 
 /// Geometry of one batch on one GPU: G problem portions of n_local
 /// elements, each split into bx chunks.

@@ -65,6 +65,12 @@ const ScanPlan& ScanContext::plan_for(const PlanKey& key) {
                  k1_max_gpus(key.n, plan.s13, key.gpus_per_problem));
     plan.s13.k = static_cast<int>(util::floor_pow2(
         static_cast<std::uint64_t>(std::max<std::int64_t>(1, bound))));
+    // Multi-GPU plans default to the event-driven stream pipeline, with
+    // the wave count from the Premise-3-style overlap model. Callers can
+    // force the synchronous path back via PipelineChoice{kSync}.
+    plan.pipe.overlap = true;
+    plan.pipe.waves = pick_wave_count(*cluster_, key.n, key.g,
+                                      key.gpus_per_problem, plan);
   }
   const ScanPlan& cached = plans_.emplace(key, plan).first->second;
   if (obs::TraceSession* ts = obs::TraceSession::current()) {

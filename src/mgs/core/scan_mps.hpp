@@ -5,6 +5,7 @@
 /// Stage 1 on its G portions, the chunk reductions converge on a master
 /// GPU for Stage 2, and the scanned prefixes return for Stage 3.
 
+#include <algorithm>
 #include <vector>
 
 #include "mgs/core/kernels.hpp"
@@ -42,10 +43,8 @@ void scatter_batch(std::span<const T> host, std::vector<GpuBatch<T>>& batches,
     MGS_REQUIRE(static_cast<std::int64_t>(dst.size()) >= n_local * g,
                 "scatter_batch: batch input too small");
     for (std::int64_t gg = 0; gg < g; ++gg) {
-      for (std::int64_t i = 0; i < n_local; ++i) {
-        dst[static_cast<std::size_t>(gg * n_local + i)] =
-            host[static_cast<std::size_t>(gg * n + d * n_local + i)];
-      }
+      const auto row = host.begin() + (gg * n + d * n_local);
+      std::copy(row, row + n_local, dst.begin() + gg * n_local);
     }
   }
 }
@@ -63,10 +62,8 @@ void gather_batch(const std::vector<GpuBatch<T>>& batches, std::int64_t n,
   for (int d = 0; d < w; ++d) {
     const auto src = batches[static_cast<std::size_t>(d)].out.host_span();
     for (std::int64_t gg = 0; gg < g; ++gg) {
-      for (std::int64_t i = 0; i < n_local; ++i) {
-        host[static_cast<std::size_t>(gg * n + d * n_local + i)] =
-            src[static_cast<std::size_t>(gg * n_local + i)];
-      }
+      const auto row = src.begin() + gg * n_local;
+      std::copy(row, row + n_local, host.begin() + (gg * n + d * n_local));
     }
   }
 }
@@ -106,10 +103,168 @@ std::vector<T> collect_batch(const std::vector<GpuBatch<T>>& batches,
   return host;
 }
 
+namespace detail {
+
+/// Event-driven Scan-MPS (plan.pipe.overlap): instead of global barriers
+/// between Stage 1, the aux gather, Stage 2, the prefix scatter and
+/// Stage 3, every dependency is a per-(device, wave) event. The batch
+/// dimension G is split into plan.pipe.waves sub-batches: each GPU's wave-v
+/// chunk reductions are DMA-gathered to the master the moment that GPU
+/// finishes computing them (overlapping later waves' Stage 1), the master
+/// scans each (wave, device) column chunk of the auxiliary matrix as soon
+/// as it arrives -- carrying the running row prefix in a per-row carry
+/// buffer -- and scatters the slice straight back so Stage 3 starts per
+/// GPU per wave on arrival. Stage-2 chunks of one row are issued in
+/// ascending device order on the master's in-order compute engine, so the
+/// result is bit-identical to the synchronous path (the operator
+/// application order per row is unchanged).
+///
+/// Breakdown stages are Stage1 / Stage2+Comm / Stage3, cut at the same
+/// phase-boundary instants the stage spans close at, so the entries sum to
+/// result.seconds exactly (critical-path telescoping preserved). Kernels
+/// and copies of later pipeline stages may *start* inside an earlier
+/// window -- that is the overlap -- and the critical-path analyzer clips
+/// leaf spans by time, attributing them to the window they occupy.
+template <typename T, typename Op>
+RunResult scan_mps_overlapped(topo::Cluster& cluster,
+                              const std::vector<int>& gpus,
+                              std::vector<GpuBatch<T>>& batches,
+                              std::int64_t n, std::int64_t g,
+                              const ScanPlan& plan, ScanKind kind, Op op,
+                              WorkspacePool* ws) {
+  const int w = static_cast<int>(gpus.size());
+  const std::int64_t n_local = n / w;
+  const BatchLayout lay = make_layout(n_local, g, plan.s13);
+  MGS_REQUIRE(lay.bx >= 1,
+              "scan_mps: every GPU needs at least one chunk (Equation 2)");
+  const int k = static_cast<int>(
+      std::clamp<std::int64_t>(plan.pipe.waves, 1, g));
+  const auto wave_begin = [&](int v) { return (g * v) / k; };
+
+  RunResult result;
+  result.payload_bytes = 2ull * static_cast<std::uint64_t>(n) * g * sizeof(T);
+  topo::TransferEngine xfer(cluster);
+
+  auto compute_front = [&] {
+    double t = 0.0;
+    for (int d : gpus) t = std::max(t, cluster.device(d).clock().now());
+    return t;
+  };
+  // Entry instant: both engines of every participant (free-function calls
+  // may arrive with clocks already advanced).
+  double t0 = compute_front();
+  for (int d : gpus) t0 = std::max(t0, cluster.device(d).dma_clock().now());
+
+  std::vector<WorkspacePool::Handle<T>> aux_local;
+  aux_local.reserve(static_cast<std::size_t>(w));
+  for (int d = 0; d < w; ++d) {
+    aux_local.push_back(acquire_workspace<T>(
+        ws, cluster.device(gpus[static_cast<std::size_t>(d)]),
+        lay.aux_elems()));
+  }
+  const int master = gpus[0];
+  simt::Device& master_dev = cluster.device(master);
+  auto aux_all = acquire_workspace<T>(ws, master_dev, g * w * lay.bx);
+  auto carry = acquire_workspace<T>(ws, master_dev, g);
+
+  const std::int64_t row_len = static_cast<std::int64_t>(w) * lay.bx;
+  const auto idx = [](int v, int d, int w_) { return v * w_ + d; };
+  std::vector<simt::Event> ev_s1(static_cast<std::size_t>(k * w));
+  std::vector<simt::Event> ev_gather(static_cast<std::size_t>(k * w));
+  std::vector<simt::Event> ev_scatter(static_cast<std::size_t>(k * w));
+
+  // ---- Stage 1, split into waves per GPU; each wave records an event the
+  // gather of that wave depends on.
+  auto stage1 = obs::open_stage("Stage1", t0);
+  for (int d = 0; d < w; ++d) {
+    simt::Stream s(cluster.device(gpus[static_cast<std::size_t>(d)]));
+    for (int v = 0; v < k; ++v) {
+      const std::int64_t g0 = wave_begin(v);
+      const std::int64_t gn = wave_begin(v + 1) - g0;
+      launch_chunk_reduce(s.device(), batches[static_cast<std::size_t>(d)].in,
+                          aux_local[static_cast<std::size_t>(d)].buffer(),
+                          lay, plan.s13, op, g0, gn);
+      ev_s1[static_cast<std::size_t>(idx(v, d, w))] = s.record();
+    }
+  }
+  const double t_stage1 = compute_front();
+  stage1.close(t_stage1);
+  result.breakdown.add("Stage1", t_stage1 - t0);
+
+  // ---- Stage 2 + communication, fully event-driven. Gathers are enqueued
+  // on the DMA engines gated only by their producing wave's event; the
+  // master scans each arriving (wave, device) column chunk and scatters it
+  // straight back.
+  auto stage2 = obs::open_stage("Stage2+Comm", t_stage1);
+  for (int v = 0; v < k; ++v) {
+    const std::int64_t g0 = wave_begin(v);
+    const std::int64_t gn = wave_begin(v + 1) - g0;
+    for (int d = 0; d < w; ++d) {
+      ev_gather[static_cast<std::size_t>(idx(v, d, w))] =
+          xfer.copy_2d_async(
+                  aux_all.buffer(), g0 * row_len + d * lay.bx, row_len,
+                  aux_local[static_cast<std::size_t>(d)].buffer(),
+                  g0 * lay.bx, lay.bx, gn, lay.bx,
+                  ev_s1[static_cast<std::size_t>(idx(v, d, w))])
+              .done;
+    }
+  }
+  simt::Stream master_stream(master_dev);
+  for (int v = 0; v < k; ++v) {
+    const std::int64_t g0 = wave_begin(v);
+    const std::int64_t gn = wave_begin(v + 1) - g0;
+    for (int d = 0; d < w; ++d) {
+      master_stream.wait(ev_gather[static_cast<std::size_t>(idx(v, d, w))]);
+      launch_intermediate_scan_slice(master_dev, aux_all.buffer(), row_len,
+                                     g0, gn, d * lay.bx, lay.bx,
+                                     carry.buffer(), plan.s2, op);
+      ev_scatter[static_cast<std::size_t>(idx(v, d, w))] =
+          xfer.copy_2d_async(aux_local[static_cast<std::size_t>(d)].buffer(),
+                             g0 * lay.bx, lay.bx, aux_all.buffer(),
+                             g0 * row_len + d * lay.bx, row_len, gn, lay.bx,
+                             master_stream.record())
+              .done;
+    }
+  }
+  double t_stage2 = t_stage1;
+  for (const simt::Event& e : ev_scatter) {
+    t_stage2 = std::max(t_stage2, e.seconds);
+  }
+  stage2.close(t_stage2);
+  result.breakdown.add("Stage2+Comm", t_stage2 - t_stage1);
+
+  // ---- Stage 3 per GPU per wave, gated on that wave's prefix arrival.
+  auto stage3 = obs::open_stage("Stage3", t_stage2);
+  for (int d = 0; d < w; ++d) {
+    simt::Stream s(cluster.device(gpus[static_cast<std::size_t>(d)]));
+    for (int v = 0; v < k; ++v) {
+      const std::int64_t g0 = wave_begin(v);
+      const std::int64_t gn = wave_begin(v + 1) - g0;
+      s.wait(ev_scatter[static_cast<std::size_t>(idx(v, d, w))]);
+      launch_scan_add(s.device(), batches[static_cast<std::size_t>(d)].in,
+                      batches[static_cast<std::size_t>(d)].out,
+                      aux_local[static_cast<std::size_t>(d)].buffer(), lay,
+                      plan.s13, kind, op, g0, gn);
+    }
+  }
+  const double t_stage3 = std::max(t_stage2, compute_front());
+  stage3.close(t_stage3);
+  result.breakdown.add("Stage3", t_stage3 - t_stage2);
+
+  result.seconds = t_stage3 - t0;
+  result.faults.counters = xfer.fault_counters();
+  return result;
+}
+
+}  // namespace detail
+
 /// Run Scan-MPS over `gpus` (gpus[0] is the master). Batches must follow
 /// the distribute_batch layout. Returns the simulated makespan across the
 /// participating GPUs plus the phase breakdown. When `ws` is given, the
 /// auxiliary arrays are leased from it instead of allocated per call.
+/// With plan.pipe.overlap set (the planner's default for multi-GPU plans),
+/// the event-driven wave pipeline above replaces the bulk-synchronous
+/// phases; results are bit-identical either way.
 template <typename T, typename Op = Plus<T>>
 RunResult scan_mps(topo::Cluster& cluster, const std::vector<int>& gpus,
                    std::vector<GpuBatch<T>>& batches, std::int64_t n,
@@ -120,6 +275,10 @@ RunResult scan_mps(topo::Cluster& cluster, const std::vector<int>& gpus,
   MGS_REQUIRE(w > 0 && static_cast<int>(batches.size()) == w,
               "scan_mps: one batch per GPU required");
   MGS_REQUIRE(n % w == 0, "scan_mps: N must be divisible by W");
+  if (plan.pipe.overlap && w > 1) {
+    return detail::scan_mps_overlapped(cluster, gpus, batches, n, g, plan,
+                                       kind, op, ws);
+  }
   const std::int64_t n_local = n / w;
   const BatchLayout lay = make_layout(n_local, g, plan.s13);
   MGS_REQUIRE(lay.bx >= 1,

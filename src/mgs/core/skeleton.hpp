@@ -254,10 +254,17 @@ T cascade_scan(simt::BlockCtx& ctx, const simt::GlobalView<T>& in,
 ///
 /// LoadFn:  (int64 i0, int n) -> WarpReg<T>   -- row elements [i0, i0+n)
 /// StoreFn: (int64 i0, int n, const WarpReg<T>&)
+/// Like warp_row_scan_exclusive below, but the row's exclusive prefix
+/// starts at `carry_in` instead of the identity, and the row total
+/// (excluding carry_in) is returned. This is what lets the wave-pipelined
+/// Stage 2 process a row in column chunks: chunk c seeds with the running
+/// carry written by chunk c-1 and hands its updated carry to chunk c+1.
 template <typename T, typename Op, typename LoadFn, typename StoreFn>
-void warp_row_scan_exclusive(simt::BlockCtx& ctx, std::int64_t len,
-                             LoadFn load, StoreFn store, Op op) {
-  T carry = Op::identity();
+T warp_row_scan_exclusive_carry(simt::BlockCtx& ctx, std::int64_t len,
+                                LoadFn load, StoreFn store, Op op,
+                                T carry_in) {
+  T carry = carry_in;
+  T total = Op::identity();
   for (std::int64_t i0 = 0; i0 < len; i0 += simt::kWarpSize) {
     const int n =
         static_cast<int>(std::min<std::int64_t>(simt::kWarpSize, len - i0));
@@ -270,8 +277,18 @@ void warp_row_scan_exclusive(simt::BlockCtx& ctx, std::int64_t len,
     }
     ctx.count_alu(simt::kWarpSize);
     store(i0, n, excl);
-    if (n > 0) carry = op(carry, inc[n - 1]);
+    if (n > 0) {
+      carry = op(carry, inc[n - 1]);
+      total = op(total, inc[n - 1]);
+    }
   }
+  return total;
+}
+
+template <typename T, typename Op, typename LoadFn, typename StoreFn>
+void warp_row_scan_exclusive(simt::BlockCtx& ctx, std::int64_t len,
+                             LoadFn load, StoreFn store, Op op) {
+  warp_row_scan_exclusive_carry<T>(ctx, len, load, store, op, Op::identity());
 }
 
 }  // namespace mgs::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "mgs/topo/topology.hpp"
+#include "mgs/topo/transfer.hpp"
 #include "mgs/util/math.hpp"
 
 namespace mgs::core {
@@ -106,6 +108,66 @@ std::vector<int> k1_candidates(std::int64_t n, std::int64_t g,
     if (k > (std::int64_t{1} << 30)) break;
   }
   return ks;
+}
+
+int pick_wave_count(topo::Cluster& cluster, std::int64_t n, std::int64_t g,
+                    int gpus_per_problem, const ScanPlan& plan) {
+  MGS_REQUIRE(n > 0 && g > 0 && gpus_per_problem > 0,
+              "pick_wave_count: bad arguments");
+  if (gpus_per_problem < 2 || g < 2) return 1;
+
+  const int elem = 4;  // planning estimate; wave count is shape-driven
+  const std::int64_t n_local = n / gpus_per_problem;
+  const BatchLayout lay = make_layout(n_local, g, plan.s13);
+  const sim::DeviceSpec& spec = cluster.config().gpu;
+
+  // C: local compute across the three stages -- the problem data streams
+  // through DRAM ~3x (Stage 1 read, Stage 3 read + write).
+  const double c_seconds =
+      3.0 * static_cast<double>(n_local) * static_cast<double>(g) * elem /
+      (spec.peak_bandwidth_bps() * spec.mem_efficiency_base);
+
+  // X: aux round trip between each non-master GPU and the master, as the
+  // overlapped pipeline issues it (per-device strided 2-D copies of G rows
+  // of bx totals, both directions). The copies queue on the master's DMA
+  // engine, which pipelines their fixed link latencies away -- occupancy
+  // is payload + per-row time, plus one fill latency for the queue.
+  topo::TransferEngine probe(cluster);
+  const std::uint64_t aux_bytes =
+      static_cast<std::uint64_t>(g) * lay.bx * elem;
+  double x_seconds = 0.0;
+  double max_latency = 0.0;
+  for (int d = 1; d < gpus_per_problem; ++d) {
+    const int dev = d % cluster.num_devices();
+    const double lat = probe.link_latency(dev, 0);
+    x_seconds +=
+        2.0 * std::max(0.0, probe.link_time_2d(dev, 0, aux_bytes,
+                                               static_cast<std::uint64_t>(g)) -
+                                lat);
+    max_latency = std::max(max_latency, lat);
+  }
+  x_seconds += 2.0 * max_latency;  // queue fill + final arrival
+  // Per-wave fixed cost: each wave re-pays the pipeline fill/drain (the
+  // wave's last scatter must fully land before its Stage 3 can start) and
+  // adds one Stage-1 and one Stage-3 kernel launch to every device's
+  // compute chain.
+  const double alpha = 2.0 * max_latency +
+                       2.0 * spec.kernel_launch_overhead_us * 1e-6;
+
+  const std::int64_t max_waves = std::min<std::int64_t>(g, 16);
+  int best_k = 1;
+  double best_est = c_seconds + x_seconds;  // k = 1: no overlap
+  for (std::int64_t k = 2; k <= max_waves; k *= 2) {
+    const double kd = static_cast<double>(k);
+    const double est = (c_seconds + x_seconds) / kd +
+                       (kd - 1.0) * std::max(c_seconds, x_seconds) / kd +
+                       (kd - 1.0) * alpha;
+    if (est < best_est) {
+      best_est = est;
+      best_k = static_cast<int>(k);
+    }
+  }
+  return best_k;
 }
 
 AutotuneResult autotune_k(const std::vector<int>& candidates,

@@ -15,6 +15,7 @@
 /// The optimal K is found empirically over the premise-trimmed space
 /// (autotune_k), which the paper leaves as future work to automate.
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -22,6 +23,10 @@
 #include "mgs/core/plan.hpp"
 #include "mgs/sim/device_spec.hpp"
 #include "mgs/sim/occupancy.hpp"
+
+namespace mgs::topo {
+class Cluster;
+}  // namespace mgs::topo
 
 namespace mgs::core {
 
@@ -69,5 +74,15 @@ struct AutotuneResult {
 /// automated against the simulator.
 AutotuneResult autotune_k(const std::vector<int>& candidates,
                           const std::function<double(int)>& measure);
+
+/// Premise-3-style cost-model pick of the pipeline wave count for the
+/// overlapped multi-GPU paths: splitting G into k waves makes the pipeline
+/// roughly (C+X)/k + (k-1)*max(C,X)/k + (k-1)*alpha where C is the local
+/// compute time, X the aux-communication time and alpha the per-wave fixed
+/// cost (link latencies, per-row DMA overhead) -- more waves hide the
+/// smaller of C and X behind the larger but pay alpha each round trip.
+/// Returns the power-of-two argmin of that estimate, clamped to [1, g].
+int pick_wave_count(topo::Cluster& cluster, std::int64_t n, std::int64_t g,
+                    int gpus_per_problem, const ScanPlan& plan);
 
 }  // namespace mgs::core

@@ -29,6 +29,10 @@ sim::Clock& Communicator::clock_of(int rank) {
   return cluster_->device(device_of(rank)).clock();
 }
 
+sim::Clock& Communicator::dma_clock_of(int rank) {
+  return cluster_->device(device_of(rank)).dma_clock();
+}
+
 double Communicator::collective_alpha() const {
   return cluster_->config().links.mpi_overhead_us * 1e-6;
 }
@@ -59,6 +63,13 @@ void Communicator::check_ranks_alive(const char* op) {
 
 double Communicator::timed_message(int src_rank, int dst_rank,
                                    std::uint64_t bytes, int blame_rank) {
+  return timed_message_at(src_rank, dst_rank, bytes, blame_rank,
+                          clock_of(src_rank).now());
+}
+
+double Communicator::timed_message_at(int src_rank, int dst_rank,
+                                      std::uint64_t bytes, int blame_rank,
+                                      double now) {
   const double base = message_time(src_rank, dst_rank, bytes);
   sim::FaultInjector* fi = cluster_->fault_injector();
   if (fi == nullptr) return base;
@@ -88,7 +99,6 @@ double Communicator::timed_message(int src_rank, int dst_rank,
   const int dst = device_of(dst_rank);
   const double attempt_time = base * fi->transfer_slowdown(src, dst);
   const sim::FaultPlan& plan = fi->plan();
-  const double now = clock_of(src_rank).now();
   if (fi->device_down_at(src, now)) {
     throw CommError("message from down rank " + std::to_string(src_rank),
                     src_rank);
@@ -190,6 +200,38 @@ void Communicator::profile_collective(const char* name, double start,
     sim::Profiler::instance().record(std::move(rec));
   }
   trace_collective(name, start, completion, bytes);
+}
+
+double Communicator::message_latency(int src_rank, int dst_rank) const {
+  topo::TransferEngine probe(*cluster_);
+  return collective_alpha() +
+         probe.link_latency(device_of(src_rank), device_of(dst_rank));
+}
+
+void Communicator::trace_isend(int src_rank, int dst_rank, double start,
+                               double engine_release, double completion,
+                               std::uint64_t bytes) {
+  obs::TraceSession* ts = obs::TraceSession::current();
+  if (ts == nullptr) return;
+  obs::SpanRecord rec;
+  rec.name = "MPI_Isend";
+  rec.kind = obs::SpanKind::kCollective;
+  rec.category = obs::Category::kMpi;
+  rec.device = device_of(dst_rank);
+  rec.src_device = device_of(src_rank);
+  rec.start_seconds = start;
+  rec.end_seconds = engine_release;
+  rec.bytes = bytes;
+  rec.notes.emplace_back("engine", sim::to_string(sim::Engine::kDma));
+  rec.notes.emplace_back("latency_us",
+                         std::to_string((completion - engine_release) * 1e6));
+  ts->add_event(std::move(rec));
+  obs::MetricsRegistry& m = ts->metrics();
+  m.inc("mpi_ops_total", {{"op", "MPI_Isend"}});
+  m.add("mpi_seconds", {{"op", "MPI_Isend"}}, completion - start);
+  if (bytes != 0) {
+    m.add("transfer_bytes", {{"kind", "mpi"}}, static_cast<double>(bytes));
+  }
 }
 
 void Communicator::trace_collective(const char* name, double start,

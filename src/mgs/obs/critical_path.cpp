@@ -21,44 +21,60 @@ double overlap(double a0, double a1, double b0, double b1) {
   return std::max(0.0, std::min(a1, b1) - std::max(a0, b0));
 }
 
-/// Busy seconds by category per device for every leaf clipped to [a, b).
-/// Transfers occupy both endpoints.
-std::map<int, CategorySeconds> device_busy(
+/// Spans carry an ("engine", "dma") note when they ran on a device's copy
+/// engine; everything else is compute-engine work.
+bool on_dma_engine(const SpanRecord& s) {
+  for (const auto& [k, v] : s.notes) {
+    if (k == "engine") return v == "dma";
+  }
+  return false;
+}
+
+/// A (device, engine) lane. Each lane is serial -- a device's compute
+/// clock and its DMA clock each advance monotonically -- so per-lane busy
+/// time never over-fills a window even when the stream pipeline overlaps
+/// copies with kernels on one device.
+using Lane = std::pair<int, int>;  // {device, 0 = compute / 1 = dma}
+
+/// Busy seconds by category per lane for every leaf clipped to [a, b).
+/// Transfers occupy both endpoints' lanes.
+std::map<Lane, CategorySeconds> lane_busy(
     const std::vector<const SpanRecord*>& leaves, double a, double b) {
-  std::map<int, CategorySeconds> busy;
+  std::map<Lane, CategorySeconds> busy;
   for (const SpanRecord* s : leaves) {
     const double o = overlap(s->start_seconds, s->end_seconds, a, b);
     if (o <= 0.0) continue;
-    if (s->device >= 0) busy[s->device][s->category] += o;
+    const int eng = on_dma_engine(*s) ? 1 : 0;
+    if (s->device >= 0) busy[{s->device, eng}][s->category] += o;
     if (s->src_device >= 0 && s->src_device != s->device) {
-      busy[s->src_device][s->category] += o;
+      busy[{s->src_device, eng}][s->category] += o;
     }
   }
   return busy;
 }
 
-/// Attribute the window [a, b) to categories: the busiest device's time by
+/// Attribute the window [a, b) to categories: the busiest lane's time by
 /// category (scaled down if overlapping leaves over-fill the window), the
 /// rest idle. Returns the critical device (-1 when the window is empty).
 int attribute_window(const std::vector<const SpanRecord*>& leaves, double a,
                      double b, CategorySeconds& out) {
   const double len = b - a;
   if (len <= 0.0) return -1;
-  const auto busy = device_busy(leaves, a, b);
-  int critical = -1;
+  const auto busy = lane_busy(leaves, a, b);
+  const Lane* critical = nullptr;
   double best = -1.0;
-  for (const auto& [dev, cats] : busy) {
+  for (const auto& [lane, cats] : busy) {
     const double t = cats.total();
     if (t > best) {
       best = t;
-      critical = dev;
+      critical = &lane;
     }
   }
-  if (critical < 0) {
+  if (critical == nullptr) {
     out[Category::kIdle] += len;
     return -1;
   }
-  const CategorySeconds& cats = busy.at(critical);
+  const CategorySeconds& cats = busy.at(*critical);
   const double total = cats.total();
   const double scale = total > len ? len / total : 1.0;
   for (int c = 0; c < kNumCategories; ++c) {
@@ -66,7 +82,7 @@ int attribute_window(const std::vector<const SpanRecord*>& leaves, double a,
         cats.seconds[static_cast<std::size_t>(c)] * scale;
   }
   out[Category::kIdle] += len - std::min(total, len);
-  return critical;
+  return critical->first;
 }
 
 std::string note_value(const SpanRecord& s, const std::string& key,
@@ -170,11 +186,12 @@ CriticalPathReport analyze_run(const std::vector<SpanRecord>& spans,
     rep.stages.push_back(std::move(row));
   }
 
-  // Per-device rows over the whole window.
-  const auto busy = device_busy(leaves, lo, hi);
-  for (const auto& [dev, cats] : busy) {
+  // Per-engine rows over the whole window, in (device, engine) order.
+  const auto busy = lane_busy(leaves, lo, hi);
+  for (const auto& [lane, cats] : busy) {
     CriticalPathReport::DeviceRow row;
-    row.device = dev;
+    row.device = lane.first;
+    row.engine = lane.second == 1 ? "dma" : "compute";
     row.busy = cats;
     row.idle_seconds = std::max(0.0, rep.total_seconds - cats.total());
     rep.devices.push_back(std::move(row));
@@ -248,10 +265,11 @@ std::string format_report(const CriticalPathReport& rep) {
     t.print(os);
   }
   if (!rep.devices.empty()) {
-    os << "\nper-device busy/idle:\n";
-    util::Table t({"device", "compute", "p2p", "host", "mpi", "idle"});
+    os << "\nper-engine busy/idle:\n";
+    util::Table t({"device", "engine", "compute", "p2p", "host", "mpi",
+                   "idle"});
     for (const auto& d : rep.devices) {
-      t.add_row({std::to_string(d.device),
+      t.add_row({std::to_string(d.device), d.engine,
                  util::fmt_double(d.busy[Category::kCompute] * 1e6, 1),
                  util::fmt_double(d.busy[Category::kP2P] * 1e6, 1),
                  util::fmt_double(d.busy[Category::kHostStaged] * 1e6, 1),

@@ -54,9 +54,14 @@ struct CriticalPathReport {
   };
   std::vector<StageRow> stages;
 
-  /// Per-device busy/idle over the whole run window.
+  /// Per-engine busy/idle over the whole run window: one row per (device,
+  /// engine) lane that did any work. Each device has a serial compute
+  /// engine and a serial DMA engine, so every row satisfies
+  /// busy.total() + idle_seconds == total_seconds even when the stream
+  /// pipeline overlaps a device's copies with its kernels.
   struct DeviceRow {
     int device = -1;
+    std::string engine = "compute";  ///< "compute" or "dma"
     CategorySeconds busy;
     double idle_seconds = 0.0;
   };

@@ -86,15 +86,25 @@ void write_chrome_trace(std::ostream& os,
                         const std::vector<SpanRecord>& spans) {
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
-  std::set<int> devices;
+  // DMA-engine spans render on their own track per device (tid offset by
+  // kDmaTidOffset) so the viewer shows copies overlapping kernels.
+  constexpr int kDmaTidOffset = 1000;
+  const auto is_dma = [](const SpanRecord& s) {
+    for (const auto& [k, v] : s.notes) {
+      if (k == "engine") return v == "dma";
+    }
+    return false;
+  };
+  std::set<int> tids;
   for (const SpanRecord& s : spans) {
-    devices.insert(s.device);
+    const int tid = s.device + (is_dma(s) ? kDmaTidOffset : 0);
+    tids.insert(tid);
     if (!first) os << ",";
     first = false;
     const double us = s.start_seconds * 1e6;
     const double dur = s.duration() * 1e6;
     os << "\n{\"name\":\"" << json_escape(s.name) << "\",\"cat\":\""
-       << to_string(s.category) << "\",\"pid\":0,\"tid\":" << s.device;
+       << to_string(s.category) << "\",\"pid\":0,\"tid\":" << tid;
     if (dur > 0.0) {
       os << ",\"ph\":\"X\",\"ts\":" << json_double(us)
          << ",\"dur\":" << json_double(dur);
@@ -110,13 +120,14 @@ void write_chrome_trace(std::ostream& os,
     }
     os << "}}";
   }
-  for (const int d : devices) {
+  for (const int t : tids) {
     if (!first) os << ",";
     first = false;
-    os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << d
-       << ",\"args\":{\"name\":\""
-       << (d < 0 ? std::string("host") : "dev" + std::to_string(d))
-       << "\"}}";
+    const int d = t >= kDmaTidOffset ? t - kDmaTidOffset : t;
+    std::string name = d < 0 ? std::string("host") : "dev" + std::to_string(d);
+    if (t >= kDmaTidOffset) name += " dma";
+    os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << t
+       << ",\"args\":{\"name\":\"" << name << "\"}}";
   }
   os << "\n]}\n";
 }
@@ -244,7 +255,8 @@ void write_run_report(std::ostream& os, const RunInfo& info,
   for (const auto& d : cp.devices) {
     if (!first) os << ",";
     first = false;
-    os << "\n{\"device\":" << d.device << ",\"busy\":";
+    os << "\n{\"device\":" << d.device << ",\"engine\":\"" << d.engine
+       << "\",\"busy\":";
     write_categories_json(os, d.busy);
     os << ",\"idle\":" << json_double(d.idle_seconds) << "}";
   }

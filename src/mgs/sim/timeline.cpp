@@ -6,6 +6,16 @@
 
 namespace mgs::sim {
 
+const char* to_string(Engine e) {
+  switch (e) {
+    case Engine::kCompute:
+      return "compute";
+    case Engine::kDma:
+      return "dma";
+  }
+  return "?";
+}
+
 double Clock::advance(double seconds) {
   MGS_CHECK(seconds >= 0.0, "Clock::advance with negative duration");
   now_ += seconds;

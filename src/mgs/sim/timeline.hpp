@@ -9,6 +9,18 @@
 
 namespace mgs::sim {
 
+/// Hardware engines a simulated device exposes. Each engine owns its own
+/// in-order Clock: kernels advance the compute engine, async copies advance
+/// the DMA (copy) engine, so communication and computation on one device
+/// can overlap in modeled time -- the stream/event pipeline (simt::Stream)
+/// is built on exactly this split.
+enum class Engine {
+  kCompute,  ///< SM work: kernel launches
+  kDma,      ///< copy engine: async transfers / peer writes
+};
+
+const char* to_string(Engine e);
+
 /// Monotonic simulated clock in seconds.
 class Clock {
  public:

@@ -227,7 +227,10 @@ class DeviceBuffer {
   int device_id_ = -1;
 };
 
-/// One simulated GPU: spec + clock + allocation tracking.
+/// One simulated GPU: spec + per-engine clocks + allocation tracking.
+/// clock() is the compute (SM) engine; dma_clock() is the copy engine that
+/// async transfers serialize on, so a copy and a kernel on the same device
+/// can overlap in modeled time.
 class Device {
  public:
   Device(int id, sim::DeviceSpec spec);
@@ -236,6 +239,11 @@ class Device {
   const sim::DeviceSpec& spec() const { return spec_; }
   sim::Clock& clock() { return clock_; }
   const sim::Clock& clock() const { return clock_; }
+  sim::Clock& dma_clock() { return dma_clock_; }
+  const sim::Clock& dma_clock() const { return dma_clock_; }
+  sim::Clock& engine_clock(sim::Engine e) {
+    return e == sim::Engine::kDma ? dma_clock_ : clock_;
+  }
   std::int64_t allocated_bytes() const { return allocated_bytes_; }
 
   /// Allocate n elements of device memory; throws util::Error when the
@@ -266,7 +274,8 @@ class Device {
 
   int id_;
   sim::DeviceSpec spec_;
-  sim::Clock clock_;
+  sim::Clock clock_;      // compute (SM) engine
+  sim::Clock dma_clock_;  // copy (DMA) engine
   std::int64_t allocated_bytes_ = 0;
 };
 

@@ -74,7 +74,10 @@ LinkType Cluster::link_between(int a, int b) const {
 }
 
 void Cluster::reset_clocks() {
-  for (auto& d : devices_) d->clock().reset();
+  for (auto& d : devices_) {
+    d->clock().reset();
+    d->dma_clock().reset();
+  }
 }
 
 double Cluster::makespan(const std::vector<int>& device_ids) const {

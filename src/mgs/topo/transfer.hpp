@@ -17,10 +17,12 @@
 /// wrong. Without an injector the legacy single-attempt path runs
 /// unchanged (bit-identical modeled times).
 
+#include <algorithm>
 #include <cstdint>
 
 #include "mgs/sim/fault.hpp"
 #include "mgs/sim/timeline.hpp"
+#include "mgs/simt/stream.hpp"
 #include "mgs/topo/topology.hpp"
 
 namespace mgs::topo {
@@ -41,6 +43,13 @@ struct TransferResult {
   double seconds = 0.0;
   LinkType link = LinkType::kSelf;
   std::uint64_t bytes = 0;
+};
+
+/// Outcome of an asynchronous copy: the usual accounting plus a completion
+/// event consumers can wait on (simt::Stream::wait).
+struct AsyncResult {
+  TransferResult result;
+  simt::Event done;
 };
 
 /// Executes copies between device buffers (data moves immediately; clocks
@@ -126,6 +135,85 @@ class TransferEngine {
     return r;
   }
 
+  /// Asynchronous copy (cudaMemcpyPeerAsync): serializes on the two
+  /// endpoints' DMA engines instead of their compute clocks, so a copy can
+  /// overlap with kernels running on either device. `ready` is an upstream
+  /// dependency (typically the producer kernel's completion event): the
+  /// copy cannot start before it. Data still moves immediately (functional
+  /// substrate); only the modeled start/finish times differ from copy().
+  /// The fault-retry loop is identical to the synchronous path.
+  template <typename T>
+  AsyncResult copy_async(simt::DeviceBuffer<T>& dst, std::int64_t dst_off,
+                         const simt::DeviceBuffer<T>& src,
+                         std::int64_t src_off, std::int64_t count,
+                         simt::Event ready = {}) {
+    MGS_CHECK(count >= 0, "TransferEngine::copy_async: negative count");
+    MGS_CHECK(src_off >= 0 && src_off + count <= src.size(),
+              "TransferEngine::copy_async: source range out of bounds");
+    MGS_CHECK(dst_off >= 0 && dst_off + count <= dst.size(),
+              "TransferEngine::copy_async: destination range out of bounds");
+
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(count) * sizeof(T);
+    bool corrupt_once = false;
+    double done = 0.0;
+    const TransferResult r =
+        account_on(src.device_id(), dst.device_id(), bytes, 0, false,
+                   corrupt_once, sim::Engine::kDma, ready.seconds, &done);
+
+    const auto s = src.host_span();
+    auto d = dst.host_span();
+    if (count > 0) {
+      std::copy(s.begin() + src_off, s.begin() + (src_off + count),
+                d.begin() + dst_off);
+    }
+    if (corrupt_once && count > 0) {
+      verify_and_repair(d, dst_off, s, src_off, count);
+    }
+    return AsyncResult{r, simt::Event{done}};
+  }
+
+  /// Asynchronous strided 2-D copy; see copy_2d and copy_async.
+  template <typename T>
+  AsyncResult copy_2d_async(simt::DeviceBuffer<T>& dst, std::int64_t dst_off,
+                            std::int64_t dst_stride,
+                            const simt::DeviceBuffer<T>& src,
+                            std::int64_t src_off, std::int64_t src_stride,
+                            std::int64_t rows, std::int64_t row_len,
+                            simt::Event ready = {}) {
+    MGS_CHECK(rows >= 0 && row_len >= 0, "copy_2d_async: negative shape");
+    if (rows == 0 || row_len == 0) return AsyncResult{{}, ready};
+    MGS_CHECK(src_off >= 0 &&
+                  src_off + (rows - 1) * src_stride + row_len <= src.size(),
+              "copy_2d_async: source range out of bounds");
+    MGS_CHECK(dst_off >= 0 &&
+                  dst_off + (rows - 1) * dst_stride + row_len <= dst.size(),
+              "copy_2d_async: destination range out of bounds");
+
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(rows) * row_len * sizeof(T);
+    bool corrupt_once = false;
+    double done = 0.0;
+    const TransferResult r =
+        account_on(src.device_id(), dst.device_id(), bytes,
+                   static_cast<std::uint64_t>(rows), true, corrupt_once,
+                   sim::Engine::kDma, ready.seconds, &done);
+
+    const auto s = src.host_span();
+    auto d = dst.host_span();
+    for (std::int64_t row = 0; row < rows; ++row) {
+      const auto sb = s.begin() + (src_off + row * src_stride);
+      std::copy(sb, sb + row_len, d.begin() + (dst_off + row * dst_stride));
+    }
+    if (corrupt_once) {
+      for (std::int64_t row = 0; row < rows; ++row) {
+        verify_and_repair(d, dst_off + row * dst_stride, s,
+                          src_off + row * src_stride, row_len);
+      }
+    }
+    return AsyncResult{r, simt::Event{done}};
+  }
+
   /// Per-link-type accumulated seconds ("p2p", "host-staged", ...).
   const sim::Breakdown& breakdown() const { return breakdown_; }
   void reset_breakdown() { breakdown_ = sim::Breakdown{}; }
@@ -142,6 +230,10 @@ class TransferEngine {
   /// Same for a 2-D copy of `rows` rows totaling `bytes`.
   double link_time_2d(int src_dev, int dst_dev, std::uint64_t bytes,
                       std::uint64_t rows) const;
+  /// Fixed (payload-independent) latency of the link between the two
+  /// GPUs: the portion of a transfer's duration that pipelines away when
+  /// copies queue back-to-back on a DMA engine.
+  double link_latency(int src_dev, int dst_dev) const;
 
  private:
   /// Single timed-and-clocked accounting path behind copy/copy_2d: picks
@@ -151,11 +243,24 @@ class TransferEngine {
   TransferResult account(int src_dev, int dst_dev, std::uint64_t bytes,
                          std::uint64_t rows, bool is_2d, bool& corrupt_once);
 
+  /// Engine-parameterized core behind account() and the *_async entry
+  /// points. `engine` selects which per-device clocks the copy serializes
+  /// on (compute = legacy synchronous semantics, DMA = overlapped);
+  /// `earliest_start` is an additional lower bound on the start time
+  /// (an upstream completion event). `completed_at`, when non-null,
+  /// receives the absolute completion time.
+  TransferResult account_on(int src_dev, int dst_dev, std::uint64_t bytes,
+                            std::uint64_t rows, bool is_2d,
+                            bool& corrupt_once, sim::Engine engine,
+                            double earliest_start, double* completed_at);
+
   /// Time of `bytes` over a specific link class (reroutes pick their
   /// class explicitly; link_time resolves the class from the topology).
   double time_on_link(LinkType link, std::uint64_t bytes) const;
   double time_on_link_2d(LinkType link, std::uint64_t bytes,
                          std::uint64_t rows) const;
+  /// Fixed latency term of time_on_link for one link class.
+  double latency_of(LinkType link) const;
 
   /// Inject one corrupted element into the delivered range, detect it by
   /// checksum comparison against the source, and re-copy (the modeled

@@ -332,9 +332,15 @@ TEST(ObsCriticalPath, AttributionSumsToMakespanForEveryExecutor) {
 TEST(ObsCriticalPath, MpsStageRowsMatchRunBreakdown) {
   const auto data =
       mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 12);
+  // Forced-synchronous pipeline: this test checks the legacy stage
+  // anatomy (gather/scatter phases visible in the attribution); the
+  // overlapped pipeline's anatomy is covered by test_pipeline.
   const auto o = run_proposal(
-      [](mc::ScanContext& c) { return mc::make_mps_executor(c, 4); }, true,
-      "", data, kN, kG);
+      [](mc::ScanContext& c) {
+        return mc::make_mps_executor(
+            c, 4, false, {mc::PipelineMode::kSync, 0});
+      },
+      true, "", data, kN, kG);
   const auto cp = mo::analyze_last_run(o.spans);
 
   // Same phases, in the same order, with the same durations.
