@@ -6,6 +6,11 @@
 /// on one PCIe network, P2P only); W = 8 drops markedly at small n (many
 /// per-problem auxiliary rows staged through host memory) and recovers as
 /// n grows and G shrinks.
+///
+/// --dtype/--op sweep the same figure over the erased executor matrix
+/// (e.g. --dtype f64 --op max); non-default configs write their JSON
+/// artifacts with a _<dtype>_<op> suffix so the i32/plus baselines the CI
+/// gate tracks are never clobbered.
 
 #include <filesystem>
 #include <fstream>
@@ -27,13 +32,16 @@ struct FaultPoint {
   sim::FaultReport report;
 };
 
-void write_faults_report(const std::string& spec,
+void write_faults_report(const bench::BenchConfig& cfg,
                          const std::vector<FaultPoint>& points) {
   std::filesystem::create_directories("bench_results");
-  std::ofstream os("bench_results/bench_fig9_mps_faults.json");
+  std::ofstream os("bench_results/bench_fig9_mps_faults" + cfg.file_suffix() +
+                   ".json");
   os << "{\n"
      << "  \"bench\": \"bench_fig9_mps\",\n"
-     << "  \"faults\": \"" << spec << "\",\n"
+     << "  \"dtype\": \"" << cfg.dtype_name() << "\",\n"
+     << "  \"op\": \"" << cfg.op_name() << "\",\n"
+     << "  \"faults\": \"" << cfg.faults << "\",\n"
      << "  \"units\": {\"time\": \"simulated seconds\"},\n"
      << "  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -72,11 +80,15 @@ struct OverlapPoint {
   }
 };
 
-void write_overlap_report(const std::vector<OverlapPoint>& points) {
+void write_overlap_report(const bench::BenchConfig& cfg,
+                          const std::vector<OverlapPoint>& points) {
   std::filesystem::create_directories("bench_results");
-  std::ofstream os("bench_results/bench_fig9_overlap.json");
+  std::ofstream os("bench_results/bench_fig9_overlap" + cfg.file_suffix() +
+                   ".json");
   os << "{\n"
      << "  \"bench\": \"bench_fig9_mps\",\n"
+     << "  \"dtype\": \"" << cfg.dtype_name() << "\",\n"
+     << "  \"op\": \"" << cfg.op_name() << "\",\n"
      << "  \"comparison\": \"overlapped pipeline vs synchronous stages\",\n"
      << "  \"units\": {\"time\": \"simulated seconds\"},\n"
      << "  \"points\": [\n";
@@ -91,19 +103,17 @@ void write_overlap_report(const std::vector<OverlapPoint>& points) {
   os << "  ]\n}\n";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const auto cfg = bench::parse_bench_config(
-      argc, argv,
-      "Reproduces Figure 9: Scan-MPS throughput vs problem size for "
-      "W in {1,2,4,8}.");
-
+/// The Figure-9 sweep, monomorphic in the element type; the operator
+/// stays a runtime tag because the erased executor path carries it.
+template <typename T>
+int run_sweep(const bench::BenchConfig& cfg) {
   const std::int64_t total = std::int64_t{1} << cfg.total_log2;
-  const auto data = util::random_i32(static_cast<std::size_t>(total),
-                                     cfg.seed);
-  std::printf("Figure 9 reproduction -- Scan-MPS, G = 2^%d / N, GB/s\n",
-              cfg.total_log2);
+  const auto seed_data =
+      util::random_i32(static_cast<std::size_t>(total), cfg.seed);
+  const std::vector<T> data(seed_data.begin(), seed_data.end());
+  std::printf(
+      "Figure 9 reproduction -- Scan-MPS, G = 2^%d / N, GB/s [%s/%s]\n",
+      cfg.total_log2, cfg.dtype_name(), cfg.op_name());
 
   // One cluster + context for the whole sweep: every (W) keeps its
   // executor, the plan cache carries across points and the workspace pool
@@ -116,6 +126,7 @@ int main(int argc, char** argv) {
   if (!cfg.faults.empty()) bc_faulted.attach_faults(cfg.faults);
   std::vector<FaultPoint> fault_points;
 
+  const int elem_bytes = core::dtype_bytes(cfg.dtype);
   util::Table table({"n", "G", "W=1", "W=2", "W=4", "W=8"});
   std::vector<double> w8_over_w4;
   std::vector<OverlapPoint> overlap_points;
@@ -129,21 +140,23 @@ int main(int argc, char** argv) {
         row.push_back("-");
         continue;
       }
-      const auto r = bc.run("Scan-MPS", {.w = w}, data, n, g);
-      row.push_back(util::fmt_double(bench::gbps(total, r.seconds), 2));
+      const auto r = bc.run_typed<T>("Scan-MPS", {.w = w, .op = cfg.op},
+                                     std::span<const T>(data), n, g);
+      row.push_back(
+          util::fmt_double(bench::gbps(total, r.seconds, elem_bytes), 2));
       if (w == 4) t4 = r.seconds;
       if (w == 8 && t4 > 0.0) w8_over_w4.push_back(t4 / r.seconds);
       if (w > 1 && g > 1) {
         // Same point on the forced-synchronous stage path: the overlap
         // comparison the pipeline doc quotes.
-        const auto rs = bc.run(
+        const auto rs = bc.run_typed<T>(
             "Scan-MPS",
-            {.w = w, .pipeline = core::PipelineMode::kSync}, data, n, g);
+            {.w = w, .pipeline = core::PipelineMode::kSync, .op = cfg.op},
+            std::span<const T>(data), n, g);
         OverlapPoint p;
         p.nlog = nlog;
         p.w = w;
-        p.waves =
-            bc.ctx().plan_for(n, g, 4, w).pipe.waves;
+        p.waves = bc.ctx().plan_for(n, g, cfg.dtype, cfg.op, w).pipe.waves;
         p.sync_s = rs.seconds;
         p.overlap_s = r.seconds;
         overlap_points.push_back(p);
@@ -154,7 +167,9 @@ int main(int argc, char** argv) {
         p.w = w;
         p.healthy_s = r.seconds;
         try {
-          const auto rf = bc_faulted.run("Scan-MPS", {.w = w}, data, n, g);
+          const auto rf =
+              bc_faulted.run_typed<T>("Scan-MPS", {.w = w, .op = cfg.op},
+                                      std::span<const T>(data), n, g);
           p.faulted_s = rf.seconds;
           p.report = rf.faults;
         } catch (const util::Error& e) {
@@ -168,7 +183,7 @@ int main(int argc, char** argv) {
   bench::print_table(table, cfg);
 
   if (!cfg.faults.empty()) {
-    write_faults_report(cfg.faults, fault_points);
+    write_faults_report(cfg, fault_points);
     double worst = 0.0;
     for (const auto& p : fault_points) {
       if (p.error.empty() && p.healthy_s > 0.0) {
@@ -177,12 +192,12 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "\nResilience overhead under '%s': worst point +%.1f%% simulated "
-        "time -> bench_results/bench_fig9_mps_faults.json\n",
-        cfg.faults.c_str(), worst);
+        "time -> bench_results/bench_fig9_mps_faults%s.json\n",
+        cfg.faults.c_str(), worst, cfg.file_suffix().c_str());
   }
 
   if (!overlap_points.empty()) {
-    write_overlap_report(overlap_points);
+    write_overlap_report(cfg, overlap_points);
     double w4_sum = 0.0;
     double w4_min = 1e300;
     int w4_count = 0;
@@ -196,8 +211,8 @@ int main(int argc, char** argv) {
       std::printf(
           "\nOverlapped pipeline vs synchronous stages (W=4): mean "
           "-%.1f%%, min -%.1f%% modeled makespan -> "
-          "bench_results/bench_fig9_overlap.json\n",
-          w4_sum / w4_count, w4_min);
+          "bench_results/bench_fig9_overlap%s.json\n",
+          w4_sum / w4_count, w4_min, cfg.file_suffix().c_str());
     }
   }
 
@@ -209,4 +224,22 @@ int main(int argc, char** argv) {
       "towards/above 1)\n",
       w8_over_w4.front(), w8_over_w4.back());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cfg = bench::parse_bench_config(
+      argc, argv,
+      "Reproduces Figure 9: Scan-MPS throughput vs problem size for "
+      "W in {1,2,4,8}. --dtype/--op select the element type and operator.");
+
+  switch (cfg.dtype) {
+    case core::DType::kI32: return run_sweep<std::int32_t>(cfg);
+    case core::DType::kI64: return run_sweep<std::int64_t>(cfg);
+    case core::DType::kU32: return run_sweep<std::uint32_t>(cfg);
+    case core::DType::kF32: return run_sweep<float>(cfg);
+    case core::DType::kF64: return run_sweep<double>(cfg);
+  }
+  return 1;
 }

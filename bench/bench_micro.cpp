@@ -8,13 +8,22 @@
 /// written to bench_results/bench_micro.json, together with a "trace"
 /// section summarizing a traced Scan-MPS run whose full JSON run-report
 /// lands next to it (override the path with --trace FILE; render with
-/// `mgs_trace --in FILE`).
+/// `mgs_trace --in FILE`), and a "segmented" section comparing the free
+/// function segmented_scan_sp against SegmentedScan through the unified
+/// context path (where the packed pairs ride the plan cache and the
+/// overlap pipeline).
+///
+/// --dtype/--op run the comparison sections over any (DType, OpTag) cell
+/// of the erased executor matrix; non-default configs write their JSON
+/// with a _<dtype>_<op> suffix so the i32/plus baseline file the CI gate
+/// tracks is never clobbered.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <type_traits>
 
 #include "common.hpp"
 #include "mgs/baselines/cub.hpp"
@@ -107,6 +116,25 @@ void BM_LaunchOverheadHost(benchmark::State& state) {
 BENCHMARK(BM_LaunchOverheadHost);
 
 // ------------------------------------------------------------------------
+// The flags bench_micro peels off before google-benchmark parses argv.
+
+struct MicroOptions {
+  std::string faults;
+  std::string trace = "bench_results/bench_micro_run_report.json";
+  mc::DType dtype = mc::DType::kI32;
+  mc::OpTag op = mc::OpTag::kPlus;
+
+  const char* dtype_name() const { return mc::to_string(dtype); }
+  const char* op_name() const { return mc::to_string(op); }
+  /// "" for i32/plus, "_f64_max"-style otherwise: non-default configs
+  /// write side-by-side JSON instead of clobbering the tracked baseline.
+  std::string file_suffix() const {
+    if (dtype == mc::DType::kI32 && op == mc::OpTag::kPlus) return "";
+    return std::string("_") + dtype_name() + "_" + op_name();
+  }
+};
+
+// ------------------------------------------------------------------------
 // Repeated-invocation comparison: the unified-API acceptance measurement.
 // Call the same scan `kIters` times; the per-call path re-derives its plan
 // and re-allocates buffers every time (the pre-refactor convention), the
@@ -159,19 +187,20 @@ struct RepeatedCase {
   std::uint64_t device_allocations = 0;
 };
 
+template <typename T, typename Op>
 RepeatedCase run_repeated_case(std::string name, std::string executor,
                                mc::ExecutorParams params, std::int64_t n,
-                               std::int64_t g,
-                               std::span<const int> data) {
+                               std::int64_t g, std::span<const T> data) {
   RepeatedCase c;
   c.name = std::move(name);
   c.executor = std::move(executor);
+  params.op = mc::op_tag_of_v<Op>.value_or(mc::OpTag::kPlus);
   c.params = params;
   c.n = n;
   c.g = g;
   const std::uint64_t payload =
       2ull * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(g) *
-      sizeof(int);
+      sizeof(T);
 
   // Legacy per-call convention: plan derivation + fresh device/cluster +
   // allocations on every invocation.
@@ -179,7 +208,7 @@ RepeatedCase run_repeated_case(std::string name, std::string executor,
     c.per_call = time_calls(
         [&] {
           const auto plan = mgs::bench::tuned_plan(n, g, 1);
-          mgs::bench::sp_run(data, n, g, plan);
+          mgs::bench::sp_run_t<T, Op>(data, n, g, plan);
         },
         payload);
   } else {
@@ -187,15 +216,16 @@ RepeatedCase run_repeated_case(std::string name, std::string executor,
         [&] {
           const auto plan =
               mgs::bench::tuned_plan_multi(n / c.params.w, g, c.params.w);
-          mgs::bench::mps_run(c.params.w, data, n, g, plan);
+          mgs::bench::mps_run_t<T, Op>(c.params.w, data, n, g, plan);
         },
         payload);
   }
 
-  // Unified-API convention: one context, executor prepared on first call.
+  // Unified-API convention: one context, executor prepared on first call,
+  // driven through the erased TypedSpan entry point.
   mgs::bench::BenchContext bc(1);
   c.context = time_calls(
-      [&] { bc.run(c.executor, c.params, data, n, g); }, payload);
+      [&] { bc.run_typed<T>(c.executor, c.params, data, n, g); }, payload);
   c.plan_cache_hits = bc.ctx().plan_cache_hits();
   c.workspace_reuses = bc.ctx().workspace().reuses();
   c.device_allocations = bc.ctx().workspace().device_allocations();
@@ -217,24 +247,124 @@ struct ResilienceCase {
   mgs::sim::FaultReport report;
 };
 
+template <typename T>
 ResilienceCase run_resilience_case(const std::string& spec,
                                    std::string executor,
                                    mc::ExecutorParams params, std::int64_t n,
-                                   std::int64_t g, std::span<const int> data) {
+                                   std::int64_t g, std::span<const T> data) {
   ResilienceCase c;
   c.executor = std::move(executor);
   c.n = n;
   c.g = g;
   mgs::bench::BenchContext healthy(1);
-  c.healthy_s = healthy.run(c.executor, params, data, n, g).seconds;
+  c.healthy_s = healthy.run_typed<T>(c.executor, params, data, n, g).seconds;
   mgs::bench::BenchContext faulted(1);
   faulted.attach_faults(spec);
   try {
-    const auto r = faulted.run(c.executor, params, data, n, g);
+    const auto r = faulted.run_typed<T>(c.executor, params, data, n, g);
     c.faulted_s = r.seconds;
     c.report = r.faults;
   } catch (const mgs::util::Error& e) {
     c.error = e.what();
+  }
+  return c;
+}
+
+// ------------------------------------------------------------------------
+// Segmented scan through the unified path: the free function
+// segmented_scan_sp scans one sequence per call on one GPU; SegmentedScan
+// packs the same (values, flags) batch once and drives a proposal
+// executor over SegPair elements, so segmented traffic gets plan-cache
+// hits, multi-GPU placement and the overlapped pipeline. The sync-forced
+// MPS run isolates how much of the win is the overlap pipeline itself.
+
+struct SegmentedComparison {
+  std::int64_t n = 0;
+  std::int64_t g = 0;
+  int waves = 1;              ///< overlap waves of the MPS plan
+  double free_total_s = 0.0;  ///< G sequential free-function calls
+  double ctx_sp_s = 0.0;      ///< SegmentedScan over Scan-SP, one batch
+  double mps_sync_s = 0.0;    ///< SegmentedScan over Scan-MPS, sync stages
+  double mps_overlap_s = 0.0; ///< SegmentedScan over Scan-MPS, overlapped
+  double overlap_reduction_pct() const {
+    return mps_sync_s > 0.0 ? (1.0 - mps_overlap_s / mps_sync_s) * 100.0
+                            : 0.0;
+  }
+  double speedup_vs_free() const {
+    return mps_overlap_s > 0.0 ? free_total_s / mps_overlap_s : 0.0;
+  }
+};
+
+template <typename T, typename Op>
+SegmentedComparison run_segmented_comparison(const MicroOptions& opts) {
+  SegmentedComparison c;
+  c.n = 1 << 17;
+  c.g = 16;
+  const std::int64_t total = c.n * c.g;
+  const auto seed =
+      mgs::util::random_i32(static_cast<std::size_t>(total), 7);
+  std::vector<T> values(seed.begin(), seed.end());
+  std::vector<T> flags(static_cast<std::size_t>(total));
+  for (std::int64_t i = 0; i < total; ++i) {
+    // ~1/1024 head probability: segments average about 1k elements.
+    flags[static_cast<std::size_t>(i)] =
+        (seed[static_cast<std::size_t>(i)] & 1023) == 0 ? T{1} : T{0};
+  }
+
+  // Old free-function path: one GPU, one sequence per call, G calls.
+  std::vector<T> free_out(static_cast<std::size_t>(total));
+  {
+    st::Device dev(0, mgs::sim::k80_spec());
+    const auto plan = mgs::bench::tuned_plan(c.n, 1, 1);
+    auto in = dev.alloc<T>(c.n);
+    auto fl = dev.alloc<T>(c.n);
+    auto out = dev.alloc<T>(c.n);
+    for (std::int64_t j = 0; j < c.g; ++j) {
+      const auto base = static_cast<std::ptrdiff_t>(j * c.n);
+      std::copy(values.begin() + base, values.begin() + base + c.n,
+                in.host_span().begin());
+      std::copy(flags.begin() + base, flags.begin() + base + c.n,
+                fl.host_span().begin());
+      c.free_total_s +=
+          mc::segmented_scan_sp<T, Op>(dev, in, fl, out, c.n, plan).seconds;
+      std::copy(out.host_span().begin(), out.host_span().begin() + c.n,
+                free_out.begin() + base);
+    }
+  }
+
+  // Unified path: the whole batch in one prepared call per variant.
+  mgs::bench::BenchContext bc(1);
+  std::vector<T> ctx_out(static_cast<std::size_t>(total));
+  {
+    mc::SegmentedScan<T, Op> seg(bc.ctx());
+    seg.prepare(c.n, c.g);
+    c.ctx_sp_s = seg.run(values, flags, ctx_out).seconds;
+  }
+  if constexpr (std::is_integral_v<T>) {
+    // Exact operators: the context batch must reproduce the free path
+    // bit for bit (floats may legally differ in association order).
+    MGS_CHECK(ctx_out == free_out,
+              "segmented: context path disagrees with segmented_scan_sp");
+  }
+  {
+    mc::SegmentedScan<T, Op> seg(
+        bc.ctx(), "Scan-MPS",
+        {.w = 4, .pipeline = mc::PipelineMode::kSync});
+    seg.prepare(c.n, c.g);
+    c.mps_sync_s = seg.run(values, flags, ctx_out).seconds;
+  }
+  {
+    mc::SegmentedScan<T, Op> seg(bc.ctx(), "Scan-MPS", {.w = 4});
+    seg.prepare(c.n, c.g);
+    c.mps_overlap_s = seg.run(values, flags, ctx_out).seconds;
+    c.waves = bc.ctx()
+                  .plan_for(c.n, c.g, opts.dtype, opts.op,
+                            /*gpus_per_problem=*/4, /*segmented=*/true)
+                  .pipe.waves;
+  }
+  if constexpr (std::is_integral_v<T>) {
+    MGS_CHECK(ctx_out == free_out,
+              "segmented: MPS context path disagrees with segmented_scan_sp");
   }
   return c;
 }
@@ -252,16 +382,19 @@ struct TraceSummary {
   mgs::obs::CategorySeconds by_category;
 };
 
-TraceSummary run_traced_case(const std::string& trace_path,
-                             std::span<const int> data, std::int64_t n,
+template <typename T>
+TraceSummary run_traced_case(const MicroOptions& opts,
+                             std::span<const T> data, std::int64_t n,
                              std::int64_t g) {
   TraceSummary s;
-  s.report_path = trace_path;
+  s.report_path = opts.trace;
   mgs::obs::TraceSession ts;
   mgs::bench::BenchContext bc(1);
-  const auto r = bc.run("Scan-MPS", {.w = 4}, data, n, g);
+  const auto r =
+      bc.run_typed<T>("Scan-MPS", {.w = 4, .op = opts.op}, data, n, g);
   mgs::core::write_run_report_file(
-      trace_path, mgs::core::make_run_info("Scan-MPS", n, 4, r), ts);
+      opts.trace,
+      mgs::core::make_run_info("Scan-MPS", n, 4, r, opts.dtype, opts.op), ts);
   const auto cp = mgs::obs::analyze_last_run(ts.spans());
   s.spans = ts.size();
   s.metric_series = ts.metrics().snapshot().size();
@@ -276,14 +409,18 @@ void json_path(std::ostream& os, const char* key, const PathTiming& t) {
      << ", \"amortized_gbps\": " << t.amortized_gbps << "}";
 }
 
-void write_repeated_report(const std::vector<RepeatedCase>& cases,
-                           const std::string& faults_spec,
+void write_repeated_report(const MicroOptions& opts,
+                           const std::vector<RepeatedCase>& cases,
                            const std::vector<ResilienceCase>& resilience,
+                           const SegmentedComparison& seg,
                            const TraceSummary& trace) {
   std::filesystem::create_directories("bench_results");
-  std::ofstream os("bench_results/bench_micro.json");
+  std::ofstream os("bench_results/bench_micro" + opts.file_suffix() +
+                   ".json");
   os << "{\n"
      << "  \"bench\": \"bench_micro\",\n"
+     << "  \"dtype\": \"" << opts.dtype_name() << "\",\n"
+     << "  \"op\": \"" << opts.op_name() << "\",\n"
      << "  \"units\": {\"time\": \"ms host wall-clock\", "
         "\"throughput\": \"GB/s of scan payload per host second\"},\n"
      << "  \"iterations\": " << kIters << ",\n"
@@ -309,7 +446,7 @@ void write_repeated_report(const std::vector<RepeatedCase>& cases,
   os << "  ]";
   if (!resilience.empty()) {
     os << ",\n  \"resilience\": {\n"
-       << "    \"spec\": \"" << faults_spec << "\",\n"
+       << "    \"spec\": \"" << opts.faults << "\",\n"
        << "    \"units\": {\"time\": \"simulated seconds\"},\n"
        << "    \"cases\": [\n";
     for (std::size_t i = 0; i < resilience.size(); ++i) {
@@ -338,6 +475,18 @@ void write_repeated_report(const std::vector<RepeatedCase>& cases,
     }
     os << "    ]\n  }";
   }
+  os << ",\n  \"segmented\": {\n"
+     << "    \"n\": " << seg.n << ", \"g\": " << seg.g
+     << ", \"waves\": " << seg.waves << ",\n"
+     << "    \"units\": {\"time\": \"simulated seconds\"},\n"
+     << "    \"free_per_sequence_s\": " << seg.free_total_s << ",\n"
+     << "    \"context_sp_s\": " << seg.ctx_sp_s << ",\n"
+     << "    \"context_mps_sync_s\": " << seg.mps_sync_s << ",\n"
+     << "    \"context_mps_overlap_s\": " << seg.mps_overlap_s << ",\n"
+     << "    \"overlap_reduction_pct\": " << seg.overlap_reduction_pct()
+     << ",\n"
+     << "    \"context_overlap_speedup_vs_free\": " << seg.speedup_vs_free()
+     << "\n  }";
   os << ",\n  \"trace\": {\n"
      << "    \"report\": \"" << trace.report_path << "\",\n"
      << "    \"spans\": " << trace.spans
@@ -351,31 +500,33 @@ void write_repeated_report(const std::vector<RepeatedCase>& cases,
   os << "\n}\n";
 }
 
-void report_repeated_invocation(const std::string& faults_spec,
-                                const std::string& trace_path) {
+template <typename T, typename Op>
+void report_repeated_invocation(const MicroOptions& opts) {
   const std::int64_t n = 1 << 20;
   const std::int64_t g = 4;
-  const auto data =
+  const auto seed =
       mgs::util::random_i32(static_cast<std::size_t>(n * g), 42);
+  const std::vector<T> data(seed.begin(), seed.end());
+  const std::span<const T> span(data);
 
   std::vector<RepeatedCase> cases;
-  cases.push_back(run_repeated_case("scan_sp_repeated", "Scan-SP", {}, n, g,
-                                    data));
-  cases.push_back(run_repeated_case("scan_mps_w4_repeated", "Scan-MPS",
-                                    {.w = 4}, n, g, data));
+  cases.push_back(run_repeated_case<T, Op>("scan_sp_repeated", "Scan-SP", {},
+                                           n, g, span));
+  cases.push_back(run_repeated_case<T, Op>("scan_mps_w4_repeated", "Scan-MPS",
+                                           {.w = 4}, n, g, span));
 
   std::vector<ResilienceCase> resilience;
-  if (!faults_spec.empty()) {
-    resilience.push_back(
-        run_resilience_case(faults_spec, "Scan-SP", {}, n, g, data));
-    resilience.push_back(
-        run_resilience_case(faults_spec, "Scan-MPS", {.w = 4}, n, g, data));
+  if (!opts.faults.empty()) {
+    resilience.push_back(run_resilience_case<T>(opts.faults, "Scan-SP",
+                                                {.op = opts.op}, n, g, span));
+    resilience.push_back(run_resilience_case<T>(
+        opts.faults, "Scan-MPS", {.w = 4, .op = opts.op}, n, g, span));
   }
 
   std::printf(
-      "Repeated-invocation comparison (%d calls, n=2^20, g=4; host "
+      "Repeated-invocation comparison (%d calls, n=2^20, g=4, %s/%s; host "
       "wall-clock):\n",
-      kIters);
+      kIters, opts.dtype_name(), opts.op_name());
   for (const auto& c : cases) {
     std::printf(
         "  %-22s per-call: first %7.1f ms, then %7.1f ms/call | "
@@ -397,43 +548,93 @@ void report_repeated_invocation(const std::string& faults_spec,
           static_cast<unsigned long long>(c.report.counters.retries));
     }
   }
+
+  const auto seg = run_segmented_comparison<T, Op>(opts);
+  std::printf(
+      "  segmented n=2^17 g=%lld [%s/%s]: free per-sequence %.3f ms | "
+      "context SP %.3f ms | MPS w4 sync %.3f ms | MPS w4 overlap %.3f ms "
+      "(waves=%d, -%.1f%% vs sync, %.2fx vs free)\n",
+      static_cast<long long>(seg.g), opts.dtype_name(), opts.op_name(),
+      seg.free_total_s * 1e3, seg.ctx_sp_s * 1e3, seg.mps_sync_s * 1e3,
+      seg.mps_overlap_s * 1e3, seg.waves, seg.overlap_reduction_pct(),
+      seg.speedup_vs_free());
+
   std::filesystem::create_directories("bench_results");
-  const auto trace = run_traced_case(trace_path, data, n, g);
+  const auto trace = run_traced_case<T>(opts, span, n, g);
   std::printf("  traced Scan-MPS run: %zu spans, makespan %.3f ms -> %s\n",
               trace.spans, trace.makespan_s * 1e3,
               trace.report_path.c_str());
-  write_repeated_report(cases, faults_spec, resilience, trace);
-  std::printf("  -> bench_results/bench_micro.json\n\n");
+  write_repeated_report(opts, cases, resilience, seg, trace);
+  std::printf("  -> bench_results/bench_micro%s.json\n\n",
+              opts.file_suffix().c_str());
+}
+
+template <typename T>
+void report_for_dtype(const MicroOptions& opts) {
+  switch (opts.op) {
+    case mc::OpTag::kPlus:
+      return report_repeated_invocation<T, mc::Plus<T>>(opts);
+    case mc::OpTag::kMax:
+      return report_repeated_invocation<T, mc::Max<T>>(opts);
+    case mc::OpTag::kMin:
+      return report_repeated_invocation<T, mc::Min<T>>(opts);
+  }
+}
+
+void report_all(const MicroOptions& opts) {
+  switch (opts.dtype) {
+    case mc::DType::kI32: return report_for_dtype<std::int32_t>(opts);
+    case mc::DType::kI64: return report_for_dtype<std::int64_t>(opts);
+    case mc::DType::kU32: return report_for_dtype<std::uint32_t>(opts);
+    case mc::DType::kF32: return report_for_dtype<float>(opts);
+    case mc::DType::kF64: return report_for_dtype<double>(opts);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel --faults / --trace off before google-benchmark sees the
-  // arguments (it rejects flags it does not know).
-  std::string faults_spec;
-  std::string trace_path = "bench_results/bench_micro_run_report.json";
+  // Peel --faults / --trace / --dtype / --op off before google-benchmark
+  // sees the arguments (it rejects flags it does not know).
+  MicroOptions opts;
   std::vector<char*> keep;
+  std::string dtype = "i32";
+  std::string op = "plus";
   for (int i = 0; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--faults" && i + 1 < argc) {
-      faults_spec = argv[++i];
+      opts.faults = argv[++i];
     } else if (a.rfind("--faults=", 0) == 0) {
-      faults_spec = a.substr(9);
+      opts.faults = a.substr(9);
     } else if (a == "--trace" && i + 1 < argc) {
-      trace_path = argv[++i];
+      opts.trace = argv[++i];
     } else if (a.rfind("--trace=", 0) == 0) {
-      trace_path = a.substr(8);
+      opts.trace = a.substr(8);
+    } else if (a == "--dtype" && i + 1 < argc) {
+      dtype = argv[++i];
+    } else if (a.rfind("--dtype=", 0) == 0) {
+      dtype = a.substr(8);
+    } else if (a == "--op" && i + 1 < argc) {
+      op = argv[++i];
+    } else if (a.rfind("--op=", 0) == 0) {
+      op = a.substr(5);
     } else {
       keep.push_back(argv[i]);
     }
   }
-  if (!faults_spec.empty()) {
-    mgs::sim::parse_fault_plan(faults_spec);  // fail fast on a bad spec
+  opts.dtype = mc::parse_dtype(dtype);
+  opts.op = mc::parse_op(op);
+  if (opts.trace == "bench_results/bench_micro_run_report.json") {
+    // Default trace path follows the dtype/op suffix convention too.
+    opts.trace =
+        "bench_results/bench_micro_run_report" + opts.file_suffix() + ".json";
+  }
+  if (!opts.faults.empty()) {
+    mgs::sim::parse_fault_plan(opts.faults);  // fail fast on a bad spec
   }
   argc = static_cast<int>(keep.size());
   argv = keep.data();
-  report_repeated_invocation(faults_spec, trace_path);
+  report_all(opts);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

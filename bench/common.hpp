@@ -11,6 +11,7 @@
 /// factor, where the crossovers fall.
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -101,6 +102,18 @@ struct BenchConfig {
                           ///< = healthy run (bit-identical to pre-fault)
   std::string trace;      ///< run-report output path (--trace); "" = off
   std::shared_ptr<TraceGuard> trace_guard;  ///< live session when tracing
+  core::DType dtype = core::DType::kI32;  ///< --dtype: element type
+  core::OpTag op = core::OpTag::kPlus;    ///< --op: scan operator
+
+  const char* dtype_name() const { return core::to_string(dtype); }
+  const char* op_name() const { return core::to_string(op); }
+  /// "" for the default i32/plus config, "_f64_max"-style otherwise --
+  /// non-default configs write side-by-side artifacts instead of
+  /// clobbering the baseline-tracked i32 files.
+  std::string file_suffix() const {
+    if (dtype == core::DType::kI32 && op == core::OpTag::kPlus) return "";
+    return std::string("_") + dtype_name() + "_" + op_name();
+  }
 };
 
 inline BenchConfig parse_bench_config(int argc, char** argv,
@@ -116,6 +129,9 @@ inline BenchConfig parse_bench_config(int argc, char** argv,
   cli.describe("trace",
                "record every run in an obs::TraceSession and write the JSON "
                "run-report here at exit (inspect with mgs_trace --in FILE)");
+  cli.describe("dtype",
+               "element type: i32 (default), i64, u32, f32, f64");
+  cli.describe("op", "scan operator: plus (default), max, min");
   if (cli.help_requested()) {
     cli.print_help(summary);
     std::exit(0);
@@ -134,6 +150,8 @@ inline BenchConfig parse_bench_config(int argc, char** argv,
   if (!cfg.trace.empty()) {
     cfg.trace_guard = std::make_shared<TraceGuard>(cfg.trace);
   }
+  cfg.dtype = core::parse_dtype(cli.get_string("dtype", "i32"));
+  cfg.op = core::parse_op(cli.get_string("op", "plus"));
   MGS_REQUIRE(cfg.total_log2 >= cfg.min_n_log2 && cfg.total_log2 <= 28,
               "--total-log2 must be in [--min-n-log2, 28]");
   return cfg;
@@ -310,8 +328,36 @@ inline core::ScanPlan tuned_plan_multinode(int m, int w,
 }
 
 /// Throughput in GB/s for a run of `elems` total elements (in+out bytes).
-inline double gbps(std::int64_t elems, double seconds) {
-  return 2.0 * static_cast<double>(elems) * 4.0 / seconds / 1e9;
+inline double gbps(std::int64_t elems, double seconds, int elem_bytes = 4) {
+  return 2.0 * static_cast<double>(elems) * static_cast<double>(elem_bytes) /
+         seconds / 1e9;
+}
+
+/// Typed twins of sp_run / mps_run for dtype/op sweeps. The int versions
+/// above keep the exact legacy shape the i32 baselines track.
+template <typename T, typename Op = core::Plus<T>>
+core::RunResult sp_run_t(std::span<const T> data, std::int64_t n,
+                         std::int64_t g, const core::ScanPlan& plan) {
+  simt::Device dev(0, sim::k80_spec());
+  auto in = dev.alloc<T>(n * g);
+  auto out = dev.alloc<T>(n * g);
+  std::copy(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(n * g),
+            in.host_span().begin());
+  return core::scan_sp<T, Op>(dev, in, out, n, g, plan,
+                              core::ScanKind::kInclusive);
+}
+
+template <typename T, typename Op = core::Plus<T>>
+core::RunResult mps_run_t(int w, std::span<const T> data, std::int64_t n,
+                          std::int64_t g, const core::ScanPlan& plan) {
+  auto cluster = topo::tsubame_kfc_cluster(1);
+  std::vector<int> gpus;
+  for (int i = 0; i < w; ++i) {
+    gpus.push_back(cluster.global_id(0, i / 4, i % 4));
+  }
+  auto batches = core::distribute_batch<T>(cluster, gpus, data, n, g);
+  return core::scan_mps<T, Op>(cluster, gpus, batches, n, g, plan,
+                               core::ScanKind::kInclusive);
 }
 
 /// Persistent harness state for the unified API: one cluster, one
@@ -350,7 +396,8 @@ class BenchContext {
         std::to_string(params.w) + "/y" + std::to_string(params.y) + "/v" +
         std::to_string(params.v) + "/m" + std::to_string(params.m) + "/p" +
         std::to_string(static_cast<int>(params.pipeline)) + "x" +
-        std::to_string(params.waves);
+        std::to_string(params.waves) + "/" +
+        core::to_string(params.dtype) + "/" + core::to_string(params.op);
     auto it = executors_.find(key);
     if (it == executors_.end()) {
       it = executors_.emplace(key, core::make_executor(name, ctx_, params))
@@ -375,12 +422,54 @@ class BenchContext {
                   kind);
   }
 
+  /// Dtype/op-generic spelling of run(): the executor is instantiated for
+  /// T's DType (params.dtype is overwritten) and the given operator tag,
+  /// then driven through the erased TypedSpan entry point -- exactly the
+  /// path a production caller of the erased API takes.
+  template <typename T>
+  core::RunResult run_typed(const std::string& name,
+                            core::ExecutorParams params,
+                            std::span<const T> data, std::int64_t n,
+                            std::int64_t g,
+                            core::ScanKind kind = core::ScanKind::kInclusive) {
+    static_assert(core::dtype_of_v<T>.has_value(),
+                  "run_typed: element type outside the DType matrix");
+    params.dtype = *core::dtype_of_v<T>;
+    auto& ex = executor(name, params);
+    ex.prepare(n, g);
+    auto& out = typed_out<T>();
+    if (static_cast<std::int64_t>(out.size()) < n * g) {
+      out.resize(static_cast<std::size_t>(n * g));
+    }
+    return ex.run(
+        core::ConstTypedSpan::of(data.first(static_cast<std::size_t>(n * g))),
+        core::TypedSpan::of(
+            std::span<T>(out).first(static_cast<std::size_t>(n * g))),
+        kind);
+  }
+
  private:
+  /// One scratch output vector per element type (reused across points).
+  template <typename T>
+  std::vector<T>& typed_out() {
+    static_assert(core::dtype_of_v<T>.has_value());
+    auto& slot =
+        typed_out_[static_cast<std::size_t>(*core::dtype_of_v<T>)];
+    if (!slot) {
+      slot = std::shared_ptr<void>(new std::vector<T>(),
+                                   [](void* p) {
+                                     delete static_cast<std::vector<T>*>(p);
+                                   });
+    }
+    return *static_cast<std::vector<T>*>(slot.get());
+  }
+
   topo::Cluster cluster_;
   core::ScanContext ctx_;
   std::unique_ptr<sim::FaultInjector> injector_;
   std::map<std::string, std::unique_ptr<core::ScanExecutor>> executors_;
   std::vector<int> out_;
+  std::array<std::shared_ptr<void>, core::kNumDTypes> typed_out_;
 };
 
 }  // namespace mgs::bench

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
         {1 << 20, 64},
         {std::int64_t{1} << 27, 8}}) {
     try {
-      const auto c = core::choose_proposal(cluster, {n, g, 4});
+      const auto c = core::choose_proposal(cluster, {.n = n, .g = g});
       plans.add_row({util::fmt_bytes(static_cast<std::uint64_t>(n) * 4),
                      std::to_string(g), core::to_string(c.proposal),
                      std::to_string(c.m), std::to_string(c.w),

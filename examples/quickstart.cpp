@@ -43,11 +43,11 @@ int main(int argc, char** argv) {
   // 2. Planning: Premise 4 picks the proposal for this problem shape; the
   //    context returns it as a ready-to-use executor.
   const core::PlannerChoice choice =
-      core::choose_proposal(cluster, {n, g, sizeof(int)});
+      core::choose_proposal(cluster, {.n = n, .g = g});
   std::printf("Planner: %s (M=%d, W=%d, V=%d, Y=%d)\n  %s\n\n",
               core::to_string(choice.proposal), choice.m, choice.w, choice.v,
               choice.y, choice.rationale.c_str());
-  auto executor = ctx.executor_for({n, g, sizeof(int)});
+  auto executor = ctx.executor_for({n, g});
 
   // 3. prepare() derives the tuned plan (Premises 1-3) once and leases
   //    persistent staging from the workspace pool.

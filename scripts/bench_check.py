@@ -58,6 +58,13 @@ def stage_breakdown(doc: dict) -> dict[str, float]:
         breakdown, dict) else {}
 
 
+def run_config(doc: dict) -> tuple[str, str]:
+    """(dtype, op) of the traced run; reports from before the dtype/op
+    columns default to the i32 sums the baseline has always tracked."""
+    run = doc.get("run", {})
+    return str(run.get("dtype", "i32")), str(run.get("op", "plus"))
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline",
@@ -70,6 +77,19 @@ def main() -> int:
 
     base_total, base_doc = load_makespan(args.baseline)
     cur_total, cur_doc = load_makespan(args.current)
+
+    # The gate tracks the i32/plus baseline only: a report traced with
+    # --dtype/--op selects a different performance model (element bytes,
+    # operator), so comparing it against the i32 snapshot would be noise.
+    # Skip cleanly instead of failing -- the dtype sweep is informational.
+    base_cfg = run_config(base_doc)
+    cur_cfg = run_config(cur_doc)
+    if cur_cfg != ("i32", "plus") or base_cfg != cur_cfg:
+        print(f"bench_check: SKIP - current report is "
+              f"{cur_cfg[0]}/{cur_cfg[1]}, baseline is "
+              f"{base_cfg[0]}/{base_cfg[1]}; the makespan gate only tracks "
+              "the i32/plus baseline.")
+        return 0
 
     delta_pct = (cur_total / base_total - 1.0) * 100.0
     print(f"bench_check: baseline makespan {base_total * 1e6:10.3f} us "

@@ -49,3 +49,19 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 python3 scripts/bench_check.py \
   --baseline bench_results/BENCH_baseline.json \
   --current bench_results/bench_micro_run_report.json
+
+# Dtype/op sweep smoke: the same traced run on a non-default cell of the
+# (dtype, op) matrix. Writes suffixed artifacts (never clobbers the
+# tracked i32 baselines); bench_check recognizes the config and SKIPs the
+# makespan gate -- the point is that the erased f64/max path runs
+# end-to-end and its report parses.
+"$BUILD_DIR"/bench/bench_micro --dtype f64 --op max \
+  --trace bench_results/bench_micro_run_report_f64_max.json \
+  --benchmark_filter='^$'
+python3 scripts/bench_check.py \
+  --baseline bench_results/BENCH_baseline.json \
+  --current bench_results/bench_micro_run_report_f64_max.json
+
+# The dtype test group on its own (matrix correctness + the instantiation
+# guard that compiles every proposal over every (dtype, op) cell).
+ctest --test-dir "$BUILD_DIR" -L dtype --output-on-failure

@@ -1,5 +1,7 @@
 #include "mgs/baselines/registry.hpp"
 
+#include <algorithm>
+
 #include "mgs/baselines/cub.hpp"
 #include "mgs/baselines/cudpp.hpp"
 #include "mgs/baselines/lightscan.hpp"
@@ -83,6 +85,94 @@ const BaselineRunner& baseline_by_name(const std::string& name) {
     if (b.traits.name == name) return b;
   }
   throw util::Error("unknown baseline '" + name + "'");
+}
+
+namespace {
+
+/// Monomorphic tail of the erased entry point: stage, run, unstage.
+template <typename T, typename Op>
+core::RunResult run_baseline_typed(const std::string& name, simt::Device& dev,
+                                   std::span<const T> in, std::span<T> out,
+                                   std::int64_t n, std::int64_t g,
+                                   core::ScanKind kind) {
+  MGS_REQUIRE(n > 0 && g > 0, "run_baseline: N and G must be positive");
+  MGS_REQUIRE(static_cast<std::int64_t>(in.size()) >= n * g &&
+                  static_cast<std::int64_t>(out.size()) >= n * g,
+              "run_baseline: spans must hold N*G elements");
+  auto din = dev.alloc<T>(n * g);
+  auto dout = dev.alloc<T>(n * g);
+  std::copy(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(n * g),
+            din.host_span().begin());
+
+  core::RunResult r;
+  if (name == "CUDPP") {
+    r = cudpp_multiscan<T, Op>(dev, din, dout, n, g, kind);
+  } else {
+    const BaselineTraits traits = baseline_by_name(name).traits;
+    r = run_per_problem_batch<T>(
+        dev, din, dout, n, g, traits,
+        [&](simt::Device& d, const simt::DeviceBuffer<T>& i,
+            simt::DeviceBuffer<T>& o, std::int64_t off, std::int64_t len) {
+          if (name == "Thrust") return thrust_scan<T, Op>(d, i, o, off, len, kind);
+          if (name == "ModernGPU") {
+            return moderngpu_scan<T, Op>(d, i, o, off, len, kind);
+          }
+          if (name == "CUB") return cub_scan<T, Op>(d, i, o, off, len, kind);
+          if (name == "LightScan") {
+            return lightscan_scan<T, Op>(d, i, o, off, len, kind);
+          }
+          throw util::Error("unknown baseline '" + name + "'");
+        });
+  }
+  const auto produced = dout.host_span();
+  std::copy(produced.begin(),
+            produced.begin() + static_cast<std::ptrdiff_t>(n * g),
+            out.begin());
+  return r;
+}
+
+/// Second dispatch level: operator column for a fixed element type.
+template <typename T>
+core::RunResult run_baseline_for(const std::string& name, simt::Device& dev,
+                                 core::ConstTypedSpan in, core::TypedSpan out,
+                                 std::int64_t n, std::int64_t g,
+                                 core::ScanKind kind, core::OpTag op) {
+  switch (op) {
+    case core::OpTag::kPlus:
+      return run_baseline_typed<T, core::Plus<T>>(name, dev, in.as<T>(),
+                                                  out.as<T>(), n, g, kind);
+    case core::OpTag::kMax:
+      return run_baseline_typed<T, core::Max<T>>(name, dev, in.as<T>(),
+                                                 out.as<T>(), n, g, kind);
+    case core::OpTag::kMin:
+      return run_baseline_typed<T, core::Min<T>>(name, dev, in.as<T>(),
+                                                 out.as<T>(), n, g, kind);
+  }
+  throw util::Error("run_baseline: unknown operator tag");
+}
+
+}  // namespace
+
+core::RunResult run_baseline(const std::string& name, simt::Device& dev,
+                             core::ConstTypedSpan in, core::TypedSpan out,
+                             std::int64_t n, std::int64_t g,
+                             core::ScanKind kind, core::OpTag op) {
+  switch (in.dtype) {
+    case core::DType::kI32:
+      return run_baseline_for<std::int32_t>(name, dev, in, out, n, g, kind,
+                                            op);
+    case core::DType::kI64:
+      return run_baseline_for<std::int64_t>(name, dev, in, out, n, g, kind,
+                                            op);
+    case core::DType::kU32:
+      return run_baseline_for<std::uint32_t>(name, dev, in, out, n, g, kind,
+                                             op);
+    case core::DType::kF32:
+      return run_baseline_for<float>(name, dev, in, out, n, g, kind, op);
+    case core::DType::kF64:
+      return run_baseline_for<double>(name, dev, in, out, n, g, kind, op);
+  }
+  throw util::Error("run_baseline: unknown dtype");
 }
 
 }  // namespace mgs::baselines

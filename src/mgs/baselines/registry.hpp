@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mgs/baselines/common.hpp"
+#include "mgs/core/dtype.hpp"
 #include "mgs/core/op.hpp"
 #include "mgs/core/plan.hpp"
 
@@ -32,5 +33,17 @@ const std::vector<BaselineRunner>& all_baselines();
 /// Look up by name ("CUDPP", "Thrust", "ModernGPU", "CUB", "LightScan");
 /// throws util::Error for unknown names.
 const BaselineRunner& baseline_by_name(const std::string& name);
+
+/// Erased batch entry point over the (DType, OpTag) matrix, the baseline
+/// twin of ScanExecutor's erased run(): stage the host spans onto `dev`,
+/// dispatch once on (dtype, op) to the templated library model, copy the
+/// result back. Staging is host-side and untimed (the same convention as
+/// the executors' scatter/gather); the spans' dtype is checked, never
+/// reinterpreted. Throws util::Error for unknown names.
+core::RunResult run_baseline(const std::string& name, simt::Device& dev,
+                             core::ConstTypedSpan in, core::TypedSpan out,
+                             std::int64_t n, std::int64_t g,
+                             core::ScanKind kind,
+                             core::OpTag op = core::OpTag::kPlus);
 
 }  // namespace mgs::baselines

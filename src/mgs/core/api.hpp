@@ -5,6 +5,7 @@
 /// mapping between modules and the paper's sections.
 
 #include "mgs/core/op.hpp"           // operators, ScanKind
+#include "mgs/core/dtype.hpp"        // DType/OpTag matrix, TypedSpan
 #include "mgs/core/reduce.hpp"       // batched reduction primitive
 #include "mgs/core/plan.hpp"         // StagePlan / ScanPlan / RunResult
 #include "mgs/core/tuning.hpp"       // premises, K search, autotuner
@@ -14,6 +15,7 @@
 #include "mgs/core/scan_multinode.hpp"  // MPI multi-node proposal
 #include "mgs/core/planner.hpp"      // Premise-4 proposal selection
 #include "mgs/core/segmented.hpp"    // segmented scan extension
+#include "mgs/core/segmented_context.hpp"  // segmented scan via executors
 #include "mgs/core/autotuner.hpp"    // automatic (s,p,l,K) search
 #include "mgs/core/workspace.hpp"    // per-device buffer pooling
 #include "mgs/core/scan_context.hpp" // plan cache + workspace pool

@@ -1,6 +1,7 @@
 #include "mgs/core/autotuner.hpp"
 
 #include "mgs/core/scan_sp.hpp"
+#include "mgs/core/segmented.hpp"
 #include "mgs/core/tuning.hpp"
 #include "mgs/sim/occupancy.hpp"
 #include "mgs/util/math.hpp"
@@ -9,11 +10,13 @@ namespace mgs::core {
 
 Autotuner::Autotuner(sim::DeviceSpec spec) : spec_(std::move(spec)) {}
 
-std::vector<ScanPlan> Autotuner::candidates(std::int64_t n,
-                                            std::int64_t g) const {
+std::vector<ScanPlan> Autotuner::candidates(std::int64_t n, std::int64_t g,
+                                            int elem_bytes) const {
   MGS_REQUIRE(n > 0 && g > 0, "Autotuner: N and G must be positive");
+  MGS_REQUIRE(elem_bytes == 4 || elem_bytes == 8 || elem_bytes == 16,
+              "Autotuner: elem_bytes must be 4, 8 or 16");
   std::vector<ScanPlan> plans;
-  const ScanPlan base = derive_spl(spec_, 4).plan;
+  const ScanPlan base = derive_spl(spec_, elem_bytes).plan;
 
   for (int p : {4, 8, 16}) {
     for (int lx : {64, 128, 256}) {
@@ -25,7 +28,7 @@ std::vector<ScanPlan> Autotuner::candidates(std::int64_t n,
       try {
         (void)sim::occupancy(spec_, plan.s13.threads(),
                              plan.s13.regs_per_thread(),
-                             plan.s13.smem_bytes(4));
+                             plan.s13.smem_bytes(elem_bytes));
       } catch (const util::Error&) {
         continue;
       }
@@ -46,17 +49,39 @@ std::vector<ScanPlan> Autotuner::candidates(std::int64_t n,
   return plans;
 }
 
-double Autotuner::measure(const ScanPlan& plan, std::int64_t n,
-                          std::int64_t g) const {
-  simt::Device dev(0, spec_);
-  auto in = dev.alloc<int>(n * g);
-  auto out = dev.alloc<int>(n * g);
-  return scan_sp<int>(dev, in, out, n, g, plan, ScanKind::kInclusive)
+namespace {
+
+/// One probe run at the given element width. The probe element type only
+/// has to move the right number of bytes per lane; the premises' cost
+/// trade-offs are byte-driven, not value-driven.
+template <typename T, typename Op = Plus<T>>
+double probe_scan(const sim::DeviceSpec& spec, const ScanPlan& plan,
+                  std::int64_t n, std::int64_t g) {
+  simt::Device dev(0, spec);
+  auto in = dev.alloc<T>(n * g);
+  auto out = dev.alloc<T>(n * g);
+  return scan_sp<T, Op>(dev, in, out, n, g, plan, ScanKind::kInclusive)
       .seconds;
 }
 
-const AutotuneEntry& Autotuner::tune(std::int64_t n, std::int64_t g) {
-  const auto key = std::make_pair(n, g);
+}  // namespace
+
+double Autotuner::measure(const ScanPlan& plan, std::int64_t n,
+                          std::int64_t g, int elem_bytes) const {
+  switch (elem_bytes) {
+    case 8:
+      return probe_scan<double>(spec_, plan, n, g);
+    case 16:
+      return probe_scan<SegPair<double>, SegOp<double, Plus<double>>>(
+          spec_, plan, n, g);
+    default:
+      return probe_scan<int>(spec_, plan, n, g);
+  }
+}
+
+const AutotuneEntry& Autotuner::tune(std::int64_t n, std::int64_t g,
+                                     int elem_bytes) {
+  const auto key = std::make_tuple(n, g, elem_bytes);
   if (const auto it = cache_.find(key); it != cache_.end()) {
     return it->second;
   }
@@ -64,8 +89,8 @@ const AutotuneEntry& Autotuner::tune(std::int64_t n, std::int64_t g) {
   report_.clear();
   AutotuneEntry best;
   bool first = true;
-  for (const ScanPlan& plan : candidates(n, g)) {
-    const double s = measure(plan, n, g);
+  for (const ScanPlan& plan : candidates(n, g, elem_bytes)) {
+    const double s = measure(plan, n, g, elem_bytes);
     report_.push_back({plan.s13.p, plan.s13.lx, plan.s13.k, s, false});
     if (first || s < best.seconds) {
       best.plan = plan;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <tuple>
 #include <vector>
 
 #include "mgs/core/plan.hpp"
@@ -35,10 +36,14 @@ class Autotuner {
  public:
   explicit Autotuner(sim::DeviceSpec spec);
 
-  /// Best plan for a single-GPU batch of G problems of N elements.
-  /// First call for an (N, G) pair runs the search (cost: one simulated
-  /// scan per candidate, tens of candidates); later calls are cached.
-  const AutotuneEntry& tune(std::int64_t n, std::int64_t g);
+  /// Best plan for a single-GPU batch of G problems of N elements of
+  /// `elem_bytes` each (4 or 8; wider elements shrink the register-path
+  /// budget and the smem per warp, so they get their own cache rows).
+  /// First call for an (N, G, elem_bytes) triple runs the search (cost:
+  /// one simulated scan per candidate, tens of candidates); later calls
+  /// are cached.
+  const AutotuneEntry& tune(std::int64_t n, std::int64_t g,
+                            int elem_bytes = 4);
 
   /// Every candidate evaluated by the most recent uncached tune() call.
   const std::vector<AutotuneReportRow>& last_report() const {
@@ -48,14 +53,18 @@ class Autotuner {
   std::size_t cache_size() const { return cache_.size(); }
   void clear_cache() { cache_.clear(); }
 
-  /// The premise-trimmed candidate plans for (N, G) on this device.
-  std::vector<ScanPlan> candidates(std::int64_t n, std::int64_t g) const;
+  /// The premise-trimmed candidate plans for (N, G, elem_bytes) on this
+  /// device.
+  std::vector<ScanPlan> candidates(std::int64_t n, std::int64_t g,
+                                   int elem_bytes = 4) const;
 
  private:
-  double measure(const ScanPlan& plan, std::int64_t n, std::int64_t g) const;
+  double measure(const ScanPlan& plan, std::int64_t n, std::int64_t g,
+                 int elem_bytes) const;
 
   sim::DeviceSpec spec_;
-  std::map<std::pair<std::int64_t, std::int64_t>, AutotuneEntry> cache_;
+  std::map<std::tuple<std::int64_t, std::int64_t, int>, AutotuneEntry>
+      cache_;
   std::vector<AutotuneReportRow> report_;
 };
 

@@ -1,0 +1,25 @@
+#include "mgs/core/dtype.hpp"
+
+namespace mgs::core {
+
+DType parse_dtype(const std::string& s) {
+  if (s == "i32") return DType::kI32;
+  if (s == "i64") return DType::kI64;
+  if (s == "u32") return DType::kU32;
+  if (s == "f32") return DType::kF32;
+  if (s == "f64") return DType::kF64;
+  MGS_REQUIRE(false, "unknown dtype '" + s +
+                         "' (expected one of i32, i64, u32, f32, f64)");
+  return DType::kI32;
+}
+
+OpTag parse_op(const std::string& s) {
+  if (s == "plus") return OpTag::kPlus;
+  if (s == "max") return OpTag::kMax;
+  if (s == "min") return OpTag::kMin;
+  MGS_REQUIRE(false,
+              "unknown op '" + s + "' (expected one of plus, max, min)");
+  return OpTag::kPlus;
+}
+
+}  // namespace mgs::core

@@ -37,8 +37,14 @@ EasyScanResult<T> scan(ScanContext& ctx, std::span<const T> input,
   const std::int64_t total = static_cast<std::int64_t>(input.size());
   const std::int64_t n = total / g;
 
+  // PlanTypeOf is the erasure boundary: matrix types (and SegPair) key the
+  // context's plan cache; anything else fails here at compile time and
+  // must use the free scan_sp functions instead. A custom operator shares
+  // the kPlus plan row -- plans depend on element bytes, not the operator.
   const ScanPlan& plan =
-      ctx.plan_for(n, g, static_cast<int>(sizeof(T)), /*gpus_per_problem=*/1);
+      ctx.plan_for(n, g, PlanTypeOf<T>::dtype,
+                   op_tag_of_v<Op>.value_or(OpTag::kPlus),
+                   /*gpus_per_problem=*/1, PlanTypeOf<T>::segmented);
   simt::Device& dev = ctx.cluster().device(0);
   auto in = acquire_workspace<T>(&ctx.workspace(), dev, total);
   auto out = acquire_workspace<T>(&ctx.workspace(), dev, total);

@@ -1,669 +1,73 @@
 #include "mgs/core/executor.hpp"
 
-#include <algorithm>
-#include <optional>
 #include <sstream>
-#include <utility>
-#include <vector>
 
-#include "mgs/core/scan_mppc.hpp"
-#include "mgs/core/scan_mps.hpp"
-#include "mgs/core/scan_multinode.hpp"
-#include "mgs/core/scan_sp.hpp"
-#include "mgs/msg/comm.hpp"
-#include "mgs/sim/fault.hpp"
+#include "mgs/core/executor_impl.hpp"
 
 namespace mgs::core {
 
 namespace {
 
-using Handle = WorkspacePool::Handle<std::int32_t>;
+using detail::FactoryTable;
 
-/// The first `count` GPUs of `node` in global-id order (network-major,
-/// the same fill order the figure harnesses use).
-std::vector<int> node_gpus(const topo::Cluster& cluster, int node, int count) {
-  const auto& cfg = cluster.config();
-  MGS_REQUIRE(count >= 1 && count <= cfg.gpus_per_node(),
-              "executor: W exceeds the GPUs of a node");
-  std::vector<int> ids;
-  for (int i = 0; i < count; ++i) {
-    ids.push_back(cluster.global_id(node, i / cfg.gpus_per_network,
-                                    i % cfg.gpus_per_network));
-  }
-  return ids;
+// The five dispatch tables -- the single place (besides the CI
+// instantiation guard) where every proposal is instantiated over the
+// whole (DType, OpTag) matrix. Built at compile time; density is
+// static_asserted so a new enumerator without a maker row is a build
+// error, not a null dispatch.
+constexpr FactoryTable kSpTable = detail::make_table<detail::SpMaker>();
+constexpr FactoryTable kMpsTable = detail::make_table<detail::MpsMaker>();
+constexpr FactoryTable kMpsDirectTable =
+    detail::make_table<detail::MpsDirectMaker>();
+constexpr FactoryTable kMppcTable = detail::make_table<detail::MppcMaker>();
+constexpr FactoryTable kMultinodeTable =
+    detail::make_table<detail::MultinodeMaker>();
+
+static_assert(detail::table_is_dense(kSpTable),
+              "Scan-SP dispatch table has unfilled (dtype, op) cells");
+static_assert(detail::table_is_dense(kMpsTable),
+              "Scan-MPS dispatch table has unfilled (dtype, op) cells");
+static_assert(detail::table_is_dense(kMpsDirectTable),
+              "Scan-MPS-direct dispatch table has unfilled (dtype, op) cells");
+static_assert(detail::table_is_dense(kMppcTable),
+              "Scan-MP-PC dispatch table has unfilled (dtype, op) cells");
+static_assert(
+    detail::table_is_dense(kMultinodeTable),
+    "Scan-MPS-multinode dispatch table has unfilled (dtype, op) cells");
+
+/// The one runtime dispatch: (dtype, op) -> monomorphic instantiation.
+std::unique_ptr<ScanExecutor> dispatch(const FactoryTable& table,
+                                       ScanContext& ctx,
+                                       const ExecutorParams& p, DType dtype,
+                                       OpTag op) {
+  return table.at(dtype, op)(ctx, p);
 }
-
-bool is_down(const ScanContext& ctx, int dev) {
-  const sim::FaultInjector* fi = ctx.cluster().fault_injector();
-  return fi != nullptr && fi->device_is_down(dev);
-}
-
-int cluster_alive_count(const ScanContext& ctx) {
-  return static_cast<int>(ctx.cluster().alive_devices().size());
-}
-
-/// Last-resort placement shared by the multi-GPU executors: when a
-/// degraded placement shrinks to a single surviving device, the run
-/// collapses to Scan-SP on that device (the paper's single-GPU proposal --
-/// no inter-GPU traffic to fail).
-struct SpFallback {
-  int device = -1;
-  Handle in;
-  Handle out;
-
-  void prepare(ScanContext& ctx, int dev, std::int64_t elems) {
-    device = dev;
-    simt::Device& d = ctx.cluster().device(dev);
-    in = ctx.workspace().acquire<std::int32_t>(d, elems);
-    out = ctx.workspace().acquire<std::int32_t>(d, elems);
-  }
-
-  RunResult run(ScanContext& ctx, const ScanPlan& plan,
-                std::span<const std::int32_t> src,
-                std::span<std::int32_t> dst, std::int64_t n, std::int64_t g,
-                ScanKind kind) {
-    ctx.cluster().reset_clocks();
-    std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(n * g),
-              in.host_span().begin());
-    RunResult r = scan_sp<std::int32_t>(ctx.cluster().device(device),
-                                        in.buffer(), out.buffer(), n, g, plan,
-                                        kind, {}, &ctx.workspace());
-    const auto produced = out.host_span();
-    std::copy(produced.begin(),
-              produced.begin() + static_cast<std::ptrdiff_t>(n * g),
-              dst.begin());
-    return r;
-  }
-};
-
-// ---------------------------------------------------------------- Scan-SP
-
-class SpExecutor final : public ScanExecutor {
- public:
-  SpExecutor(ScanContext& ctx, int device_id)
-      : ctx_(&ctx), requested_(device_id), device_id_(device_id) {
-    MGS_REQUIRE(device_id >= 0 && device_id < ctx.cluster().num_devices(),
-                "Scan-SP executor: device id out of range");
-  }
-
-  std::string name() const override { return "Scan-SP"; }
-
-  std::string describe() const override {
-    std::ostringstream os;
-    os << "Scan-SP on device " << device_id_;
-    if (plan_ != nullptr) {
-      os << "; n=" << n_ << " g=" << g_ << "; " << plan_->describe();
-    }
-    if (prep_report_.degraded) {
-      os << " [degraded: " << prep_report_.degraded_mode << "]";
-    }
-    return os.str();
-  }
-
-  void prepare(std::int64_t n, std::int64_t g) override {
-    MGS_REQUIRE(n > 0 && g > 0, "Scan-SP executor: N and G must be positive");
-    const std::uint64_t epoch = ctx_->fault_epoch();
-    if (n == n_ && g == g_ && epoch == fault_epoch_) return;
-    prep_report_ = {};
-    device_id_ = requested_;
-    if (is_down(*ctx_, device_id_)) {
-      const auto alive = ctx_->cluster().alive_devices();
-      MGS_REQUIRE(!alive.empty(), "Scan-SP executor: no surviving device");
-      device_id_ = alive.front();
-      prep_report_.degraded = true;
-      prep_report_.degraded_mode =
-          "Scan-SP on device " + std::to_string(device_id_);
-      prep_report_.excluded_devices.push_back(requested_);
-      prep_report_.replanned.push_back(
-          "Scan-SP: device " + std::to_string(requested_) + " -> " +
-          std::to_string(device_id_));
-    }
-    plan_ = &ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), 1);
-    simt::Device& dev = ctx_->cluster().device(device_id_);
-    in_ = ctx_->workspace().acquire<std::int32_t>(dev, n * g);
-    out_ = ctx_->workspace().acquire<std::int32_t>(dev, n * g);
-    n_ = n;
-    g_ = g;
-    fault_epoch_ = epoch;
-  }
-
-  RunResult run(std::span<const std::int32_t> in, std::span<std::int32_t> out,
-                ScanKind kind) override {
-    require_ready(in, out);
-    prepare(n_, g_);  // re-place if device liveness changed since prepare()
-    obs::ScopedSpan run_span = trace_run();
-    ctx_->cluster().reset_clocks();
-    std::copy(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(n_ * g_),
-              in_.host_span().begin());
-    RunResult r = scan_sp<std::int32_t>(
-        ctx_->cluster().device(device_id_), in_.buffer(), out_.buffer(), n_,
-        g_, *plan_, kind, {}, &ctx_->workspace());
-    const auto src = out_.host_span();
-    std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(n_ * g_),
-              out.begin());
-    stamp_report(r);
-    finish_run(run_span, r);
-    return r;
-  }
-
- private:
-  ScanContext* ctx_;
-  int requested_;
-  int device_id_;
-  const ScanPlan* plan_ = nullptr;
-  Handle in_;
-  Handle out_;
-};
-
-// --------------------------------------------------- Scan-MPS (+ direct)
-
-class MpsExecutor final : public ScanExecutor {
- public:
-  MpsExecutor(ScanContext& ctx, int w, bool direct, PipelineChoice pipe)
-      : ctx_(&ctx), direct_(direct), pipe_(pipe) {
-    const auto& cfg = ctx.cluster().config();
-    w_req_ = (w > 0) ? w
-                     : (direct ? cfg.gpus_per_network : cfg.gpus_per_node());
-    gpus_ = node_gpus(ctx.cluster(), 0, w_req_);  // validates w_req_
-    w_ = w_req_;
-  }
-
-  std::string name() const override {
-    return direct_ ? "Scan-MPS-direct" : "Scan-MPS";
-  }
-
-  std::string describe() const override {
-    std::ostringstream os;
-    os << name() << " over " << w_ << " GPUs of node 0 (master "
-       << gpus_.front() << ")";
-    if (plan_.has_value()) {
-      os << "; n=" << n_ << " g=" << g_ << "; " << plan_->describe();
-    }
-    if (prep_report_.degraded) {
-      os << " [degraded: " << prep_report_.degraded_mode << "]";
-    }
-    return os.str();
-  }
-
-  void prepare(std::int64_t n, std::int64_t g) override {
-    MGS_REQUIRE(n > 0 && g > 0, "Scan-MPS executor: N and G must be positive");
-    const std::uint64_t epoch = ctx_->fault_epoch();
-    if (n == n_ && g == g_ && epoch == fault_epoch_) return;
-    place(n);
-    if (use_sp_) {
-      plan_ = ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), 1);
-      sp_.prepare(*ctx_, gpus_.front(), n * g);
-      ins_.clear();
-      outs_.clear();
-    } else {
-      MGS_REQUIRE(n % w_ == 0, "Scan-MPS executor: N must be divisible by W");
-      plan_ = apply_pipeline_choice(
-          ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), w_),
-          pipe_);
-      const std::int64_t per_gpu = (n / w_) * g;
-      ins_.clear();
-      outs_.clear();
-      for (int id : gpus_) {
-        simt::Device& dev = ctx_->cluster().device(id);
-        ins_.push_back(ctx_->workspace().acquire<std::int32_t>(dev, per_gpu));
-        outs_.push_back(ctx_->workspace().acquire<std::int32_t>(dev, per_gpu));
-      }
-    }
-    n_ = n;
-    g_ = g;
-    fault_epoch_ = epoch;
-  }
-
-  RunResult run(std::span<const std::int32_t> in, std::span<std::int32_t> out,
-                ScanKind kind) override {
-    require_ready(in, out);
-    prepare(n_, g_);
-    obs::ScopedSpan run_span = trace_run();
-    if (use_sp_) {
-      RunResult r = sp_.run(*ctx_, *plan_, in, out, n_, g_, kind);
-      stamp_report(r);
-      finish_run(run_span, r);
-      return r;
-    }
-    ctx_->cluster().reset_clocks();
-    std::vector<GpuBatch<std::int32_t>> batches;
-    for (std::size_t d = 0; d < gpus_.size(); ++d) {
-      batches.push_back(GpuBatch<std::int32_t>{ins_[d].buffer(),
-                                               outs_[d].buffer()});
-    }
-    scatter_batch<std::int32_t>(in, batches, n_, g_);
-    RunResult r =
-        direct_ ? scan_mps_direct<std::int32_t>(ctx_->cluster(), gpus_,
-                                                batches, n_, g_, *plan_, kind,
-                                                {}, &ctx_->workspace())
-                : scan_mps<std::int32_t>(ctx_->cluster(), gpus_, batches, n_,
-                                         g_, *plan_, kind, {},
-                                         &ctx_->workspace());
-    gather_batch<std::int32_t>(batches, n_, g_, out);
-    stamp_report(r);
-    finish_run(run_span, r);
-    return r;
-  }
-
- private:
-  /// Placement: the requested W GPUs of node 0 when all are alive; the
-  /// largest surviving prefix whose size divides N otherwise (direct mode
-  /// additionally keeps only GPUs sharing the new master's PCIe network,
-  /// since peer writes need P2P reach).
-  void place(std::int64_t n) {
-    prep_report_ = {};
-    const auto all = node_gpus(ctx_->cluster(), 0, w_req_);
-    std::vector<int> alive;
-    std::vector<int> dead;
-    for (int id : all) (is_down(*ctx_, id) ? dead : alive).push_back(id);
-    MGS_REQUIRE(!alive.empty(), "Scan-MPS executor: no surviving GPU on node 0");
-    if (dead.empty()) {
-      gpus_ = all;
-      w_ = w_req_;
-      use_sp_ = false;
-      return;
-    }
-    if (direct_) {
-      const int master = alive.front();
-      std::vector<int> same;
-      for (int id : alive) {
-        const auto link = ctx_->cluster().link_between(master, id);
-        if (link == topo::LinkType::kSelf || link == topo::LinkType::kP2P) {
-          same.push_back(id);
-        }
-      }
-      alive = std::move(same);
-    }
-    int w2 = static_cast<int>(alive.size());
-    while (w2 > 1 && n % w2 != 0) --w2;
-    gpus_.assign(alive.begin(), alive.begin() + w2);
-    w_ = w2;
-    use_sp_ = (w2 == 1);
-    prep_report_.degraded = true;
-    prep_report_.excluded_devices = dead;
-    prep_report_.invalidated_plans +=
-        ctx_->invalidate_plans(cluster_alive_count(*ctx_));
-    prep_report_.degraded_mode =
-        use_sp_ ? ("Scan-SP on device " + std::to_string(gpus_.front()))
-                : (name() + " W=" + std::to_string(w_));
-    prep_report_.replanned.push_back(name() + ": W=" + std::to_string(w_req_) +
-                                     " -> " + std::to_string(w_));
-  }
-
-  ScanContext* ctx_;
-  bool direct_;
-  PipelineChoice pipe_;
-  int w_req_ = 1;
-  int w_ = 1;
-  bool use_sp_ = false;
-  std::vector<int> gpus_;
-  std::optional<ScanPlan> plan_;
-  std::vector<Handle> ins_;
-  std::vector<Handle> outs_;
-  SpFallback sp_;
-};
-
-// -------------------------------------------------------------- Scan-MP-PC
-
-class MppcExecutor final : public ScanExecutor {
- public:
-  MppcExecutor(ScanContext& ctx, int y, int v, int m, PipelineChoice pipe)
-      : ctx_(&ctx), pipe_(pipe) {
-    const auto& cfg = ctx.cluster().config();
-    y_ = (y > 0) ? y : cfg.networks_per_node;
-    v_req_ = (v > 0) ? v : cfg.gpus_per_network;
-    v_ = v_req_;
-    m_ = (m > 0) ? m : 1;
-  }
-
-  std::string name() const override { return "Scan-MP-PC"; }
-
-  std::string describe() const override {
-    std::ostringstream os;
-    os << "Scan-MP-PC with Y=" << y_ << " networks/node, V=" << v_
-       << " GPUs/network, M=" << m_ << " nodes";
-    if (plan_.has_value()) {
-      os << " (" << part_.groups.size() << " groups); n=" << n_ << " g=" << g_
-         << "; " << plan_->describe();
-    }
-    if (prep_report_.degraded) {
-      os << " [degraded: " << prep_report_.degraded_mode << "]";
-    }
-    return os.str();
-  }
-
-  void prepare(std::int64_t n, std::int64_t g) override {
-    MGS_REQUIRE(n > 0 && g > 0,
-                "Scan-MP-PC executor: N and G must be positive");
-    const std::uint64_t epoch = ctx_->fault_epoch();
-    if (n == n_ && g == g_ && epoch == fault_epoch_) return;
-    place(n, g);
-    ins_.clear();
-    outs_.clear();
-    if (use_sp_) {
-      plan_ = ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), 1);
-      sp_.prepare(*ctx_, sp_device_, n * g);
-    } else {
-      plan_ = apply_pipeline_choice(
-          ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), v_),
-          pipe_);
-      for (std::size_t grp = 0; grp < part_.groups.size(); ++grp) {
-        const std::int64_t per_gpu = (n / v_) * part_.g_of_group[grp];
-        std::vector<Handle> gin, gout;
-        for (int id : part_.groups[grp]) {
-          simt::Device& dev = ctx_->cluster().device(id);
-          gin.push_back(ctx_->workspace().acquire<std::int32_t>(dev, per_gpu));
-          gout.push_back(ctx_->workspace().acquire<std::int32_t>(dev, per_gpu));
-        }
-        ins_.push_back(std::move(gin));
-        outs_.push_back(std::move(gout));
-      }
-    }
-    n_ = n;
-    g_ = g;
-    fault_epoch_ = epoch;
-  }
-
-  RunResult run(std::span<const std::int32_t> in, std::span<std::int32_t> out,
-                ScanKind kind) override {
-    require_ready(in, out);
-    prepare(n_, g_);
-    obs::ScopedSpan run_span = trace_run();
-    if (use_sp_) {
-      RunResult r = sp_.run(*ctx_, *plan_, in, out, n_, g_, kind);
-      stamp_report(r);
-      finish_run(run_span, r);
-      return r;
-    }
-    ctx_->cluster().reset_clocks();
-    std::vector<std::vector<GpuBatch<std::int32_t>>> batches;
-    for (std::size_t grp = 0; grp < part_.groups.size(); ++grp) {
-      std::vector<GpuBatch<std::int32_t>> b;
-      for (std::size_t d = 0; d < part_.groups[grp].size(); ++d) {
-        b.push_back(GpuBatch<std::int32_t>{ins_[grp][d].buffer(),
-                                           outs_[grp][d].buffer()});
-      }
-      batches.push_back(std::move(b));
-    }
-    for (std::size_t grp = 0; grp < batches.size(); ++grp) {
-      scatter_batch<std::int32_t>(
-          in.subspan(static_cast<std::size_t>(part_.g_offset[grp] * n_),
-                     static_cast<std::size_t>(part_.g_of_group[grp] * n_)),
-          batches[grp], n_, part_.g_of_group[grp]);
-    }
-    RunResult r = scan_mppc<std::int32_t>(ctx_->cluster(), part_, batches, n_,
-                                          *plan_, kind, {},
-                                          &ctx_->workspace());
-    for (std::size_t grp = 0; grp < batches.size(); ++grp) {
-      gather_batch<std::int32_t>(
-          batches[grp], n_, part_.g_of_group[grp],
-          out.subspan(static_cast<std::size_t>(part_.g_offset[grp] * n_),
-                      static_cast<std::size_t>(part_.g_of_group[grp] * n_)));
-    }
-    stamp_report(r);
-    finish_run(run_span, r);
-    return r;
-  }
-
- private:
-  /// Placement: the paper's Y x V partition when every requested GPU is
-  /// alive; otherwise the groups are rebuilt from the alive GPUs of each
-  /// PCIe network (any slot of a network may substitute for a dead one),
-  /// with a uniform V' = min over networks, shrunk until it divides N.
-  /// Networks with no survivor are dropped; a single surviving GPU
-  /// collapses to Scan-SP.
-  void place(std::int64_t n, std::int64_t g) {
-    prep_report_ = {};
-    const auto& cfg = ctx_->cluster().config();
-    bool any_down = false;
-    for (int node = 0; node < m_ && !any_down; ++node) {
-      for (int net = 0; net < y_ && !any_down; ++net) {
-        for (int s = 0; s < v_req_; ++s) {
-          if (is_down(*ctx_, ctx_->cluster().global_id(node, net, s))) {
-            any_down = true;
-            break;
-          }
-        }
-      }
-    }
-    if (!any_down) {
-      MGS_REQUIRE(n % v_req_ == 0,
-                  "Scan-MP-PC executor: N must be divisible by V");
-      part_ = make_mppc_partition(ctx_->cluster(), y_, v_req_, g, m_);
-      v_ = v_req_;
-      use_sp_ = false;
-      return;
-    }
-
-    std::vector<std::vector<int>> nets;
-    std::vector<int> dead;
-    for (int node = 0; node < m_; ++node) {
-      for (int net = 0; net < y_; ++net) {
-        std::vector<int> ids;
-        for (int s = 0; s < cfg.gpus_per_network; ++s) {
-          const int id = ctx_->cluster().global_id(node, net, s);
-          if (is_down(*ctx_, id)) {
-            if (s < v_req_) dead.push_back(id);
-          } else {
-            ids.push_back(id);
-          }
-        }
-        if (!ids.empty()) nets.push_back(std::move(ids));
-      }
-    }
-    MGS_REQUIRE(!nets.empty(), "Scan-MP-PC executor: no surviving GPU");
-    std::size_t v_min = nets.front().size();
-    for (const auto& ids : nets) v_min = std::min(v_min, ids.size());
-    int v2 = std::min(v_req_, static_cast<int>(v_min));
-    while (v2 > 1 && n % v2 != 0) --v2;
-
-    prep_report_.degraded = true;
-    prep_report_.excluded_devices = dead;
-    prep_report_.invalidated_plans +=
-        ctx_->invalidate_plans(cluster_alive_count(*ctx_));
-    if (nets.size() == 1 && v2 == 1) {
-      use_sp_ = true;
-      sp_device_ = nets.front().front();
-      v_ = 1;
-      prep_report_.degraded_mode =
-          "Scan-SP on device " + std::to_string(sp_device_);
-    } else {
-      use_sp_ = false;
-      v_ = v2;
-      part_ = MppcPartition{};
-      part_.v = v2;
-      const std::int64_t total_groups =
-          std::min<std::int64_t>(static_cast<std::int64_t>(nets.size()), g);
-      std::int64_t next_g = 0;
-      for (std::int64_t grp = 0; grp < total_groups; ++grp) {
-        const auto& ids = nets[static_cast<std::size_t>(grp)];
-        part_.groups.emplace_back(ids.begin(),
-                                  ids.begin() + static_cast<std::ptrdiff_t>(v2));
-        const std::int64_t share =
-            g / total_groups + ((grp < g % total_groups) ? 1 : 0);
-        part_.g_of_group.push_back(share);
-        part_.g_offset.push_back(next_g);
-        next_g += share;
-      }
-      prep_report_.degraded_mode =
-          "Scan-MP-PC " + std::to_string(part_.groups.size()) +
-          " groups x V=" + std::to_string(v2);
-    }
-    prep_report_.replanned.push_back(
-        "Scan-MP-PC: V=" + std::to_string(v_req_) + " -> " +
-        std::to_string(v2) + ", groups -> " +
-        std::to_string(use_sp_ ? 1 : static_cast<int>(part_.groups.size())));
-  }
-
-  ScanContext* ctx_;
-  PipelineChoice pipe_;
-  int y_ = 1;
-  int v_req_ = 1;
-  int v_ = 1;
-  int m_ = 1;
-  bool use_sp_ = false;
-  int sp_device_ = -1;
-  MppcPartition part_;
-  std::optional<ScanPlan> plan_;
-  std::vector<std::vector<Handle>> ins_;
-  std::vector<std::vector<Handle>> outs_;
-  SpFallback sp_;
-};
-
-// --------------------------------------------------- multi-node Scan-MPS
-
-class MultinodeExecutor final : public ScanExecutor {
- public:
-  MultinodeExecutor(ScanContext& ctx, int m, int w, PipelineChoice pipe)
-      : ctx_(&ctx), pipe_(pipe) {
-    const auto& cfg = ctx.cluster().config();
-    m_ = (m > 0) ? m : cfg.nodes;
-    w_ = (w > 0) ? w : cfg.gpus_per_node();
-    MGS_REQUIRE(m_ <= cfg.nodes,
-                "Scan-MPS-multinode executor: M exceeds the cluster");
-    node_gpus(ctx.cluster(), 0, w_);  // validates w_ against the node shape
-  }
-
-  std::string name() const override { return "Scan-MPS-multinode"; }
-
-  std::string describe() const override {
-    std::ostringstream os;
-    os << "Scan-MPS-multinode over " << m_ << " nodes x " << w_
-       << " GPUs (one MPI rank per GPU)";
-    if (plan_.has_value()) {
-      os << "; n=" << n_ << " g=" << g_ << "; " << plan_->describe();
-    }
-    if (prep_report_.degraded) {
-      os << " [degraded: " << prep_report_.degraded_mode << "]";
-    }
-    return os.str();
-  }
-
-  void prepare(std::int64_t n, std::int64_t g) override {
-    MGS_REQUIRE(n > 0 && g > 0,
-                "Scan-MPS-multinode executor: N and G must be positive");
-    const std::uint64_t epoch = ctx_->fault_epoch();
-    if (n == n_ && g == g_ && epoch == fault_epoch_) return;
-    place(n);
-    ins_.clear();
-    outs_.clear();
-    if (use_sp_) {
-      plan_ = ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), 1);
-      sp_.prepare(*ctx_, sp_device_, n * g);
-    } else {
-      const int ranks = comm_->size();
-      plan_ = apply_pipeline_choice(
-          ctx_->plan_for(n, g, static_cast<int>(sizeof(std::int32_t)), ranks),
-          pipe_);
-      const std::int64_t per_rank = (n / ranks) * g;
-      for (int r = 0; r < ranks; ++r) {
-        simt::Device& dev = ctx_->cluster().device(comm_->device_of(r));
-        ins_.push_back(ctx_->workspace().acquire<std::int32_t>(dev, per_rank));
-        outs_.push_back(
-            ctx_->workspace().acquire<std::int32_t>(dev, per_rank));
-      }
-    }
-    n_ = n;
-    g_ = g;
-    fault_epoch_ = epoch;
-  }
-
-  RunResult run(std::span<const std::int32_t> in, std::span<std::int32_t> out,
-                ScanKind kind) override {
-    require_ready(in, out);
-    prepare(n_, g_);
-    obs::ScopedSpan run_span = trace_run();
-    if (use_sp_) {
-      RunResult r = sp_.run(*ctx_, *plan_, in, out, n_, g_, kind);
-      stamp_report(r);
-      finish_run(run_span, r);
-      return r;
-    }
-    ctx_->cluster().reset_clocks();
-    std::vector<GpuBatch<std::int32_t>> batches;
-    for (std::size_t r = 0; r < ins_.size(); ++r) {
-      batches.push_back(GpuBatch<std::int32_t>{ins_[r].buffer(),
-                                               outs_[r].buffer()});
-    }
-    scatter_batch<std::int32_t>(in, batches, n_, g_);
-    RunResult r = scan_mps_multinode<std::int32_t>(
-        *comm_, batches, n_, g_, *plan_, kind, {}, &ctx_->workspace());
-    gather_batch<std::int32_t>(batches, n_, g_, out);
-    stamp_report(r);
-    finish_run(run_span, r);
-    return r;
-  }
-
- private:
-  /// Placement: one rank per requested GPU when all are alive; dead ranks
-  /// are dropped otherwise, then surviving ranks are trimmed from the tail
-  /// until the count divides N. A single survivor collapses to Scan-SP.
-  void place(std::int64_t n) {
-    prep_report_ = {};
-    std::vector<int> ids;
-    std::vector<int> dead;
-    for (int node = 0; node < m_; ++node) {
-      for (int id : node_gpus(ctx_->cluster(), node, w_)) {
-        (is_down(*ctx_, id) ? dead : ids).push_back(id);
-      }
-    }
-    MGS_REQUIRE(!ids.empty(), "Scan-MPS-multinode executor: no surviving GPU");
-    if (dead.empty()) {
-      MGS_REQUIRE(n % static_cast<std::int64_t>(ids.size()) == 0,
-                  "Scan-MPS-multinode executor: N must divide by M*W");
-      use_sp_ = false;
-      comm_.emplace(ctx_->cluster(), std::move(ids));
-      return;
-    }
-    const std::size_t survivors = ids.size();
-    std::size_t r = survivors;
-    while (r > 1 && n % static_cast<std::int64_t>(r) != 0) --r;
-    ids.resize(r);
-    prep_report_.degraded = true;
-    prep_report_.excluded_devices = dead;
-    prep_report_.invalidated_plans +=
-        ctx_->invalidate_plans(cluster_alive_count(*ctx_));
-    if (r == 1) {
-      use_sp_ = true;
-      sp_device_ = ids.front();
-      comm_.reset();
-      prep_report_.degraded_mode =
-          "Scan-SP on device " + std::to_string(sp_device_);
-    } else {
-      use_sp_ = false;
-      comm_.emplace(ctx_->cluster(), std::move(ids));
-      prep_report_.degraded_mode =
-          "Scan-MPS-multinode on " + std::to_string(r) + " ranks";
-    }
-    prep_report_.replanned.push_back(
-        "Scan-MPS-multinode: ranks " + std::to_string(m_ * w_) + " -> " +
-        std::to_string(r) +
-        (r < survivors ? " (" + std::to_string(survivors - r) +
-                             " surviving ranks idled so ranks divide N)"
-                       : ""));
-  }
-
-  ScanContext* ctx_;
-  PipelineChoice pipe_;
-  int m_ = 1;
-  int w_ = 1;
-  bool use_sp_ = false;
-  int sp_device_ = -1;
-  std::optional<msg::Communicator> comm_;
-  std::optional<ScanPlan> plan_;
-  std::vector<Handle> ins_;
-  std::vector<Handle> outs_;
-  SpFallback sp_;
-};
 
 }  // namespace
 
-void ScanExecutor::require_ready(std::span<const std::int32_t> in,
-                                 std::span<std::int32_t> out) const {
+void ScanExecutor::require_ready(std::int64_t in_count,
+                                 std::int64_t out_count) const {
   MGS_REQUIRE(n_ > 0 && g_ > 0, "ScanExecutor::run before prepare()");
-  MGS_REQUIRE(static_cast<std::int64_t>(in.size()) >= n_ * g_ &&
-                  static_cast<std::int64_t>(out.size()) >= n_ * g_,
+  MGS_REQUIRE(in_count >= n_ * g_ && out_count >= n_ * g_,
               "ScanExecutor::run: spans must hold N*G elements");
+}
+
+PlanKey ScanExecutor::plan_key(const ScanContext& ctx, std::int64_t n,
+                               std::int64_t g, int gpus_per_problem) const {
+  return PlanKey{ctx.cluster().config().gpu.name,
+                 n,
+                 g,
+                 dtype_,
+                 op_,
+                 segmented_,
+                 gpus_per_problem};
+}
+
+std::string ScanExecutor::type_suffix() const {
+  std::ostringstream os;
+  os << " [" << to_string(dtype_) << "/" << to_string(op_)
+     << (segmented_ ? "/seg" : "") << "]";
+  return os.str();
 }
 
 void ScanExecutor::stamp_report(RunResult& r) const {
@@ -684,6 +88,8 @@ obs::ScopedSpan ScanExecutor::trace_run() const {
   run.category = obs::Category::kOther;
   run.notes.emplace_back("n", std::to_string(n_));
   run.notes.emplace_back("g", std::to_string(g_));
+  run.notes.emplace_back("dtype", to_string(dtype_));
+  run.notes.emplace_back("op", to_string(op_));
   obs::ScopedSpan span(std::move(run));
 
   obs::SpanRecord plan;
@@ -706,7 +112,9 @@ obs::ScopedSpan ScanExecutor::trace_run() const {
     ts->metrics().inc("fault_events_total", {{"kind", "replan"}});
     ts->metrics().inc("degraded_runs_total", {{"executor", name()}});
   }
-  ts->metrics().inc("runs_total", {{"executor", name()}});
+  ts->metrics().inc("runs_total", {{"executor", name()},
+                                   {"dtype", to_string(dtype_)},
+                                   {"op", to_string(op_)}});
   return span;
 }
 
@@ -718,27 +126,47 @@ void ScanExecutor::finish_run(obs::ScopedSpan& span, RunResult& r) const {
   r.metrics = ts->metrics().snapshot();
 }
 
-std::unique_ptr<ScanExecutor> make_sp_executor(ScanContext& ctx,
-                                               int device_id) {
-  return std::make_unique<SpExecutor>(ctx, device_id);
+std::unique_ptr<ScanExecutor> make_sp_executor(ScanContext& ctx, int device_id,
+                                               DType dtype, OpTag op) {
+  ExecutorParams p;
+  p.device = device_id;
+  return dispatch(kSpTable, ctx, p, dtype, op);
 }
 
 std::unique_ptr<ScanExecutor> make_mps_executor(ScanContext& ctx, int w,
                                                 bool direct,
-                                                PipelineChoice pipe) {
-  return std::make_unique<MpsExecutor>(ctx, w, direct, pipe);
+                                                PipelineChoice pipe,
+                                                DType dtype, OpTag op) {
+  ExecutorParams p;
+  p.w = w;
+  p.pipeline = pipe.mode;
+  p.waves = pipe.waves;
+  return dispatch(direct ? kMpsDirectTable : kMpsTable, ctx, p, dtype, op);
 }
 
 std::unique_ptr<ScanExecutor> make_mppc_executor(ScanContext& ctx, int y,
                                                  int v, int m,
-                                                 PipelineChoice pipe) {
-  return std::make_unique<MppcExecutor>(ctx, y, v, m, pipe);
+                                                 PipelineChoice pipe,
+                                                 DType dtype, OpTag op) {
+  ExecutorParams p;
+  p.y = y;
+  p.v = v;
+  p.m = m;
+  p.pipeline = pipe.mode;
+  p.waves = pipe.waves;
+  return dispatch(kMppcTable, ctx, p, dtype, op);
 }
 
 std::unique_ptr<ScanExecutor> make_multinode_executor(ScanContext& ctx, int m,
                                                       int w,
-                                                      PipelineChoice pipe) {
-  return std::make_unique<MultinodeExecutor>(ctx, m, w, pipe);
+                                                      PipelineChoice pipe,
+                                                      DType dtype, OpTag op) {
+  ExecutorParams p;
+  p.m = m;
+  p.w = w;
+  p.pipeline = pipe.mode;
+  p.waves = pipe.waves;
+  return dispatch(kMultinodeTable, ctx, p, dtype, op);
 }
 
 }  // namespace mgs::core

@@ -8,9 +8,15 @@
 /// nor re-allocation (the clppScan / LightScan "construct once, scan many"
 /// shape).
 ///
-/// Element type is int32 sums-or-any-Op via ScanKind only, matching
-/// baselines::registry ("the paper's element type"); generic-T callers
-/// keep the free functions the executors are built on.
+/// Element type and operator are erased over the (DType, OpTag) matrix of
+/// dtype.hpp: run() takes TypedSpan carriers and the factories take a
+/// (dtype, op) pair that selects the fully templated executor
+/// instantiation from a dispatch table at construction. Dispatch happens
+/// exactly once -- after construction the hot path runs the same
+/// monomorphic kernels a hand-instantiated scan_sp<T, Op> call would, with
+/// no per-element or per-call type dispatch. Typed std::span convenience
+/// overloads wrap the erasure so callers that know their type statically
+/// (including every pre-refactor caller) compile unchanged.
 ///
 /// Protocol: prepare(n, g) derives/caches the plan and leases persistent
 /// staging for the shape (idempotent for an unchanged shape); run() scans
@@ -34,6 +40,7 @@
 #include <span>
 #include <string>
 
+#include "mgs/core/dtype.hpp"
 #include "mgs/core/op.hpp"
 #include "mgs/core/plan.hpp"
 #include "mgs/core/scan_context.hpp"
@@ -47,8 +54,8 @@ class ScanExecutor {
 
   /// Registry name ("Scan-SP", "Scan-MPS", ...).
   virtual std::string name() const = 0;
-  /// Human-readable configuration: proposal, GPU placement, cached plan.
-  /// Most detailed after prepare().
+  /// Human-readable configuration: proposal, GPU placement, element
+  /// type/operator, cached plan. Most detailed after prepare().
   virtual std::string describe() const = 0;
 
   /// Set up for G problems of N elements: plan lookup (cache hit after the
@@ -59,18 +66,57 @@ class ScanExecutor {
   virtual void prepare(std::int64_t n, std::int64_t g) = 0;
 
   /// Scan problem g of `in` (at offset g*N) into the same region of `out`.
-  /// Requires prepare(); spans must hold N*G elements. Clocks are reset,
-  /// so the result is a function of the shape alone.
-  virtual RunResult run(std::span<const std::int32_t> in,
-                        std::span<std::int32_t> out, ScanKind kind) = 0;
+  /// Requires prepare(); spans must hold N*G elements and their dtype must
+  /// match the executor's (checked once per call -- never reinterpreted
+  /// silently). Clocks are reset, so the result is a function of the
+  /// shape alone.
+  virtual RunResult run(ConstTypedSpan in, TypedSpan out, ScanKind kind) = 0;
+
+  /// Typed convenience overloads over the erased entry point, one per
+  /// DType so implicit conversions (std::vector<T> -> std::span<const T>)
+  /// keep working at existing call sites.
+  RunResult run(std::span<const std::int32_t> in, std::span<std::int32_t> out,
+                ScanKind kind) {
+    return run(ConstTypedSpan::of(in), TypedSpan::of(out), kind);
+  }
+  RunResult run(std::span<const std::int64_t> in, std::span<std::int64_t> out,
+                ScanKind kind) {
+    return run(ConstTypedSpan::of(in), TypedSpan::of(out), kind);
+  }
+  RunResult run(std::span<const std::uint32_t> in,
+                std::span<std::uint32_t> out, ScanKind kind) {
+    return run(ConstTypedSpan::of(in), TypedSpan::of(out), kind);
+  }
+  RunResult run(std::span<const float> in, std::span<float> out,
+                ScanKind kind) {
+    return run(ConstTypedSpan::of(in), TypedSpan::of(out), kind);
+  }
+  RunResult run(std::span<const double> in, std::span<double> out,
+                ScanKind kind) {
+    return run(ConstTypedSpan::of(in), TypedSpan::of(out), kind);
+  }
 
   std::int64_t prepared_n() const { return n_; }
   std::int64_t prepared_g() const { return g_; }
 
+  /// Element type / operator this instantiation runs (the scalar identity
+  /// for the internal segmented path, which packs SegPair elements).
+  DType dtype() const { return dtype_; }
+  OpTag op() const { return op_; }
+  bool segmented() const { return segmented_; }
+
  protected:
-  /// Shared argument checking for run() implementations.
-  void require_ready(std::span<const std::int32_t> in,
-                     std::span<std::int32_t> out) const;
+  /// Shared argument checking for run() implementations (counts only; the
+  /// dtype check already happened in the TypedSpan recovery).
+  void require_ready(std::int64_t in_count, std::int64_t out_count) const;
+
+  /// The context plan-cache key for this executor's element type and
+  /// operator at the given shape.
+  PlanKey plan_key(const ScanContext& ctx, std::int64_t n, std::int64_t g,
+                   int gpus_per_problem) const;
+
+  /// " [i32/plus]"-style suffix for describe().
+  std::string type_suffix() const;
 
   /// Copy the placement-time degradation record into a run's report
   /// (counters stay whatever the proposal accumulated).
@@ -89,11 +135,17 @@ class ScanExecutor {
   std::int64_t g_ = 0;
   std::uint64_t fault_epoch_ = 0;   ///< liveness epoch of the placement
   sim::FaultReport prep_report_;    ///< degradation recorded at prepare()
+  DType dtype_ = DType::kI32;       ///< set by TypedScanExecutor
+  OpTag op_ = OpTag::kPlus;
+  bool segmented_ = false;
 };
 
-/// Scan-SP on one device of the context's cluster.
+/// Scan-SP on one device of the context's cluster, instantiated for
+/// (dtype, op) via the dispatch table.
 std::unique_ptr<ScanExecutor> make_sp_executor(ScanContext& ctx,
-                                               int device_id = 0);
+                                               int device_id = 0,
+                                               DType dtype = DType::kI32,
+                                               OpTag op = OpTag::kPlus);
 
 /// Scan-MPS over `w` GPUs of node 0 (0 = every GPU of the node). With
 /// `direct`, Stage 1 peer-writes straight into the master's auxiliary
@@ -102,18 +154,22 @@ std::unique_ptr<ScanExecutor> make_sp_executor(ScanContext& ctx,
 /// kOverlap the event-driven one; waves > 0 pins the wave count).
 std::unique_ptr<ScanExecutor> make_mps_executor(ScanContext& ctx, int w = 0,
                                                 bool direct = false,
-                                                PipelineChoice pipe = {});
+                                                PipelineChoice pipe = {},
+                                                DType dtype = DType::kI32,
+                                                OpTag op = OpTag::kPlus);
 
 /// Scan-MP-PC: `y` PCIe networks per node on `m` nodes, `v` GPUs from
 /// each (0 = hardware maximum). `pipe` as for make_mps_executor.
 std::unique_ptr<ScanExecutor> make_mppc_executor(ScanContext& ctx, int y = 0,
                                                  int v = 0, int m = 1,
-                                                 PipelineChoice pipe = {});
+                                                 PipelineChoice pipe = {},
+                                                 DType dtype = DType::kI32,
+                                                 OpTag op = OpTag::kPlus);
 
 /// Multi-node Scan-MPS over `m` nodes with `w` GPUs each via the MPI-like
 /// communicator (0 = whole cluster). `pipe` as for make_mps_executor.
-std::unique_ptr<ScanExecutor> make_multinode_executor(ScanContext& ctx,
-                                                      int m = 0, int w = 0,
-                                                      PipelineChoice pipe = {});
+std::unique_ptr<ScanExecutor> make_multinode_executor(
+    ScanContext& ctx, int m = 0, int w = 0, PipelineChoice pipe = {},
+    DType dtype = DType::kI32, OpTag op = OpTag::kPlus);
 
 }  // namespace mgs::core

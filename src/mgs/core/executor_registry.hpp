@@ -26,6 +26,10 @@ struct ExecutorParams {
   /// event-driven default; kSync forces the synchronous stage path).
   PipelineMode pipeline = PipelineMode::kAuto;
   int waves = 0;   ///< pipeline wave count; 0 = planner's cost-model pick
+  /// Element type / operator the executor is instantiated for (the
+  /// dispatch-table coordinates).
+  DType dtype = DType::kI32;
+  OpTag op = OpTag::kPlus;
 };
 
 struct ExecutorInfo {

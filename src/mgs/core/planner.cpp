@@ -34,12 +34,11 @@ std::int64_t usable_bytes(const sim::DeviceSpec& spec) {
 
 PlannerChoice choose_proposal(const topo::Cluster& cluster,
                               const PlannerInput& input) {
-  MGS_REQUIRE(input.n > 0 && input.g > 0 && input.elem_bytes > 0,
-              "choose_proposal: bad problem shape");
+  MGS_REQUIRE(input.n > 0 && input.g > 0, "choose_proposal: bad problem shape");
   const auto& cfg = cluster.config();
   const std::int64_t mem = usable_bytes(cfg.gpu);
   const std::int64_t problem_bytes =
-      2 * input.n * static_cast<std::int64_t>(input.elem_bytes);
+      2 * input.n * static_cast<std::int64_t>(dtype_bytes(input.dtype));
   const std::int64_t total_bytes = problem_bytes * input.g;
 
   // Floor: GPUs that must share one problem just to hold it.
@@ -54,6 +53,8 @@ PlannerChoice choose_proposal(const topo::Cluster& cluster,
               "choose_proposal: batch does not fit in the cluster");
 
   PlannerChoice choice;
+  choice.dtype = input.dtype;
+  choice.op = input.op;
   std::ostringstream why;
 
   if (gpus_per_problem_floor <= cfg.gpus_per_network) {

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "mgs/core/dtype.hpp"
 #include "mgs/topo/topology.hpp"
 
 namespace mgs::core {
@@ -20,9 +21,10 @@ enum class Proposal {
 const char* to_string(Proposal p);
 
 struct PlannerInput {
-  std::int64_t n = 0;       ///< elements per problem
-  std::int64_t g = 1;       ///< problems in the batch
-  int elem_bytes = 4;
+  std::int64_t n = 0;            ///< elements per problem
+  std::int64_t g = 1;            ///< problems in the batch
+  DType dtype = DType::kI32;     ///< element type (sizes the memory floor)
+  OpTag op = OpTag::kPlus;       ///< scan operator (threaded to the executor)
 };
 
 struct PlannerChoice {
@@ -31,6 +33,8 @@ struct PlannerChoice {
   int w = 1;  ///< GPUs per node
   int v = 1;  ///< GPUs per PCIe network
   int y = 1;  ///< PCIe networks per node
+  DType dtype = DType::kI32;  ///< carried from the input to the executor
+  OpTag op = OpTag::kPlus;
   std::string rationale;
 };
 

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <string>
 
+#include "mgs/core/dtype.hpp"
 #include "mgs/core/plan.hpp"
 #include "mgs/obs/critical_path.hpp"
 #include "mgs/obs/export.hpp"
@@ -17,11 +18,17 @@
 namespace mgs::core {
 
 /// RunInfo header for a completed run (non-zero fault counters only).
+/// dtype/op default to the paper's i32 sums so pre-refactor callers keep
+/// producing identical reports.
 inline obs::RunInfo make_run_info(const std::string& executor,
                                   std::int64_t n, int devices,
-                                  const RunResult& r) {
+                                  const RunResult& r,
+                                  DType dtype = DType::kI32,
+                                  OpTag op = OpTag::kPlus) {
   obs::RunInfo info;
   info.executor = executor;
+  info.dtype = to_string(dtype);
+  info.op = to_string(op);
   info.n = static_cast<std::uint64_t>(n);
   info.devices = devices;
   info.seconds = r.seconds;

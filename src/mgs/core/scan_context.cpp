@@ -25,14 +25,14 @@ ScanContext::ScanContext(topo::Cluster& cluster)
     : cluster_(&cluster), tuner_(cluster.config().gpu) {}
 
 const ScanPlan& ScanContext::plan_for(std::int64_t n, std::int64_t g,
-                                      int elem_bytes, int gpus_per_problem) {
-  return plan_for(PlanKey{cluster_->config().gpu.name, n, g, elem_bytes,
-                          gpus_per_problem});
+                                      DType dtype, OpTag op,
+                                      int gpus_per_problem, bool segmented) {
+  return plan_for(PlanKey{cluster_->config().gpu.name, n, g, dtype, op,
+                          segmented, gpus_per_problem});
 }
 
 const ScanPlan& ScanContext::plan_for(const PlanKey& key) {
-  MGS_REQUIRE(key.n > 0 && key.g > 0 && key.elem_bytes > 0 &&
-                  key.gpus_per_problem >= 1,
+  MGS_REQUIRE(key.n > 0 && key.g > 0 && key.gpus_per_problem >= 1,
               "ScanContext::plan_for: bad plan key");
   if (const auto it = plans_.find(key); it != plans_.end()) {
     ++hits_;
@@ -54,12 +54,12 @@ const ScanPlan& ScanContext::plan_for(const PlanKey& key) {
     const std::int64_t n_probe = std::min(key.n, kProbeMaxN);
     const std::int64_t g_probe = std::min(
         key.g, std::max<std::int64_t>(1, kProbeMaxElems / n_probe));
-    plan = tuner_.tune(n_probe, g_probe).plan;
+    plan = tuner_.tune(n_probe, g_probe, key.elem_bytes()).plan;
   } else {
     // Multi-GPU space (Section 4.2): Premise 3 justifies maximizing K^1,
     // bounded by Equation 1 and by Equations 2/3 (every participating
     // GPU keeps at least one chunk of the problem).
-    plan = derive_spl(spec, key.elem_bytes).plan;
+    plan = derive_spl(spec, key.elem_bytes()).plan;
     const std::int64_t bound =
         std::min(k1_max_eq1(key.n, key.g, plan, spec),
                  k1_max_gpus(key.n, plan.s13, key.gpus_per_problem));
@@ -70,7 +70,8 @@ const ScanPlan& ScanContext::plan_for(const PlanKey& key) {
     // force the synchronous path back via PipelineChoice{kSync}.
     plan.pipe.overlap = true;
     plan.pipe.waves = pick_wave_count(*cluster_, key.n, key.g,
-                                      key.gpus_per_problem, plan);
+                                      key.gpus_per_problem, plan,
+                                      key.elem_bytes());
   }
   const ScanPlan& cached = plans_.emplace(key, plan).first->second;
   if (obs::TraceSession* ts = obs::TraceSession::current()) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mgs/core/autotuner.hpp"
+#include "mgs/core/dtype.hpp"
 #include "mgs/core/planner.hpp"
 #include "mgs/core/workspace.hpp"
 #include "mgs/topo/topology.hpp"
@@ -30,13 +31,24 @@ namespace mgs::core {
 class ScanExecutor;
 
 /// Plan-cache key. The device enters via its spec name (clusters are
-/// homogeneous; one Autotuner per context serves every device).
+/// homogeneous; one Autotuner per context serves every device). The
+/// element size is derived from (dtype, segmented) -- there is no
+/// hand-passed byte count anymore, so a mismatched size can never be
+/// cached. The operator participates in the key so per-op statistics and
+/// future op-specific tuning stay separable, even though today's plans
+/// depend only on the element bytes.
 struct PlanKey {
   std::string device;            ///< DeviceSpec::name
   std::int64_t n = 0;            ///< elements per problem (full problem)
   std::int64_t g = 1;            ///< problems in the batch
-  int elem_bytes = 4;
+  DType dtype = DType::kI32;     ///< element type
+  OpTag op = OpTag::kPlus;       ///< scan operator
+  bool segmented = false;        ///< SegPair elements (value+flag, 2x bytes)
   int gpus_per_problem = 1;      ///< 1: Scan-SP space; >1: Eq. 2/3 bound
+
+  /// Bytes per element the plan must budget for (doubled for the packed
+  /// segmented representation).
+  int elem_bytes() const { return dtype_bytes(dtype) * (segmented ? 2 : 1); }
 
   friend auto operator<=>(const PlanKey&, const PlanKey&) = default;
 };
@@ -58,7 +70,9 @@ class ScanContext {
   /// and never re-run the search.
   const ScanPlan& plan_for(const PlanKey& key);
   const ScanPlan& plan_for(std::int64_t n, std::int64_t g,
-                           int elem_bytes = 4, int gpus_per_problem = 1);
+                           DType dtype = DType::kI32,
+                           OpTag op = OpTag::kPlus, int gpus_per_problem = 1,
+                           bool segmented = false);
 
   std::size_t plan_cache_size() const { return plans_.size(); }
   std::uint64_t plan_cache_hits() const { return hits_; }

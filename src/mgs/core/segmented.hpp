@@ -10,6 +10,7 @@
 /// same overhead that makes Thrust's flag-carrying segmented scan slow in
 /// the paper's evaluation.
 
+#include "mgs/core/dtype.hpp"
 #include "mgs/core/scan_sp.hpp"
 
 namespace mgs::core {
@@ -39,6 +40,22 @@ struct SegOp {
     return r;
   }
   static constexpr const char* name() { return "seg"; }
+};
+
+/// Plan-cache identity of the packed representation: the scalar dtype with
+/// the segmented flag set (elem_bytes doubles). This is what lets SegPair
+/// workloads ride the ScanContext plan cache and the executor stack even
+/// though SegPair itself has no erased TypedSpan carrier.
+template <typename T>
+struct PlanTypeOf<SegPair<T>> {
+  static constexpr DType dtype = PlanTypeOf<T>::dtype;
+  static constexpr bool segmented = true;
+};
+
+/// A SegOp keys plans (and labels spans/metrics) by its inner operator.
+template <typename T, typename Op>
+struct OpTagOf<SegOp<T, Op>> {
+  static constexpr std::optional<OpTag> value = OpTagOf<Op>::value;
 };
 
 /// Inclusive segmented scan of one sequence on one GPU. flags[i] != 0

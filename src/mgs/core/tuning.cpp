@@ -111,12 +111,13 @@ std::vector<int> k1_candidates(std::int64_t n, std::int64_t g,
 }
 
 int pick_wave_count(topo::Cluster& cluster, std::int64_t n, std::int64_t g,
-                    int gpus_per_problem, const ScanPlan& plan) {
-  MGS_REQUIRE(n > 0 && g > 0 && gpus_per_problem > 0,
+                    int gpus_per_problem, const ScanPlan& plan,
+                    int elem_bytes) {
+  MGS_REQUIRE(n > 0 && g > 0 && gpus_per_problem > 0 && elem_bytes > 0,
               "pick_wave_count: bad arguments");
   if (gpus_per_problem < 2 || g < 2) return 1;
 
-  const int elem = 4;  // planning estimate; wave count is shape-driven
+  const int elem = elem_bytes;
   const std::int64_t n_local = n / gpus_per_problem;
   const BatchLayout lay = make_layout(n_local, g, plan.s13);
   const sim::DeviceSpec& spec = cluster.config().gpu;

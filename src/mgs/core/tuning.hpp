@@ -82,7 +82,10 @@ AutotuneResult autotune_k(const std::vector<int>& candidates,
 /// cost (link latencies, per-row DMA overhead) -- more waves hide the
 /// smaller of C and X behind the larger but pay alpha each round trip.
 /// Returns the power-of-two argmin of that estimate, clamped to [1, g].
+/// `elem_bytes` is the real element size of the workload (from the plan
+/// key's dtype), entering both the compute and the transfer volume.
 int pick_wave_count(topo::Cluster& cluster, std::int64_t n, std::int64_t g,
-                    int gpus_per_problem, const ScanPlan& plan);
+                    int gpus_per_problem, const ScanPlan& plan,
+                    int elem_bytes = 4);
 
 }  // namespace mgs::core

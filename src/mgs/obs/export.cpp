@@ -171,6 +171,8 @@ void write_run_report(std::ostream& os, const RunInfo& info,
                       const CriticalPathReport& cp) {
   os << "{\n\"schema\":\"mgs-run-report-v1\",\n\"run\":{";
   os << "\"executor\":\"" << json_escape(info.executor) << "\"";
+  os << ",\"dtype\":\"" << json_escape(info.dtype) << "\"";
+  os << ",\"op\":\"" << json_escape(info.op) << "\"";
   os << ",\"n\":" << info.n;
   os << ",\"devices\":" << info.devices;
   os << ",\"seconds\":" << json_double(info.seconds);

@@ -24,6 +24,8 @@ namespace mgs::obs {
 /// without depending on mgs_core, which sits above this library).
 struct RunInfo {
   std::string executor;
+  std::string dtype = "i32";    ///< element type (core DType spelling)
+  std::string op = "plus";      ///< scan operator (core OpTag spelling)
   std::uint64_t n = 0;          ///< elements scanned
   int devices = 0;              ///< simulated GPUs
   double seconds = 0.0;         ///< RunResult::seconds

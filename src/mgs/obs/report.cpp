@@ -265,6 +265,12 @@ RunReport parse_run_report(const JsonValue& doc) {
     rep.run.executor = run->find("executor") != nullptr
                            ? run->find("executor")->str_or("")
                            : "";
+    // Reports from before the dtype/op columns keep their defaults.
+    rep.run.dtype =
+        run->find("dtype") != nullptr ? run->find("dtype")->str_or("i32")
+                                      : "i32";
+    rep.run.op =
+        run->find("op") != nullptr ? run->find("op")->str_or("plus") : "plus";
     rep.run.n = u64_or(run->find("n"), 0);
     rep.run.devices = int_or(run->find("devices"), 0);
     rep.run.seconds =

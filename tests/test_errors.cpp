@@ -131,8 +131,10 @@ TEST(Errors, TuningArgumentChecks) {
 
 TEST(Errors, PlannerRejectsImpossibleShapes) {
   auto cluster = mt::tsubame_kfc_cluster(1);
-  EXPECT_THROW(mc::choose_proposal(cluster, {0, 1, 4}), mgs::util::Error);
-  EXPECT_THROW(mc::choose_proposal(cluster, {1024, 1, 0}), mgs::util::Error);
+  EXPECT_THROW(mc::choose_proposal(cluster, {.n = 0, .g = 1}),
+               mgs::util::Error);
+  EXPECT_THROW(mc::choose_proposal(cluster, {.n = 1024, .g = 0}),
+               mgs::util::Error);
 }
 
 TEST(ErrorsDeath, InternalInvariantsAbort) {

@@ -68,7 +68,8 @@ TEST(ScanContext, PlanCacheHitsAndMisses) {
   EXPECT_EQ(ctx.plan_cache_misses(), 2u);
 
   // Multi-GPU keys bypass the autotuner (premise-derived K).
-  ctx.plan_for(kN, kG, 4, /*gpus_per_problem=*/4);
+  ctx.plan_for(kN, kG, mc::DType::kI32, mc::OpTag::kPlus,
+               /*gpus_per_problem=*/4);
   EXPECT_EQ(ctx.plan_cache_size(), 3u);
   EXPECT_EQ(ctx.tuner().cache_size(), 2u);
 }
@@ -199,7 +200,8 @@ TEST(ExecutorEquivalence, ScanMpsAndDirect) {
     const auto gpus = node_major_ids(legacy_cluster, 1, w);
     auto batches =
         mc::distribute_batch<int>(legacy_cluster, gpus, data, kN, kG);
-    const auto& plan = ctx.plan_for(kN, kG, 4, w);
+    const auto& plan =
+        ctx.plan_for(kN, kG, mc::DType::kI32, mc::OpTag::kPlus, w);
     const auto rl =
         direct ? mc::scan_mps_direct<int>(legacy_cluster, gpus, batches, kN,
                                           kG, plan, mc::ScanKind::kExclusive)
@@ -227,7 +229,8 @@ TEST(ExecutorEquivalence, ScanMppc) {
   auto legacy_cluster = mt::tsubame_kfc_cluster(1);
   const auto part = mc::make_mppc_partition(legacy_cluster, 2, 4, g);
   auto batches = mc::distribute_mppc<int>(legacy_cluster, part, data, kN);
-  const auto& plan = ctx.plan_for(kN, g, 4, 4);
+  const auto& plan =
+      ctx.plan_for(kN, g, mc::DType::kI32, mc::OpTag::kPlus, 4);
   const auto rl = mc::scan_mppc<int>(legacy_cluster, part, batches, kN, plan,
                                      mc::ScanKind::kInclusive);
   const auto want = mc::collect_mppc(part, batches, kN);
@@ -253,7 +256,8 @@ TEST(ExecutorEquivalence, ScanMpsMultinode) {
   mm::Communicator comm(legacy_cluster, ids);
   auto batches =
       mc::distribute_batch<int>(legacy_cluster, ids, data, kN, kG);
-  const auto& plan = ctx.plan_for(kN, kG, 4, m * w);
+  const auto& plan =
+      ctx.plan_for(kN, kG, mc::DType::kI32, mc::OpTag::kPlus, m * w);
   const auto rl = mc::scan_mps_multinode<int>(comm, batches, kN, kG, plan,
                                               mc::ScanKind::kInclusive);
   const auto want = mc::collect_batch(batches, kN, kG);
@@ -305,7 +309,7 @@ TEST(ExecutorRegistry, PlannerChoiceMapsToExecutor) {
 TEST(ExecutorRegistry, ContextRunsThePlannerEndToEnd) {
   auto cluster = mt::tsubame_kfc_cluster(1);
   mc::ScanContext ctx(cluster);
-  auto ex = ctx.executor_for({kN, kG, 4});
+  auto ex = ctx.executor_for({kN, kG});
   ASSERT_NE(ex, nullptr);
   ex->prepare(kN, kG);
 

@@ -258,7 +258,9 @@ TEST(ObsMetrics, RunSnapshotsLandInRunResult) {
   ASSERT_FALSE(snap.empty());
 
   const auto* runs =
-      mo::find_metric(snap, "runs_total", {{"executor", "Scan-MPS"}});
+      mo::find_metric(snap, "runs_total",
+                      {{"executor", "Scan-MPS"}, {"dtype", "i32"},
+                       {"op", "plus"}});
   ASSERT_NE(runs, nullptr);
   EXPECT_DOUBLE_EQ(runs->value, 1.0);
 

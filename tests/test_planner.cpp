@@ -13,7 +13,7 @@ mc::PlannerInput shape(std::int64_t n, std::int64_t g) {
   mc::PlannerInput in;
   in.n = n;
   in.g = g;
-  in.elem_bytes = 4;
+  in.dtype = mc::DType::kI32;
   return in;
 }
 }  // namespace
