@@ -65,3 +65,10 @@ python3 scripts/bench_check.py \
 # The dtype test group on its own (matrix correctness + the instantiation
 # guard that compiles every proposal over every (dtype, op) cell).
 ctest --test-dir "$BUILD_DIR" -L dtype --output-on-failure
+
+# Chaos smoke: the seeded 100-scenario campaign (tool_mgs_chaos_smoke)
+# plus the harness's own unit tests. On a violation the campaign shrinks
+# each failure to a one-line repro under $BUILD_DIR/tools/chaos_repro/,
+# which the workflow uploads -- replay locally with
+#   ./$BUILD_DIR/tools/mgs_chaos --replay "<line>"
+ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure

@@ -91,6 +91,67 @@ inline int cluster_alive_count(const ScanContext& ctx) {
   return static_cast<int>(ctx.cluster().alive_devices().size());
 }
 
+/// Latest instant any of `gpus` has reached on either engine -- the
+/// cluster-wide "now" a mid-run failure is diagnosed at.
+inline double cluster_front(topo::Cluster& cluster,
+                            const std::vector<int>& gpus) {
+  double t = 0.0;
+  for (int d : gpus) {
+    t = std::max(t, cluster.device(d).clock().now());
+    t = std::max(t, cluster.device(d).dma_clock().now());
+  }
+  return t;
+}
+
+/// Decide which endpoint of a failed mid-run transfer is lost and mark it
+/// down in the injector. Scheduled device-down events identify the culprit
+/// directly; a pure link death is attributed to the non-master endpoint
+/// (fail-stop assumption -- the master must survive for anyone to make
+/// progress). Returns the device marked, or -1 when no endpoint can be
+/// blamed.
+inline int blame_endpoint(sim::FaultInjector& fi, int src_dev, int dst_dev,
+                          int master, double now) {
+  int dead = -1;
+  if (src_dev >= 0 && fi.device_down_at(src_dev, now)) {
+    dead = src_dev;
+  } else if (dst_dev >= 0 && fi.device_down_at(dst_dev, now)) {
+    dead = dst_dev;
+  } else if (src_dev >= 0 && src_dev != master) {
+    dead = src_dev;
+  } else if (dst_dev >= 0 && dst_dev != master) {
+    dead = dst_dev;
+  }
+  if (dead >= 0 && !fi.device_is_down(dead)) fi.mark_device_down(dead);
+  return dead;
+}
+
+/// Fold a mid-run recovery into a run's fault report; called after
+/// stamp_report, which only reflects prepare-time placement.
+inline void merge_mid_run_losses(sim::FaultReport& f,
+                                 const std::string& executor,
+                                 const std::vector<int>& lost) {
+  f.degraded = true;
+  for (int d : lost) {
+    if (std::find(f.excluded_devices.begin(), f.excluded_devices.end(), d) ==
+        f.excluded_devices.end()) {
+      f.excluded_devices.push_back(d);
+    }
+  }
+  std::string step = executor + ": lost device";
+  for (int d : lost) step += " " + std::to_string(d);
+  if (!f.resumed_stages.empty()) {
+    step += " mid-run, resumed from ";
+    for (std::size_t i = 0; i < f.resumed_stages.size(); ++i) {
+      if (i != 0) step += "+";
+      step += f.resumed_stages[i];
+    }
+  } else {
+    step += " mid-run (restarted on survivors)";
+  }
+  f.replanned.push_back(step);
+  if (f.degraded_mode.empty()) f.degraded_mode = step;
+}
+
 /// Last-resort placement shared by the multi-GPU executors: when a
 /// degraded placement shrinks to a single surviving device, the run
 /// collapses to Scan-SP on that device (the paper's single-GPU proposal --
@@ -291,20 +352,11 @@ class MpsExecutorT final : public TypedScanExecutor<T, Op> {
       this->finish_run(run_span, r);
       return r;
     }
-    ctx_->cluster().reset_clocks();
-    std::vector<GpuBatch<T>> batches;
-    for (std::size_t d = 0; d < gpus_.size(); ++d) {
-      batches.push_back(GpuBatch<T>{ins_[d].buffer(), outs_[d].buffer()});
-    }
-    scatter_batch<T>(in, batches, n_, g_);
-    RunResult r =
-        direct_ ? scan_mps_direct<T, Op>(ctx_->cluster(), gpus_, batches, n_,
-                                         g_, *plan_, kind, Op{},
-                                         &ctx_->workspace())
-                : scan_mps<T, Op>(ctx_->cluster(), gpus_, batches, n_, g_,
-                                  *plan_, kind, Op{}, &ctx_->workspace());
-    gather_batch<T>(batches, n_, g_, out);
+    std::vector<int> lost;
+    RunResult r = direct_ ? run_direct_restarting(in, out, kind, lost)
+                          : run_mps_resuming(in, out, kind, lost);
     this->stamp_report(r);
+    if (!lost.empty()) merge_mid_run_losses(r.faults, name(), lost);
     this->finish_run(run_span, r);
     return r;
   }
@@ -314,6 +366,211 @@ class MpsExecutorT final : public TypedScanExecutor<T, Op> {
   using Base::g_;
   using Base::n_;
   using Base::prep_report_;
+
+  /// Non-direct Scan-MPS with stage-granular mid-run recovery: the scan
+  /// records per-stage progress in a checkpoint; a device/link death
+  /// unwinds to here, the dead device's portions remap onto the
+  /// least-loaded survivors (logical W and the chunk layout stay fixed, so
+  /// Stage 2 still applies the operator in ascending portion order and
+  /// results stay bit-identical to the healthy run), the lost portions'
+  /// inputs restage from the host, and the scan re-enters to continue from
+  /// the last completed stage boundary instead of restarting.
+  RunResult run_mps_resuming(std::span<const T> in, std::span<T> out,
+                             ScanKind kind, std::vector<int>& lost) {
+    ctx_->cluster().reset_clocks();
+    std::vector<GpuBatch<T>> batches;
+    for (std::size_t d = 0; d < gpus_.size(); ++d) {
+      batches.push_back(GpuBatch<T>{ins_[d].buffer(), outs_[d].buffer()});
+    }
+    scatter_batch<T>(in, batches, n_, g_);
+    sim::FaultInjector* fi = ctx_->cluster().fault_injector();
+    MpsCheckpoint<T> ck;
+    for (int attempt = 0;; ++attempt) {
+      try {
+        RunResult r =
+            scan_mps<T, Op>(ctx_->cluster(), gpus_, batches, n_, g_, *plan_,
+                            kind, Op{}, &ctx_->workspace(), &ck);
+        gather_batch<T>(batches, n_, g_, out);
+        return r;
+      } catch (const topo::TransferError& e) {
+        // One recovery per device that can still die; anything past that
+        // is unsurvivable -- propagate.
+        if (fi == nullptr || attempt >= w_req_) throw;
+        resume_after_fault(e, in, batches, ck, *fi, lost);
+      }
+    }
+  }
+
+  /// Remap a dead device's portions, restage their inputs, and regress
+  /// exactly the checkpoint flags whose backing buffers died. Rethrows the
+  /// active exception when the failure cannot be attributed or survived.
+  void resume_after_fault(const topo::TransferError& e, std::span<const T> in,
+                          std::vector<GpuBatch<T>>& batches,
+                          MpsCheckpoint<T>& ck, sim::FaultInjector& fi,
+                          std::vector<int>& lost) {
+    topo::Cluster& cluster = ctx_->cluster();
+    const double now = cluster_front(cluster, gpus_);
+    const int old_master = gpus_.front();
+    const int dead = blame_endpoint(fi, e.src_dev, e.dst_dev, old_master, now);
+    if (dead < 0) throw;
+    std::vector<int> portions;
+    for (int i = 0; i < w_; ++i) {
+      if (gpus_[static_cast<std::size_t>(i)] == dead) portions.push_back(i);
+    }
+    if (portions.empty()) throw;  // not a participant; cannot route around
+    std::vector<int> pool;
+    for (int id : node_gpus(cluster, 0, w_req_)) {
+      if (!fi.device_is_down(id)) pool.push_back(id);
+    }
+    if (pool.empty()) throw;  // no survivor to resume onto
+    const bool master_died = (old_master == dead);
+
+    const std::int64_t n_local = n_ / w_;
+    const std::int64_t per_gpu = n_local * g_;
+    const BatchLayout lay = make_layout(n_local, g_, plan_->s13);
+
+    // A dead master takes the gathered aux matrix and the Stage-2 output
+    // with it: everything master-resident regresses, while the survivors'
+    // raw reductions (aux_local) and already-scattered prefixes
+    // (prefix_local) stay valid. Reset before the per-portion pass so a
+    // dead portion whose gather died with the master re-runs Stage 1 too.
+    if (ck.active && master_died) {
+      std::fill(ck.gathered.begin(), ck.gathered.end(), char{0});
+      std::fill(ck.scanned.begin(), ck.scanned.end(), char{0});
+      ck.stage2_done = false;
+    }
+
+    auto load_of = [&](int id) {
+      int c = 0;
+      for (int owner : gpus_) c += (owner == id) ? 1 : 0;
+      return c;
+    };
+    for (int i : portions) {
+      const auto ii = static_cast<std::size_t>(i);
+      int repl = pool.front();
+      int best = load_of(repl);
+      for (int id : pool) {
+        const int l = load_of(id);
+        if (l < best) {
+          repl = id;
+          best = l;
+        }
+      }
+      gpus_[ii] = repl;
+      simt::Device& dev = cluster.device(repl);
+      ins_[ii] = ctx_->workspace().template acquire<T>(dev, per_gpu);
+      outs_[ii] = ctx_->workspace().template acquire<T>(dev, per_gpu);
+      batches[ii] = GpuBatch<T>{ins_[ii].buffer(), outs_[ii].buffer()};
+      // Refill this portion's input from the host (same layout as
+      // scatter_batch) and charge the H2D restage to the replacement's
+      // clock -- lost time is real time.
+      auto dst = ins_[ii].host_span();
+      for (std::int64_t gg = 0; gg < g_; ++gg) {
+        const auto row = in.begin() + (gg * n_ + i * n_local);
+        std::copy(row, row + n_local, dst.begin() + gg * n_local);
+      }
+      const auto& links = cluster.config().links;
+      const double restage =
+          links.host_latency_us * 1e-6 +
+          static_cast<double>(per_gpu) * sizeof(T) /
+              (links.host_bandwidth_gbps * 1e9);
+      dev.clock().sync_to(now);
+      dev.clock().advance(restage);
+
+      if (!ck.active) continue;
+      ck.aux_local[ii] =
+          acquire_workspace<T>(&ctx_->workspace(), dev, lay.aux_elems());
+      ck.prefix_local[ii] =
+          acquire_workspace<T>(&ctx_->workspace(), dev, lay.aux_elems());
+      if (ck.overlap) {
+        bool fully_gathered = true;
+        for (int v = 0; v < ck.k; ++v) {
+          const auto cell = static_cast<std::size_t>(v * ck.w + i);
+          ck.scattered[cell] = 0;
+          if (ck.gathered[cell] == 0) fully_gathered = false;
+        }
+        // Ungathered cells need the reductions regenerated on the
+        // replacement (pure kernels: identical values). Cells already on
+        // the master keep their flags -- their data survived.
+        if (!fully_gathered) ck.s1_done[ii] = 0;
+      } else {
+        ck.scattered[ii] = 0;
+        if (ck.gathered[ii] == 0) ck.s1_done[ii] = 0;
+      }
+    }
+    if (ck.active && master_died) {
+      simt::Device& new_master = cluster.device(gpus_.front());
+      ck.aux_all = acquire_workspace<T>(&ctx_->workspace(), new_master,
+                                        g_ * w_ * lay.bx);
+      if (ck.overlap) {
+        ck.carry = acquire_workspace<T>(&ctx_->workspace(), new_master, g_);
+      }
+    }
+
+    // Account the recovery window so the breakdown keeps telescoping to
+    // the total, then arm the next entry instant.
+    double t_resume = now;
+    for (int i : portions) {
+      t_resume = std::max(
+          t_resume,
+          cluster.device(gpus_[static_cast<std::size_t>(i)]).clock().now());
+    }
+    std::string boundary = "Start";
+    if (ck.active) {
+      boundary = ck.resume_boundary();
+      t_resume = std::max(t_resume, ck.last_boundary);
+      auto rec = obs::open_stage("Recovery", ck.last_boundary);
+      rec.close(t_resume);
+      ck.partial.breakdown.add("Recovery", t_resume - ck.last_boundary);
+      ck.resumes += 1;
+      ck.resumed_stages.push_back(boundary);
+      ck.last_boundary = t_resume;
+    }
+    obs::note_fault("resume",
+                    {{"executor", name()},
+                     {"dead", std::to_string(dead)},
+                     {"boundary", boundary},
+                     {"portions", std::to_string(portions.size())},
+                     {"master", master_died ? "replaced" : "kept"}},
+                    now, dead);
+    lost.push_back(dead);
+  }
+
+  /// Scan-MPS-direct recovery is restart-based: UVA peer writes leave no
+  /// checkpointable intermediate on the master mid-kernel, so mark the
+  /// device down, re-place (fewer GPUs, possibly Scan-SP), and rerun.
+  RunResult run_direct_restarting(std::span<const T> in, std::span<T> out,
+                                  ScanKind kind, std::vector<int>& lost) {
+    sim::FaultInjector* fi = ctx_->cluster().fault_injector();
+    const int limit = ctx_->cluster().num_devices();
+    for (int attempt = 0;; ++attempt) {
+      prepare(n_, g_);  // re-places when a recovery moved the liveness epoch
+      if (use_sp_) return sp_.run(*ctx_, *plan_, in, out, n_, g_, kind);
+      ctx_->cluster().reset_clocks();
+      std::vector<GpuBatch<T>> batches;
+      for (std::size_t d = 0; d < gpus_.size(); ++d) {
+        batches.push_back(GpuBatch<T>{ins_[d].buffer(), outs_[d].buffer()});
+      }
+      scatter_batch<T>(in, batches, n_, g_);
+      try {
+        RunResult r = scan_mps_direct<T, Op>(ctx_->cluster(), gpus_, batches,
+                                             n_, g_, *plan_, kind, Op{},
+                                             &ctx_->workspace());
+        gather_batch<T>(batches, n_, g_, out);
+        return r;
+      } catch (const topo::TransferError& e) {
+        if (fi == nullptr || attempt >= limit) throw;
+        const double now = cluster_front(ctx_->cluster(), gpus_);
+        const int dead =
+            blame_endpoint(*fi, e.src_dev, e.dst_dev, gpus_.front(), now);
+        if (dead < 0) throw;
+        lost.push_back(dead);
+        obs::note_fault("restart",
+                        {{"executor", name()}, {"dead", std::to_string(dead)}},
+                        now, dead);
+      }
+    }
+  }
 
   /// Placement: the requested W GPUs of node 0 when all are alive; the
   /// largest surviving prefix whose size divides N otherwise (direct mode
@@ -443,36 +700,64 @@ class MppcExecutorT final : public TypedScanExecutor<T, Op> {
                         static_cast<std::int64_t>(out.size()));
     prepare(n_, g_);
     obs::ScopedSpan run_span = this->trace_run();
-    if (use_sp_) {
-      RunResult r = sp_.run(*ctx_, *plan_, in, out, n_, g_, kind);
-      this->stamp_report(r);
-      this->finish_run(run_span, r);
-      return r;
-    }
-    ctx_->cluster().reset_clocks();
-    std::vector<std::vector<GpuBatch<T>>> batches;
-    for (std::size_t grp = 0; grp < part_.groups.size(); ++grp) {
-      std::vector<GpuBatch<T>> b;
-      for (std::size_t d = 0; d < part_.groups[grp].size(); ++d) {
-        b.push_back(GpuBatch<T>{ins_[grp][d].buffer(), outs_[grp][d].buffer()});
+    sim::FaultInjector* fi = ctx_->cluster().fault_injector();
+    const int limit = ctx_->cluster().num_devices();
+    std::vector<int> lost;
+    RunResult r;
+    // Restart-based mid-run recovery: group-independent sub-scans make a
+    // partial result useless once any group loses a member, so mark the
+    // dead device, re-place (regrouping survivors), and rerun.
+    for (int attempt = 0;; ++attempt) {
+      prepare(n_, g_);  // re-places when a recovery moved the liveness epoch
+      if (use_sp_) {
+        r = sp_.run(*ctx_, *plan_, in, out, n_, g_, kind);
+        break;
       }
-      batches.push_back(std::move(b));
-    }
-    for (std::size_t grp = 0; grp < batches.size(); ++grp) {
-      scatter_batch<T>(
-          in.subspan(static_cast<std::size_t>(part_.g_offset[grp] * n_),
-                     static_cast<std::size_t>(part_.g_of_group[grp] * n_)),
-          batches[grp], n_, part_.g_of_group[grp]);
-    }
-    RunResult r = scan_mppc<T, Op>(ctx_->cluster(), part_, batches, n_, *plan_,
-                                   kind, Op{}, &ctx_->workspace());
-    for (std::size_t grp = 0; grp < batches.size(); ++grp) {
-      gather_batch<T>(
-          batches[grp], n_, part_.g_of_group[grp],
-          out.subspan(static_cast<std::size_t>(part_.g_offset[grp] * n_),
-                      static_cast<std::size_t>(part_.g_of_group[grp] * n_)));
+      ctx_->cluster().reset_clocks();
+      std::vector<std::vector<GpuBatch<T>>> batches;
+      for (std::size_t grp = 0; grp < part_.groups.size(); ++grp) {
+        std::vector<GpuBatch<T>> b;
+        for (std::size_t d = 0; d < part_.groups[grp].size(); ++d) {
+          b.push_back(
+              GpuBatch<T>{ins_[grp][d].buffer(), outs_[grp][d].buffer()});
+        }
+        batches.push_back(std::move(b));
+      }
+      for (std::size_t grp = 0; grp < batches.size(); ++grp) {
+        scatter_batch<T>(
+            in.subspan(static_cast<std::size_t>(part_.g_offset[grp] * n_),
+                       static_cast<std::size_t>(part_.g_of_group[grp] * n_)),
+            batches[grp], n_, part_.g_of_group[grp]);
+      }
+      try {
+        r = scan_mppc<T, Op>(ctx_->cluster(), part_, batches, n_, *plan_,
+                             kind, Op{}, &ctx_->workspace());
+        for (std::size_t grp = 0; grp < batches.size(); ++grp) {
+          gather_batch<T>(
+              batches[grp], n_, part_.g_of_group[grp],
+              out.subspan(static_cast<std::size_t>(part_.g_offset[grp] * n_),
+                          static_cast<std::size_t>(part_.g_of_group[grp] *
+                                                   n_)));
+        }
+        break;
+      } catch (const topo::TransferError& e) {
+        if (fi == nullptr || attempt >= limit) throw;
+        std::vector<int> ids;
+        for (const auto& grp : part_.groups) {
+          ids.insert(ids.end(), grp.begin(), grp.end());
+        }
+        const double now = cluster_front(ctx_->cluster(), ids);
+        const int dead = blame_endpoint(*fi, e.src_dev, e.dst_dev,
+                                        /*master=*/-1, now);
+        if (dead < 0) throw;
+        lost.push_back(dead);
+        obs::note_fault("restart",
+                        {{"executor", name()}, {"dead", std::to_string(dead)}},
+                        now, dead);
+      }
     }
     this->stamp_report(r);
+    if (!lost.empty()) merge_mid_run_losses(r.faults, name(), lost);
     this->finish_run(run_span, r);
     return r;
   }
@@ -653,22 +938,63 @@ class MultinodeExecutorT final : public TypedScanExecutor<T, Op> {
                         static_cast<std::int64_t>(out.size()));
     prepare(n_, g_);
     obs::ScopedSpan run_span = this->trace_run();
-    if (use_sp_) {
-      RunResult r = sp_.run(*ctx_, *plan_, in, out, n_, g_, kind);
-      this->stamp_report(r);
-      this->finish_run(run_span, r);
-      return r;
+    sim::FaultInjector* fi = ctx_->cluster().fault_injector();
+    const int limit = ctx_->cluster().num_devices();
+    std::vector<int> lost;
+    RunResult r;
+    // Restart-based mid-run recovery: a failed rank is identified from the
+    // typed error (CommError names it; TransferError names the endpoints),
+    // marked down, and the run re-places on the surviving ranks.
+    for (int attempt = 0;; ++attempt) {
+      prepare(n_, g_);  // re-places when a recovery moved the liveness epoch
+      if (use_sp_) {
+        r = sp_.run(*ctx_, *plan_, in, out, n_, g_, kind);
+        break;
+      }
+      ctx_->cluster().reset_clocks();
+      std::vector<GpuBatch<T>> batches;
+      for (std::size_t rk = 0; rk < ins_.size(); ++rk) {
+        batches.push_back(GpuBatch<T>{ins_[rk].buffer(), outs_[rk].buffer()});
+      }
+      scatter_batch<T>(in, batches, n_, g_);
+      try {
+        r = scan_mps_multinode<T, Op>(*comm_, batches, n_, g_, *plan_, kind,
+                                      Op{}, &ctx_->workspace());
+        gather_batch<T>(batches, n_, g_, out);
+        break;
+      } catch (const msg::CommError& e) {
+        if (fi == nullptr || attempt >= limit) throw;
+        std::vector<int> ids;
+        for (int rk = 0; rk < comm_->size(); ++rk) {
+          ids.push_back(comm_->device_of(rk));
+        }
+        const double now = cluster_front(ctx_->cluster(), ids);
+        const int dead = comm_->device_of(e.failed_rank);
+        if (!fi->device_is_down(dead)) fi->mark_device_down(dead);
+        lost.push_back(dead);
+        obs::note_fault("restart",
+                        {{"executor", name()},
+                         {"rank", std::to_string(e.failed_rank)},
+                         {"dead", std::to_string(dead)}},
+                        now, dead);
+      } catch (const topo::TransferError& e) {
+        if (fi == nullptr || attempt >= limit) throw;
+        std::vector<int> ids;
+        for (int rk = 0; rk < comm_->size(); ++rk) {
+          ids.push_back(comm_->device_of(rk));
+        }
+        const double now = cluster_front(ctx_->cluster(), ids);
+        const int dead = blame_endpoint(*fi, e.src_dev, e.dst_dev,
+                                        comm_->device_of(0), now);
+        if (dead < 0) throw;
+        lost.push_back(dead);
+        obs::note_fault("restart",
+                        {{"executor", name()}, {"dead", std::to_string(dead)}},
+                        now, dead);
+      }
     }
-    ctx_->cluster().reset_clocks();
-    std::vector<GpuBatch<T>> batches;
-    for (std::size_t r = 0; r < ins_.size(); ++r) {
-      batches.push_back(GpuBatch<T>{ins_[r].buffer(), outs_[r].buffer()});
-    }
-    scatter_batch<T>(in, batches, n_, g_);
-    RunResult r = scan_mps_multinode<T, Op>(*comm_, batches, n_, g_, *plan_,
-                                            kind, Op{}, &ctx_->workspace());
-    gather_batch<T>(batches, n_, g_, out);
     this->stamp_report(r);
+    if (!lost.empty()) merge_mid_run_losses(r.faults, name(), lost);
     this->finish_run(run_span, r);
     return r;
   }

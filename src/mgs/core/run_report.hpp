@@ -44,6 +44,8 @@ inline obs::RunInfo make_run_info(const std::string& executor,
   push("corruptions_detected", c.corruptions_detected);
   push("rerouted_transfers", c.rerouted_transfers);
   push("rerouted_bytes", c.rerouted_bytes);
+  push("invalidated_plans", r.faults.invalidated_plans);
+  push("resumed_stages", r.faults.resumed_stages.size());
   return info;
 }
 

@@ -96,6 +96,10 @@ std::size_t ScanContext::invalidate_plans(int max_gpus_per_problem) {
     if (obs::TraceSession* ts = obs::TraceSession::current()) {
       ts->metrics().add("plan_cache_invalidated", {},
                         static_cast<double>(dropped));
+      // Running retirement counter next to plan_cache_hits/misses, so
+      // dashboards see degraded-mode re-plans without diffing cache sizes.
+      ts->metrics().set("plan_cache_retired",
+                        static_cast<double>(retired_plans_.size()));
       ts->metrics().set("plan_cache_size",
                         static_cast<double>(plans_.size()));
     }

@@ -77,6 +77,9 @@ class ScanContext {
   std::size_t plan_cache_size() const { return plans_.size(); }
   std::uint64_t plan_cache_hits() const { return hits_; }
   std::uint64_t plan_cache_misses() const { return misses_; }
+  /// Entries retired by invalidate_plans over this context's lifetime
+  /// (storage kept alive for stale references; see invalidate_plans).
+  std::size_t plan_cache_retired() const { return retired_plans_.size(); }
 
   /// Drop cached plans that assume more cooperating GPUs than are still
   /// usable (called by executors when device liveness shrinks a

@@ -6,12 +6,14 @@
 /// GPU for Stage 2, and the scanned prefixes return for Stage 3.
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "mgs/core/kernels.hpp"
 #include "mgs/core/plan.hpp"
 #include "mgs/core/workspace.hpp"
 #include "mgs/obs/span.hpp"
+#include "mgs/simt/stream.hpp"
 #include "mgs/topo/transfer.hpp"
 
 namespace mgs::core {
@@ -103,6 +105,69 @@ std::vector<T> collect_batch(const std::vector<GpuBatch<T>>& batches,
   return host;
 }
 
+/// Stage-granular checkpoint for Scan-MPS. The scan functions record their
+/// progress here at every stage boundary (and per gather/scatter unit), so
+/// a mid-run device/link failure unwinds with the completed work intact:
+/// the executor's recovery driver remaps the dead device's portions onto a
+/// survivor, regresses exactly the flags whose backing state died, and
+/// calls the scan again -- it continues from the last completed boundary
+/// instead of restarting. Passing no checkpoint (the default) uses a
+/// function-local one, which makes the first pass bit-identical to the
+/// pre-checkpoint code: every guard is all-pending and every boundary
+/// instant is computed from the same clock maxima as before.
+template <typename T>
+struct MpsCheckpoint {
+  bool active = false;   ///< initialized by a scan call; false when consumed
+  bool overlap = false;  ///< which pipeline filled the flags
+  int w = 0;
+  int k = 1;  ///< waves (overlap path)
+  double t0 = 0.0;
+  double last_boundary = 0.0;  ///< latest completed stage boundary
+  RunResult partial;           ///< breakdown accumulated so far
+  sim::FaultCounters counters; ///< transfer counters incl. aborted attempts
+
+  /// Device-resident partial state. aux_local holds the raw Stage-1 chunk
+  /// reductions; prefix_local receives the scanned prefixes scattered
+  /// back. They are separate buffers so a master death can re-gather the
+  /// raw reductions -- a generic operator cannot reconstruct them from
+  /// prefixes (max/min are not invertible).
+  std::vector<WorkspacePool::Handle<T>> aux_local;
+  std::vector<WorkspacePool::Handle<T>> prefix_local;
+  WorkspacePool::Handle<T> aux_all;  ///< on the master
+  WorkspacePool::Handle<T> carry;    ///< overlap path: per-row Stage-2 carry
+
+  /// Progress flags. s1_done is per portion (size w) on both paths;
+  /// gathered/scanned/scattered are per portion on the sync path and per
+  /// (wave, device) cell (size k*w) on the overlap path.
+  std::vector<char> s1_done;
+  std::vector<char> gathered;
+  std::vector<char> scanned;    ///< overlap only
+  std::vector<char> scattered;
+  bool stage2_done = false;     ///< sync only
+
+  /// Overlap-path dependency events (absolute simulated times, so they
+  /// stay valid across a resume).
+  std::vector<simt::Event> ev_s1;
+  std::vector<simt::Event> ev_gather;
+  std::vector<simt::Event> ev_scatter;
+
+  /// Resume bookkeeping, filled by the executor's recovery driver.
+  int resumes = 0;
+  std::vector<std::string> resumed_stages;
+
+  /// The most advanced stage boundary the surviving state still covers
+  /// (what a resume continues from), named like the stage spans.
+  const char* resume_boundary() const {
+    const auto any = [](const std::vector<char>& f) {
+      return std::any_of(f.begin(), f.end(), [](char x) { return x != 0; });
+    };
+    if (overlap ? any(scanned) : stage2_done) return "Stage2";
+    if (any(gathered)) return "AuxGather";
+    if (any(s1_done)) return "Stage1";
+    return "Start";
+  }
+};
+
 namespace detail {
 
 /// Event-driven Scan-MPS (plan.pipe.overlap): instead of global barriers
@@ -131,7 +196,7 @@ RunResult scan_mps_overlapped(topo::Cluster& cluster,
                               std::vector<GpuBatch<T>>& batches,
                               std::int64_t n, std::int64_t g,
                               const ScanPlan& plan, ScanKind kind, Op op,
-                              WorkspacePool* ws) {
+                              WorkspacePool* ws, MpsCheckpoint<T>& c) {
   const int w = static_cast<int>(gpus.size());
   const std::int64_t n_local = n / w;
   const BatchLayout lay = make_layout(n_local, g, plan.s13);
@@ -141,118 +206,186 @@ RunResult scan_mps_overlapped(topo::Cluster& cluster,
       std::clamp<std::int64_t>(plan.pipe.waves, 1, g));
   const auto wave_begin = [&](int v) { return (g * v) / k; };
 
-  RunResult result;
-  result.payload_bytes = 2ull * static_cast<std::uint64_t>(n) * g * sizeof(T);
   topo::TransferEngine xfer(cluster);
-
   auto compute_front = [&] {
     double t = 0.0;
     for (int d : gpus) t = std::max(t, cluster.device(d).clock().now());
     return t;
   };
-  // Entry instant: both engines of every participant (free-function calls
-  // may arrive with clocks already advanced).
-  double t0 = compute_front();
-  for (int d : gpus) t0 = std::max(t0, cluster.device(d).dma_clock().now());
 
-  std::vector<WorkspacePool::Handle<T>> aux_local;
-  aux_local.reserve(static_cast<std::size_t>(w));
-  for (int d = 0; d < w; ++d) {
-    aux_local.push_back(acquire_workspace<T>(
-        ws, cluster.device(gpus[static_cast<std::size_t>(d)]),
-        lay.aux_elems()));
+  if (!c.active) {
+    c.active = true;
+    c.overlap = true;
+    c.w = w;
+    c.k = k;
+    c.partial = RunResult{};
+    c.partial.payload_bytes =
+        2ull * static_cast<std::uint64_t>(n) * g * sizeof(T);
+    // Entry instant: both engines of every participant (free-function
+    // calls may arrive with clocks already advanced).
+    double t0 = compute_front();
+    for (int d : gpus) t0 = std::max(t0, cluster.device(d).dma_clock().now());
+    c.t0 = t0;
+    c.last_boundary = t0;
+    c.s1_done.assign(static_cast<std::size_t>(w), 0);
+    c.gathered.assign(static_cast<std::size_t>(k * w), 0);
+    c.scanned.assign(static_cast<std::size_t>(k * w), 0);
+    c.scattered.assign(static_cast<std::size_t>(k * w), 0);
+    c.ev_s1.assign(static_cast<std::size_t>(k * w), simt::Event{});
+    c.ev_gather.assign(static_cast<std::size_t>(k * w), simt::Event{});
+    c.ev_scatter.assign(static_cast<std::size_t>(k * w), simt::Event{});
+    c.aux_local.clear();
+    c.prefix_local.clear();
+    for (int d = 0; d < w; ++d) {
+      simt::Device& dev = cluster.device(gpus[static_cast<std::size_t>(d)]);
+      c.aux_local.push_back(acquire_workspace<T>(ws, dev, lay.aux_elems()));
+      c.prefix_local.push_back(
+          acquire_workspace<T>(ws, dev, lay.aux_elems()));
+    }
+    simt::Device& master_dev0 = cluster.device(gpus[0]);
+    c.aux_all = acquire_workspace<T>(ws, master_dev0, g * w * lay.bx);
+    c.carry = acquire_workspace<T>(ws, master_dev0, g);
   }
+  MGS_REQUIRE(c.overlap && c.w == w && c.k == k,
+              "scan_mps: checkpoint shape mismatch on resume");
+
   const int master = gpus[0];
   simt::Device& master_dev = cluster.device(master);
-  auto aux_all = acquire_workspace<T>(ws, master_dev, g * w * lay.bx);
-  auto carry = acquire_workspace<T>(ws, master_dev, g);
-
   const std::int64_t row_len = static_cast<std::int64_t>(w) * lay.bx;
   const auto idx = [](int v, int d, int w_) { return v * w_ + d; };
-  std::vector<simt::Event> ev_s1(static_cast<std::size_t>(k * w));
-  std::vector<simt::Event> ev_gather(static_cast<std::size_t>(k * w));
-  std::vector<simt::Event> ev_scatter(static_cast<std::size_t>(k * w));
+  const auto pending = [](const std::vector<char>& f) {
+    return std::any_of(f.begin(), f.end(), [](char x) { return x == 0; });
+  };
 
-  // ---- Stage 1, split into waves per GPU; each wave records an event the
-  // gather of that wave depends on.
-  auto stage1 = obs::open_stage("Stage1", t0);
-  for (int d = 0; d < w; ++d) {
-    simt::Stream s(cluster.device(gpus[static_cast<std::size_t>(d)]));
-    for (int v = 0; v < k; ++v) {
-      const std::int64_t g0 = wave_begin(v);
-      const std::int64_t gn = wave_begin(v + 1) - g0;
-      launch_chunk_reduce(s.device(), batches[static_cast<std::size_t>(d)].in,
-                          aux_local[static_cast<std::size_t>(d)].buffer(),
-                          lay, plan.s13, op, g0, gn);
-      ev_s1[static_cast<std::size_t>(idx(v, d, w))] = s.record();
+  try {
+    // ---- Stage 1, split into waves per GPU; each wave records an event
+    // the gather of that wave depends on. On resume, only portions whose
+    // reductions were lost re-run (chunk_reduce is pure, so relaunching a
+    // whole portion reproduces its values and events bit-identically).
+    if (pending(c.s1_done)) {
+      const double t_in = std::max(c.last_boundary, compute_front());
+      auto stage1 = obs::open_stage("Stage1", t_in);
+      for (int d = 0; d < w; ++d) {
+        if (c.s1_done[static_cast<std::size_t>(d)] != 0) continue;
+        simt::Stream s(cluster.device(gpus[static_cast<std::size_t>(d)]));
+        for (int v = 0; v < k; ++v) {
+          const std::int64_t g0 = wave_begin(v);
+          const std::int64_t gn = wave_begin(v + 1) - g0;
+          launch_chunk_reduce(
+              s.device(), batches[static_cast<std::size_t>(d)].in,
+              c.aux_local[static_cast<std::size_t>(d)].buffer(), lay,
+              plan.s13, op, g0, gn);
+          c.ev_s1[static_cast<std::size_t>(idx(v, d, w))] = s.record();
+        }
+        c.s1_done[static_cast<std::size_t>(d)] = 1;
+      }
+      const double t_out = std::max(t_in, compute_front());
+      stage1.close(t_out);
+      c.partial.breakdown.add("Stage1", t_out - t_in);
+      c.last_boundary = t_out;
     }
-  }
-  const double t_stage1 = compute_front();
-  stage1.close(t_stage1);
-  result.breakdown.add("Stage1", t_stage1 - t0);
 
-  // ---- Stage 2 + communication, fully event-driven. Gathers are enqueued
-  // on the DMA engines gated only by their producing wave's event; the
-  // master scans each arriving (wave, device) column chunk and scatters it
-  // straight back.
-  auto stage2 = obs::open_stage("Stage2+Comm", t_stage1);
-  for (int v = 0; v < k; ++v) {
-    const std::int64_t g0 = wave_begin(v);
-    const std::int64_t gn = wave_begin(v + 1) - g0;
-    for (int d = 0; d < w; ++d) {
-      ev_gather[static_cast<std::size_t>(idx(v, d, w))] =
-          xfer.copy_2d_async(
-                  aux_all.buffer(), g0 * row_len + d * lay.bx, row_len,
-                  aux_local[static_cast<std::size_t>(d)].buffer(),
-                  g0 * lay.bx, lay.bx, gn, lay.bx,
-                  ev_s1[static_cast<std::size_t>(idx(v, d, w))])
-              .done;
+    // ---- Stage 2 + communication, fully event-driven. Gathers are
+    // enqueued on the DMA engines gated only by their producing wave's
+    // event; the master scans each arriving (wave, device) column chunk
+    // and scatters it straight back. Every (wave, device) cell records its
+    // progress, so a resume skips the cells whose data already lives (or
+    // landed) on the master.
+    if (pending(c.scattered)) {
+      const double t_in = std::max(c.last_boundary, compute_front());
+      auto stage2 = obs::open_stage("Stage2+Comm", t_in);
+      for (int v = 0; v < k; ++v) {
+        const std::int64_t g0 = wave_begin(v);
+        const std::int64_t gn = wave_begin(v + 1) - g0;
+        for (int d = 0; d < w; ++d) {
+          const auto i = static_cast<std::size_t>(idx(v, d, w));
+          if (c.gathered[i] != 0) continue;
+          c.ev_gather[i] =
+              xfer.copy_2d_async(
+                      c.aux_all.buffer(), g0 * row_len + d * lay.bx, row_len,
+                      c.aux_local[static_cast<std::size_t>(d)].buffer(),
+                      g0 * lay.bx, lay.bx, gn, lay.bx, c.ev_s1[i])
+                  .done;
+          c.gathered[i] = 1;
+        }
+      }
+      // The master consumes cells in (wave, device) program order -- and a
+      // resume replays the skip-prefix in the same order -- so the per-row
+      // carry accumulates operator applications in exactly the synchronous
+      // path's order: results stay bit-identical across healthy runs,
+      // overlapped runs, and resumed runs.
+      simt::Stream master_stream(master_dev);
+      for (int v = 0; v < k; ++v) {
+        const std::int64_t g0 = wave_begin(v);
+        const std::int64_t gn = wave_begin(v + 1) - g0;
+        for (int d = 0; d < w; ++d) {
+          const auto i = static_cast<std::size_t>(idx(v, d, w));
+          if (c.scanned[i] == 0) {
+            master_stream.wait(c.ev_gather[i]);
+            launch_intermediate_scan_slice(master_dev, c.aux_all.buffer(),
+                                           row_len, g0, gn, d * lay.bx,
+                                           lay.bx, c.carry.buffer(), plan.s2,
+                                           op);
+            c.scanned[i] = 1;
+          }
+          if (c.scattered[i] == 0) {
+            c.ev_scatter[i] =
+                xfer.copy_2d_async(
+                        c.prefix_local[static_cast<std::size_t>(d)].buffer(),
+                        g0 * lay.bx, lay.bx, c.aux_all.buffer(),
+                        g0 * row_len + d * lay.bx, row_len, gn, lay.bx,
+                        master_stream.record())
+                    .done;
+            c.scattered[i] = 1;
+          }
+        }
+      }
+      double t_out = t_in;
+      for (const simt::Event& e : c.ev_scatter) {
+        t_out = std::max(t_out, e.seconds);
+      }
+      stage2.close(t_out);
+      c.partial.breakdown.add("Stage2+Comm", t_out - t_in);
+      c.last_boundary = t_out;
     }
-  }
-  simt::Stream master_stream(master_dev);
-  for (int v = 0; v < k; ++v) {
-    const std::int64_t g0 = wave_begin(v);
-    const std::int64_t gn = wave_begin(v + 1) - g0;
-    for (int d = 0; d < w; ++d) {
-      master_stream.wait(ev_gather[static_cast<std::size_t>(idx(v, d, w))]);
-      launch_intermediate_scan_slice(master_dev, aux_all.buffer(), row_len,
-                                     g0, gn, d * lay.bx, lay.bx,
-                                     carry.buffer(), plan.s2, op);
-      ev_scatter[static_cast<std::size_t>(idx(v, d, w))] =
-          xfer.copy_2d_async(aux_local[static_cast<std::size_t>(d)].buffer(),
-                             g0 * lay.bx, lay.bx, aux_all.buffer(),
-                             g0 * row_len + d * lay.bx, row_len, gn, lay.bx,
-                             master_stream.record())
-              .done;
-    }
-  }
-  double t_stage2 = t_stage1;
-  for (const simt::Event& e : ev_scatter) {
-    t_stage2 = std::max(t_stage2, e.seconds);
-  }
-  stage2.close(t_stage2);
-  result.breakdown.add("Stage2+Comm", t_stage2 - t_stage1);
 
-  // ---- Stage 3 per GPU per wave, gated on that wave's prefix arrival.
-  auto stage3 = obs::open_stage("Stage3", t_stage2);
-  for (int d = 0; d < w; ++d) {
-    simt::Stream s(cluster.device(gpus[static_cast<std::size_t>(d)]));
-    for (int v = 0; v < k; ++v) {
-      const std::int64_t g0 = wave_begin(v);
-      const std::int64_t gn = wave_begin(v + 1) - g0;
-      s.wait(ev_scatter[static_cast<std::size_t>(idx(v, d, w))]);
-      launch_scan_add(s.device(), batches[static_cast<std::size_t>(d)].in,
-                      batches[static_cast<std::size_t>(d)].out,
-                      aux_local[static_cast<std::size_t>(d)].buffer(), lay,
-                      plan.s13, kind, op, g0, gn);
+    // ---- Stage 3 per GPU per wave, gated on that wave's prefix arrival.
+    // Failures can only surface in the copy stages above, so Stage 3
+    // always runs whole once reached.
+    {
+      const double t_in = std::max(c.last_boundary, compute_front());
+      auto stage3 = obs::open_stage("Stage3", t_in);
+      for (int d = 0; d < w; ++d) {
+        simt::Stream s(cluster.device(gpus[static_cast<std::size_t>(d)]));
+        for (int v = 0; v < k; ++v) {
+          const std::int64_t g0 = wave_begin(v);
+          const std::int64_t gn = wave_begin(v + 1) - g0;
+          s.wait(c.ev_scatter[static_cast<std::size_t>(idx(v, d, w))]);
+          launch_scan_add(s.device(), batches[static_cast<std::size_t>(d)].in,
+                          batches[static_cast<std::size_t>(d)].out,
+                          c.prefix_local[static_cast<std::size_t>(d)].buffer(),
+                          lay, plan.s13, kind, op, g0, gn);
+        }
+      }
+      const double t_out = std::max(t_in, compute_front());
+      stage3.close(t_out);
+      c.partial.breakdown.add("Stage3", t_out - t_in);
+      c.last_boundary = t_out;
     }
+  } catch (...) {
+    // Preserve the counters of the aborted attempt (this engine dies with
+    // the unwind); the recovery driver re-enters with the same checkpoint.
+    c.counters.merge(xfer.fault_counters());
+    throw;
   }
-  const double t_stage3 = std::max(t_stage2, compute_front());
-  stage3.close(t_stage3);
-  result.breakdown.add("Stage3", t_stage3 - t_stage2);
 
-  result.seconds = t_stage3 - t0;
-  result.faults.counters = xfer.fault_counters();
+  RunResult result = std::move(c.partial);
+  c.partial = RunResult{};
+  c.active = false;
+  result.seconds = c.last_boundary - c.t0;
+  c.counters.merge(xfer.fault_counters());
+  result.faults.counters = c.counters;
+  result.faults.resumed_stages = c.resumed_stages;
   return result;
 }
 
@@ -269,107 +402,175 @@ template <typename T, typename Op = Plus<T>>
 RunResult scan_mps(topo::Cluster& cluster, const std::vector<int>& gpus,
                    std::vector<GpuBatch<T>>& batches, std::int64_t n,
                    std::int64_t g, const ScanPlan& plan, ScanKind kind,
-                   Op op = {}, WorkspacePool* ws = nullptr) {
+                   Op op = {}, WorkspacePool* ws = nullptr,
+                   MpsCheckpoint<T>* ck = nullptr) {
   plan.validate();
   const int w = static_cast<int>(gpus.size());
   MGS_REQUIRE(w > 0 && static_cast<int>(batches.size()) == w,
               "scan_mps: one batch per GPU required");
   MGS_REQUIRE(n % w == 0, "scan_mps: N must be divisible by W");
+  MpsCheckpoint<T> local_ck;
+  MpsCheckpoint<T>& c = ck != nullptr ? *ck : local_ck;
   if (plan.pipe.overlap && w > 1) {
     return detail::scan_mps_overlapped(cluster, gpus, batches, n, g, plan,
-                                       kind, op, ws);
+                                       kind, op, ws, c);
   }
   const std::int64_t n_local = n / w;
   const BatchLayout lay = make_layout(n_local, g, plan.s13);
   MGS_REQUIRE(lay.bx >= 1,
               "scan_mps: every GPU needs at least one chunk (Equation 2)");
 
-  RunResult result;
-  result.payload_bytes = 2ull * static_cast<std::uint64_t>(n) * g * sizeof(T);
   topo::TransferEngine xfer(cluster);
-
   auto phase_start = [&] {
     double t = 0.0;
     for (int d : gpus) t = std::max(t, cluster.device(d).clock().now());
     return t;
   };
-  const double t0 = phase_start();
 
-  // Per-GPU auxiliary arrays (problem-major), and the master's combined
-  // array: G rows of W*bx chunk totals ([g][d][c]).
-  std::vector<WorkspacePool::Handle<T>> aux_local;
-  aux_local.reserve(static_cast<std::size_t>(w));
-  for (int d = 0; d < w; ++d) {
-    aux_local.push_back(acquire_workspace<T>(
-        ws, cluster.device(gpus[static_cast<std::size_t>(d)]),
-        lay.aux_elems()));
+  if (!c.active) {
+    c.active = true;
+    c.overlap = false;
+    c.w = w;
+    c.k = 1;
+    c.partial = RunResult{};
+    c.partial.payload_bytes =
+        2ull * static_cast<std::uint64_t>(n) * g * sizeof(T);
+    c.t0 = phase_start();
+    c.last_boundary = c.t0;
+    c.s1_done.assign(static_cast<std::size_t>(w), 0);
+    c.gathered.assign(static_cast<std::size_t>(w), 0);
+    c.scanned.clear();
+    c.scattered.assign(static_cast<std::size_t>(w), 0);
+    c.stage2_done = false;
+    // Per-GPU auxiliary arrays (problem-major): aux_local holds the raw
+    // chunk reductions, prefix_local the scanned prefixes coming back;
+    // plus the master's combined array, G rows of W*bx totals ([g][d][c]).
+    c.aux_local.clear();
+    c.prefix_local.clear();
+    for (int d = 0; d < w; ++d) {
+      simt::Device& dev = cluster.device(gpus[static_cast<std::size_t>(d)]);
+      c.aux_local.push_back(acquire_workspace<T>(ws, dev, lay.aux_elems()));
+      c.prefix_local.push_back(
+          acquire_workspace<T>(ws, dev, lay.aux_elems()));
+    }
+    c.aux_all =
+        acquire_workspace<T>(ws, cluster.device(gpus[0]), g * w * lay.bx);
   }
+  MGS_REQUIRE(!c.overlap && c.w == w,
+              "scan_mps: checkpoint shape mismatch on resume");
+
   const int master = gpus[0];
-  auto aux_all =
-      acquire_workspace<T>(ws, cluster.device(master), g * w * lay.bx);
+  const auto pending = [](const std::vector<char>& f) {
+    return std::any_of(f.begin(), f.end(), [](char x) { return x == 0; });
+  };
 
-  // ---- Stage 1 on every GPU (concurrent; each device clock advances
-  // independently).
-  auto stage1 = obs::open_stage("Stage1", t0);
-  for (int d = 0; d < w; ++d) {
-    launch_chunk_reduce(cluster.device(gpus[static_cast<std::size_t>(d)]),
-                        batches[static_cast<std::size_t>(d)].in,
-                        aux_local[static_cast<std::size_t>(d)].buffer(), lay,
-                        plan.s13, op);
+  try {
+    // ---- Stage 1 on every GPU (concurrent; each device clock advances
+    // independently). On resume, only portions whose reductions died
+    // re-run (chunk_reduce is pure, so the values come back identical).
+    if (pending(c.s1_done)) {
+      const double t_in = std::max(c.last_boundary, phase_start());
+      auto stage1 = obs::open_stage("Stage1", t_in);
+      for (int d = 0; d < w; ++d) {
+        if (c.s1_done[static_cast<std::size_t>(d)] != 0) continue;
+        launch_chunk_reduce(cluster.device(gpus[static_cast<std::size_t>(d)]),
+                            batches[static_cast<std::size_t>(d)].in,
+                            c.aux_local[static_cast<std::size_t>(d)].buffer(),
+                            lay, plan.s13, op);
+        c.s1_done[static_cast<std::size_t>(d)] = 1;
+      }
+      const double t_out = std::max(t_in, phase_start());
+      stage1.close(t_out);
+      c.partial.breakdown.add("Stage1", t_out - t_in);
+      c.last_boundary = t_out;
+    }
+
+    // ---- Gather the chunk reductions on the master: per source GPU one
+    // strided 2-D copy (G rows of bx), problem-major on arrival. A copy
+    // that hits a dead device/link throws here with the earlier portions'
+    // flags already set -- their data lives in the master's aux_all.
+    if (pending(c.gathered)) {
+      const double t_in = std::max(c.last_boundary, phase_start());
+      auto gather_stage = obs::open_stage("AuxGather", t_in);
+      for (int d = 0; d < w; ++d) {
+        if (c.gathered[static_cast<std::size_t>(d)] != 0) continue;
+        xfer.copy_2d(c.aux_all.buffer(),
+                     static_cast<std::int64_t>(d) * lay.bx,
+                     static_cast<std::int64_t>(w) * lay.bx,
+                     c.aux_local[static_cast<std::size_t>(d)].buffer(), 0,
+                     lay.bx, g, lay.bx);
+        c.gathered[static_cast<std::size_t>(d)] = 1;
+      }
+      const double t_out = std::max(t_in, phase_start());
+      gather_stage.close(t_out);
+      c.partial.breakdown.add("AuxGather", t_out - t_in);
+      c.last_boundary = t_out;
+    }
+
+    // ---- Stage 2 on the master only (empirically better than splitting
+    // it across GPUs, per Section 4.1).
+    if (!c.stage2_done) {
+      const double t_in = std::max(c.last_boundary, phase_start());
+      auto stage2 = obs::open_stage("Stage2", t_in, master);
+      launch_intermediate_scan(cluster.device(master), c.aux_all.buffer(),
+                               static_cast<std::int64_t>(w) * lay.bx, g,
+                               plan.s2, op);
+      c.stage2_done = true;
+      const double t_out = std::max(t_in, phase_start());
+      stage2.close(t_out);
+      c.partial.breakdown.add("Stage2", t_out - t_in);
+      c.last_boundary = t_out;
+    }
+
+    // ---- Scatter each GPU's slice of scanned prefixes back (into the
+    // separate prefix arrays; the raw reductions in aux_local stay valid
+    // for a re-gather if the master dies later).
+    if (pending(c.scattered)) {
+      const double t_in = std::max(c.last_boundary, phase_start());
+      auto scatter_stage = obs::open_stage("AuxScatter", t_in);
+      for (int d = 0; d < w; ++d) {
+        if (c.scattered[static_cast<std::size_t>(d)] != 0) continue;
+        xfer.copy_2d(c.prefix_local[static_cast<std::size_t>(d)].buffer(), 0,
+                     lay.bx, c.aux_all.buffer(),
+                     static_cast<std::int64_t>(d) * lay.bx,
+                     static_cast<std::int64_t>(w) * lay.bx, g, lay.bx);
+        c.scattered[static_cast<std::size_t>(d)] = 1;
+      }
+      const double t_out = std::max(t_in, phase_start());
+      scatter_stage.close(t_out);
+      c.partial.breakdown.add("AuxScatter", t_out - t_in);
+      c.last_boundary = t_out;
+    }
+
+    // ---- Stage 3 on every GPU (no transfers left: always runs whole).
+    {
+      const double t_in = std::max(c.last_boundary, phase_start());
+      auto stage3 = obs::open_stage("Stage3", t_in);
+      for (int d = 0; d < w; ++d) {
+        launch_scan_add(
+            cluster.device(gpus[static_cast<std::size_t>(d)]),
+            batches[static_cast<std::size_t>(d)].in,
+            batches[static_cast<std::size_t>(d)].out,
+            c.prefix_local[static_cast<std::size_t>(d)].buffer(), lay,
+            plan.s13, kind, op);
+      }
+      const double t_out = std::max(t_in, phase_start());
+      stage3.close(t_out);
+      c.partial.breakdown.add("Stage3", t_out - t_in);
+      c.last_boundary = t_out;
+    }
+  } catch (...) {
+    c.counters.merge(xfer.fault_counters());
+    throw;
   }
-  const double t_stage1 = phase_start();
-  stage1.close(t_stage1);
-  result.breakdown.add("Stage1", t_stage1 - t0);
 
-  // ---- Gather the chunk reductions on the master: per source GPU one
-  // strided 2-D copy (G rows of bx), problem-major on arrival.
-  auto gather_stage = obs::open_stage("AuxGather", t_stage1);
-  for (int d = 0; d < w; ++d) {
-    xfer.copy_2d(aux_all.buffer(), static_cast<std::int64_t>(d) * lay.bx,
-                 static_cast<std::int64_t>(w) * lay.bx,
-                 aux_local[static_cast<std::size_t>(d)].buffer(), 0, lay.bx,
-                 g, lay.bx);
-  }
-  const double t_gather = phase_start();
-  gather_stage.close(t_gather);
-  result.breakdown.add("AuxGather", t_gather - t_stage1);
-
-  // ---- Stage 2 on the master only (empirically better than splitting
-  // it across GPUs, per Section 4.1).
-  auto stage2 = obs::open_stage("Stage2", t_gather, master);
-  launch_intermediate_scan(cluster.device(master), aux_all.buffer(),
-                           static_cast<std::int64_t>(w) * lay.bx, g, plan.s2,
-                           op);
-  const double t_stage2 = phase_start();
-  stage2.close(t_stage2);
-  result.breakdown.add("Stage2", t_stage2 - t_gather);
-
-  // ---- Scatter each GPU's slice of scanned prefixes back.
-  auto scatter_stage = obs::open_stage("AuxScatter", t_stage2);
-  for (int d = 0; d < w; ++d) {
-    xfer.copy_2d(aux_local[static_cast<std::size_t>(d)].buffer(), 0, lay.bx,
-                 aux_all.buffer(), static_cast<std::int64_t>(d) * lay.bx,
-                 static_cast<std::int64_t>(w) * lay.bx, g, lay.bx);
-  }
-  const double t_scatter = phase_start();
-  scatter_stage.close(t_scatter);
-  result.breakdown.add("AuxScatter", t_scatter - t_stage2);
-
-  // ---- Stage 3 on every GPU.
-  auto stage3 = obs::open_stage("Stage3", t_scatter);
-  for (int d = 0; d < w; ++d) {
-    launch_scan_add(cluster.device(gpus[static_cast<std::size_t>(d)]),
-                    batches[static_cast<std::size_t>(d)].in,
-                    batches[static_cast<std::size_t>(d)].out,
-                    aux_local[static_cast<std::size_t>(d)].buffer(), lay,
-                    plan.s13, kind, op);
-  }
-  const double t_stage3 = phase_start();
-  stage3.close(t_stage3);
-  result.breakdown.add("Stage3", t_stage3 - t_scatter);
-
-  result.seconds = t_stage3 - t0;
-  result.faults.counters = xfer.fault_counters();
+  RunResult result = std::move(c.partial);
+  c.partial = RunResult{};
+  c.active = false;
+  result.seconds = c.last_boundary - c.t0;
+  c.counters.merge(xfer.fault_counters());
+  result.faults.counters = c.counters;
+  result.faults.resumed_stages = c.resumed_stages;
   return result;
 }
 

@@ -238,7 +238,13 @@ RunResult scan_mps_multinode(msg::Communicator& comm,
   stage1.close(t_stage1);
   result.breakdown.add("Stage1", t_stage1 - t_sync);
 
-  // ---- MPI_Gather of the chunk reductions to rank 0.
+  // ---- MPI_Gather of the chunk reductions to rank 0. Every breakdown
+  // entry below is a [stage boundary, stage boundary] window cut on the
+  // global compute front, NOT the communicator's master-dwell numbers:
+  // dwell is measured from the master's own entry clock, which lags the
+  // front whenever a compute straggler stretches Stage 1, and the old
+  // "combined window minus dwell" subtraction then went negative. With
+  // homogeneous ranks (every healthy run) both accountings coincide.
   auto gather_stage = obs::open_stage("MPI_Gather", t_stage1);
   std::vector<msg::Slice<T>> slices;
   for (int r = 0; r < ranks; ++r) {
@@ -248,6 +254,7 @@ RunResult scan_mps_multinode(msg::Communicator& comm,
   comm.gather(0, slices, aux_all.buffer(), 0);
   const double t_gather = phase_start();
   gather_stage.close(t_gather);
+  result.breakdown.add("MPI_Gather", t_gather - t_stage1);
 
   // ---- Stage 2 on the master GPU over the rank-major layout.
   auto stage2 = obs::open_stage("Stage2", t_gather, comm.device_of(0));
@@ -255,8 +262,7 @@ RunResult scan_mps_multinode(msg::Communicator& comm,
                                   plan.s2, op);
   const double t_stage2_end = phase_start();
   stage2.close(t_stage2_end);
-  result.breakdown.add(
-      "Stage2", t_stage2_end - t_stage1 - comm.breakdown().get("MPI_Gather"));
+  result.breakdown.add("Stage2", t_stage2_end - t_gather);
 
   // ---- MPI_Scatter the scanned prefixes back (each rank's region of the
   // rank-major array is contiguous).
@@ -266,6 +272,7 @@ RunResult scan_mps_multinode(msg::Communicator& comm,
   // ---- Stage 3 on every rank.
   const double t_stage3_begin = phase_start();
   scatter_stage.close(t_stage3_begin);
+  result.breakdown.add("MPI_Scatter", t_stage3_begin - t_stage2_end);
   auto stage3 = obs::open_stage("Stage3", t_stage3_begin);
   for (int r = 0; r < ranks; ++r) {
     launch_scan_add(cluster.device(comm.device_of(r)),
@@ -282,7 +289,7 @@ RunResult scan_mps_multinode(msg::Communicator& comm,
   comm.barrier();
   const double t_end = phase_start();
   exit_stage.close(t_end);
-  result.breakdown.merge(comm.breakdown());
+  result.breakdown.add("MPI_Barrier", (t_sync - t0) + (t_end - t_stage3));
 
   result.seconds = t_end - t0;
   result.faults.counters = comm.fault_counters();

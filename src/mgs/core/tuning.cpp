@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "mgs/sim/fault.hpp"
 #include "mgs/topo/topology.hpp"
 #include "mgs/topo/transfer.hpp"
 #include "mgs/util/math.hpp"
@@ -124,7 +125,7 @@ int pick_wave_count(topo::Cluster& cluster, std::int64_t n, std::int64_t g,
 
   // C: local compute across the three stages -- the problem data streams
   // through DRAM ~3x (Stage 1 read, Stage 3 read + write).
-  const double c_seconds =
+  double c_seconds =
       3.0 * static_cast<double>(n_local) * static_cast<double>(g) * elem /
       (spec.peak_bandwidth_bps() * spec.mem_efficiency_base);
 
@@ -148,6 +149,23 @@ int pick_wave_count(topo::Cluster& cluster, std::int64_t n, std::int64_t g,
     max_latency = std::max(max_latency, lat);
   }
   x_seconds += 2.0 * max_latency;  // queue fill + final arrival
+
+  // A known straggler stretches whichever side of the overlap it touches:
+  // the slowest participant gates every wave barrier, so scale C and X by
+  // the worst scheduled slowdown before trading them off. No injector (the
+  // healthy path) leaves both untouched.
+  if (const sim::FaultInjector* fi = cluster.fault_injector()) {
+    const double inf = std::numeric_limits<double>::infinity();
+    double comp_slow = 1.0;
+    double xfer_slow = 1.0;
+    for (int d = 0; d < gpus_per_problem; ++d) {
+      const int dev = d % cluster.num_devices();
+      comp_slow = std::max(comp_slow, fi->compute_slowdown(dev, inf));
+      xfer_slow = std::max(xfer_slow, fi->transfer_slowdown(dev, 0, inf));
+    }
+    c_seconds *= comp_slow;
+    x_seconds *= xfer_slow;
+  }
   // Per-wave fixed cost: each wave re-pays the pipeline fill/drain (the
   // wave's last scatter must fully land before its Stage 3 can start) and
   // adds one Stage-1 and one Stage-3 kernel launch to every device's

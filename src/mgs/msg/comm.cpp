@@ -97,7 +97,7 @@ double Communicator::timed_message_at(int src_rank, int dst_rank,
 
   const int src = device_of(src_rank);
   const int dst = device_of(dst_rank);
-  const double attempt_time = base * fi->transfer_slowdown(src, dst);
+  const double attempt_time = base * fi->transfer_slowdown(src, dst, now);
   const sim::FaultPlan& plan = fi->plan();
   if (fi->device_down_at(src, now)) {
     throw CommError("message from down rank " + std::to_string(src_rank),

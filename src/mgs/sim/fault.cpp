@@ -1,6 +1,7 @@
 #include "mgs/sim/fault.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "mgs/util/check.hpp"
@@ -129,6 +130,79 @@ FaultPlan parse_fault_plan(const std::string& spec) {
   return plan;
 }
 
+namespace {
+
+/// Shortest decimal form that std::stod recovers exactly: integers print
+/// without a fraction, everything else at max_digits10.
+std::string render_num(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_spec(const FaultPlan& plan) {
+  std::ostringstream os;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ';';
+    first = false;
+  };
+  for (const FaultEvent& e : plan.events) {
+    sep();
+    os << to_string(e.kind) << ':';
+    bool fk = true;
+    auto key = [&](const char* k, double v) {
+      if (!fk) os << ',';
+      fk = false;
+      os << k << '=' << render_num(v);
+    };
+    if (e.src >= 0) key("src", e.src);
+    if (e.dst >= 0) key("dst", e.dst);
+    if (e.device >= 0) key("dev", e.device);
+    if (e.op >= 0) key("op", static_cast<double>(e.op));
+    if (e.count != 1) key("count", static_cast<double>(e.count));
+    if (e.at_seconds != 0.0) key("at", e.at_seconds);
+    if (e.probability != 0.0) key("prob", e.probability);
+    if (e.factor != 2.0) key("factor", e.factor);
+    MGS_REQUIRE(!fk, "to_spec: event with no keys cannot round-trip");
+  }
+  const FaultPlan defaults;
+  const bool policy = plan.max_retries != defaults.max_retries ||
+                      plan.backoff_base_us != defaults.backoff_base_us ||
+                      plan.timeout_seconds != defaults.timeout_seconds ||
+                      plan.seed != defaults.seed;
+  if (policy) {
+    sep();
+    os << "policy:";
+    bool fk = true;
+    auto key = [&](const char* k, double v) {
+      if (!fk) os << ',';
+      fk = false;
+      os << k << '=' << render_num(v);
+    };
+    if (plan.max_retries != defaults.max_retries) {
+      key("retries", plan.max_retries);
+    }
+    if (plan.backoff_base_us != defaults.backoff_base_us) {
+      key("backoff-us", plan.backoff_base_us);
+    }
+    if (plan.timeout_seconds != defaults.timeout_seconds) {
+      key("timeout-s", plan.timeout_seconds);
+    }
+    if (plan.seed != defaults.seed) {
+      key("seed", static_cast<double>(plan.seed));
+    }
+  }
+  return os.str();
+}
+
 // --------------------------------------------------------------- counters
 
 void FaultCounters::merge(const FaultCounters& o) {
@@ -156,6 +230,13 @@ std::string FaultReport::summary() const {
      << " corruptions=" << counters.corruptions_detected
      << " rerouted_bytes=" << counters.rerouted_bytes
      << " invalidated_plans=" << invalidated_plans;
+  if (!resumed_stages.empty()) {
+    os << " resumed=";
+    for (std::size_t i = 0; i < resumed_stages.size(); ++i) {
+      if (i > 0) os << '+';
+      os << resumed_stages[i];
+    }
+  }
   return os.str();
 }
 
@@ -201,9 +282,10 @@ std::vector<int> FaultInjector::down_devices(int num_devices) const {
   return down;
 }
 
-bool FaultInjector::link_is_down(int src, int dst) const {
+bool FaultInjector::link_is_down(int src, int dst, double now) const {
   for (const FaultEvent& e : plan_.events) {
     if (e.kind != FaultKind::kLinkDown) continue;
+    if (e.at_seconds > now) continue;
     if ((e.src == src && e.dst == dst) || (e.src == dst && e.dst == src)) {
       return true;
     }
@@ -211,11 +293,22 @@ bool FaultInjector::link_is_down(int src, int dst) const {
   return false;
 }
 
-double FaultInjector::transfer_slowdown(int src, int dst) const {
+double FaultInjector::transfer_slowdown(int src, int dst, double now) const {
   double f = 1.0;
   for (const FaultEvent& e : plan_.events) {
     if (e.kind != FaultKind::kStraggler) continue;
+    if (e.at_seconds > now) continue;
     if (e.device == src || e.device == dst) f = std::max(f, e.factor);
+  }
+  return f;
+}
+
+double FaultInjector::compute_slowdown(int dev, double now) const {
+  double f = 1.0;
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind != FaultKind::kStraggler) continue;
+    if (e.at_seconds > now) continue;
+    if (e.device == dev) f = std::max(f, e.factor);
   }
   return f;
 }

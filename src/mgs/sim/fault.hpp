@@ -75,6 +75,12 @@ struct FaultPlan {
 /// Throws util::Error on malformed specs.
 FaultPlan parse_fault_plan(const std::string& spec);
 
+/// Inverse of parse_fault_plan: render a plan back into the spec grammar
+/// (non-default keys only, numbers formatted so they round-trip exactly).
+/// parse_fault_plan(to_spec(p)) reproduces p field-for-field, so shrunk
+/// chaos repros paste directly into any `--faults` flag.
+std::string to_spec(const FaultPlan& plan);
+
 /// Resilience-cost counters accumulated by the transfer engine and the
 /// communicator while they work around injected faults.
 struct FaultCounters {
@@ -99,6 +105,9 @@ struct FaultReport {
   std::vector<int> excluded_devices;
   std::vector<std::string> replanned;  ///< proposals that re-planned
   std::uint64_t invalidated_plans = 0; ///< plan-cache entries dropped
+  /// Stage boundaries a mid-run recovery resumed from (one entry per
+  /// resume, e.g. "Stage2" when completed Stage-1/gather work survived).
+  std::vector<std::string> resumed_stages;
 
   bool any() const { return degraded || counters.any(); }
   std::string summary() const;
@@ -133,11 +142,24 @@ class FaultInjector {
   std::vector<int> down_devices(int num_devices) const;
 
   /// Permanent link failure between two endpoints (order-insensitive).
-  bool link_is_down(int src, int dst) const;
+  /// `now` gates scheduled failures: an event with at_seconds > now has
+  /// not fired yet. The default (infinity) preserves the legacy "down for
+  /// the whole run" reading for callers without a clock.
+  bool link_is_down(int src, int dst,
+                    double now = std::numeric_limits<double>::infinity())
+      const;
 
   /// Combined straggler slowdown for a transfer touching both endpoints
-  /// (1.0 when neither is a straggler).
-  double transfer_slowdown(int src, int dst) const;
+  /// (1.0 when neither is a straggler). Same `now` gating as
+  /// link_is_down.
+  double transfer_slowdown(
+      int src, int dst,
+      double now = std::numeric_limits<double>::infinity()) const;
+
+  /// Straggler slowdown for compute kernels on `dev` at simulated time
+  /// `now` (1.0 when the device is not a straggler yet). simt::launch
+  /// consults this so stragglers delay kernels, not just transfers.
+  double compute_slowdown(int dev, double now) const;
 
   /// Consult the schedule for one transfer attempt. Advances the (src,
   /// dst) operation counter on attempt 0 only, so retries of one logical

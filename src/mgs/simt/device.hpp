@@ -21,6 +21,10 @@
 #include "mgs/util/check.hpp"
 #include "mgs/util/math.hpp"
 
+namespace mgs::sim {
+class FaultInjector;
+}  // namespace mgs::sim
+
 namespace mgs::simt {
 
 class Device;
@@ -246,6 +250,14 @@ class Device {
   }
   std::int64_t allocated_bytes() const { return allocated_bytes_; }
 
+  /// Borrowed fault injector (set by Cluster::set_fault_injector so
+  /// simt::launch can model compute stragglers); nullptr keeps kernel
+  /// timing bit-identical to the pre-fault path.
+  void set_fault_injector(const sim::FaultInjector* faults) {
+    faults_ = faults;
+  }
+  const sim::FaultInjector* fault_injector() const { return faults_; }
+
   /// Allocate n elements of device memory; throws util::Error when the
   /// device's memory capacity would be exceeded (this is the condition
   /// that forces multi-GPU scattering for large N -- the paper's Case 2).
@@ -277,6 +289,7 @@ class Device {
   sim::Clock clock_;      // compute (SM) engine
   sim::Clock dma_clock_;  // copy (DMA) engine
   std::int64_t allocated_bytes_ = 0;
+  const sim::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace mgs::simt

@@ -12,6 +12,7 @@
 
 #include "mgs/obs/span.hpp"
 #include "mgs/sim/cost_model.hpp"
+#include "mgs/sim/fault.hpp"
 #include "mgs/sim/profiler.hpp"
 #include "mgs/simt/device.hpp"
 #include "mgs/simt/thread_pool.hpp"
@@ -121,8 +122,15 @@ sim::KernelTime launch(Device& dev, const LaunchConfig& cfg, Fn&& body) {
         total.alu_ops += ctx.stats().alu_ops;
       });
 
-  const sim::KernelTime t = sim::kernel_time(dev.spec(), total);
+  sim::KernelTime t = sim::kernel_time(dev.spec(), total);
   const double start = dev.clock().now();
+  // A straggling device runs its kernels slower too, not just its
+  // transfers (FaultKind::kStraggler). No injector -> bit-identical time.
+  double straggle = 1.0;
+  if (const sim::FaultInjector* fi = dev.fault_injector()) {
+    straggle = fi->compute_slowdown(dev.id(), start);
+    if (straggle > 1.0) t.seconds *= straggle;
+  }
   dev.clock().advance(t.seconds);
 
   if (sim::Profiler::instance().enabled()) {
@@ -148,8 +156,12 @@ sim::KernelTime launch(Device& dev, const LaunchConfig& cfg, Fn&& body) {
     rec.bytes = total.total_bytes();
     rec.alu_ops = total.alu_ops;
     rec.occupancy = t.occ.warp_occupancy;
+    if (straggle > 1.0) {
+      rec.notes.emplace_back("straggler_factor", std::to_string(straggle));
+    }
     ts->add_event(std::move(rec));
     obs::MetricsRegistry& m = ts->metrics();
+    if (straggle > 1.0) m.inc("straggler_kernels_total");
     m.inc("kernel_launches_total", {{"name", cfg.name}});
     m.add("kernel_seconds", {{"name", cfg.name}}, t.seconds);
     m.add("kernel_bytes", {{"name", cfg.name}},

@@ -91,7 +91,10 @@ class Cluster {
   /// consulted by every TransferEngine and Communicator built over this
   /// cluster, and by the scan executors when placing a run. No injector
   /// (the default) keeps every path bit-identical to pre-fault behavior.
-  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+  void set_fault_injector(sim::FaultInjector* faults) {
+    faults_ = faults;
+    for (auto& dev : devices_) dev->set_fault_injector(faults);
+  }
   sim::FaultInjector* fault_injector() const { return faults_; }
 
   /// Devices not marked down by the attached injector (all of them when

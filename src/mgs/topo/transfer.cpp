@@ -180,7 +180,7 @@ TransferResult TransferEngine::account_on(int src_dev, int dst_dev,
                               std::to_string(dst_dev),
                           src_dev, dst_dev);
     }
-    if (link != LinkType::kSelf && fi->link_is_down(src_dev, dst_dev)) {
+    if (link != LinkType::kSelf && fi->link_is_down(src_dev, dst_dev, start)) {
       if (link == LinkType::kP2P) {
         // A dead peer link between GPUs of one node still has the host
         // path: reroute as a D2H+H2D staging pair.
@@ -200,7 +200,7 @@ TransferResult TransferEngine::account_on(int src_dev, int dst_dev,
     const double base = is_2d ? time_on_link_2d(link, bytes, rows)
                               : time_on_link(link, bytes);
     const double attempt_time =
-        base * fi->transfer_slowdown(src_dev, dst_dev);
+        base * fi->transfer_slowdown(src_dev, dst_dev, start);
     const sim::FaultPlan& plan = fi->plan();
     for (int attempt = 0;; ++attempt) {
       const auto verdict =

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -13,6 +14,7 @@
 
 #include "mgs/baselines/reference.hpp"
 #include "mgs/core/executor.hpp"
+#include "mgs/obs/span.hpp"
 #include "mgs/sim/fault.hpp"
 #include "mgs/topo/transfer.hpp"
 #include "mgs/topo/topology.hpp"
@@ -118,6 +120,50 @@ TEST(FaultPlanParser, RejectsMalformedSpecs) {
   EXPECT_THROW(ms::parse_fault_plan("link-down:src=0"), mgs::util::Error);
   EXPECT_THROW(ms::parse_fault_plan("straggler:factor=2"), mgs::util::Error);
   EXPECT_THROW(ms::parse_fault_plan("transient"), mgs::util::Error);
+}
+
+TEST(FaultPlanParser, ToSpecRoundTripsExactly) {
+  const std::string spec =
+      "transient:src=0,dst=1,op=3,count=2;corrupt:prob=0.25;"
+      "link-down:src=2,dst=3;device-down:dev=5,at=0.5;"
+      "straggler:dev=1,factor=4;"
+      "policy:retries=7,backoff-us=10,timeout-s=2,seed=99";
+  const auto plan = ms::parse_fault_plan(spec);
+  const std::string printed = ms::to_spec(plan);
+  const auto replan = ms::parse_fault_plan(printed);
+  // The canonical form is a fixpoint: printing the re-parsed plan gives
+  // the same string, and the plans agree field-for-field.
+  EXPECT_EQ(ms::to_spec(replan), printed);
+  ASSERT_EQ(replan.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(replan.events[i].kind, plan.events[i].kind) << i;
+    EXPECT_EQ(replan.events[i].src, plan.events[i].src) << i;
+    EXPECT_EQ(replan.events[i].dst, plan.events[i].dst) << i;
+    EXPECT_EQ(replan.events[i].device, plan.events[i].device) << i;
+    EXPECT_EQ(replan.events[i].op, plan.events[i].op) << i;
+    EXPECT_EQ(replan.events[i].count, plan.events[i].count) << i;
+    EXPECT_EQ(replan.events[i].probability, plan.events[i].probability) << i;
+    EXPECT_EQ(replan.events[i].at_seconds, plan.events[i].at_seconds) << i;
+    EXPECT_EQ(replan.events[i].factor, plan.events[i].factor) << i;
+  }
+  EXPECT_EQ(replan.max_retries, plan.max_retries);
+  EXPECT_EQ(replan.backoff_base_us, plan.backoff_base_us);
+  EXPECT_EQ(replan.timeout_seconds, plan.timeout_seconds);
+  EXPECT_EQ(replan.seed, plan.seed);
+
+  // Doubles that have no short decimal form must still survive bit-exactly
+  // (to_spec prints round-trippable precision).
+  ms::FaultPlan p;
+  ms::FaultEvent ev;
+  ev.kind = ms::FaultKind::kStraggler;
+  ev.device = 0;
+  ev.factor = 0.1 + 0.2;  // 0.30000000000000004
+  p.events.push_back(ev);
+  const auto q = ms::parse_fault_plan(ms::to_spec(p));
+  ASSERT_EQ(q.events.size(), 1u);
+  EXPECT_EQ(q.events[0].factor, ev.factor);
+
+  EXPECT_TRUE(ms::to_spec(ms::FaultPlan{}).empty());
 }
 
 TEST(FaultReport, SummaryDistinguishesHealthyRecoveredDegraded) {
@@ -399,12 +445,220 @@ TEST(ExecutorFaults, EpochMovesReplanAndInvalidateCachedPlans) {
   EXPECT_FALSE(recovered.faults.degraded);
 }
 
-TEST(ExecutorFaults, MidRunDeviceDownRaisesInsteadOfCorrupting) {
+// ------------------------------------------------ mid-run resume / restart
+
+namespace {
+
+/// run_proposal plus the spans a TraceSession recorded, for asserting
+/// which stages actually (re-)ran. Takes a FaultPlan directly so tests
+/// can inject at exact simulated instants read from a healthy trace.
+struct Traced {
+  Outcome o;
+  std::vector<mgs::obs::SpanRecord> spans;
+};
+
+Traced run_traced(const Factory& make, const ms::FaultPlan* plan,
+                  std::span<const std::int32_t> data, std::int64_t n,
+                  std::int64_t g) {
+  auto cluster = mt::tsubame_kfc_cluster(1);
+  std::unique_ptr<ms::FaultInjector> fi;
+  if (plan != nullptr) {
+    fi = std::make_unique<ms::FaultInjector>(*plan);
+    cluster.set_fault_injector(fi.get());
+  }
+  mgs::obs::TraceSession ts;
+  mc::ScanContext ctx(cluster);
+  auto ex = make(ctx);
+  ex->prepare(n, g);
+  Traced t;
+  t.o.out.resize(static_cast<std::size_t>(n * g));
+  t.o.result = ex->run(data, t.o.out, mc::ScanKind::kInclusive);
+  t.o.seconds = t.o.result.seconds;
+  t.spans = ts.spans();
+  return t;
+}
+
+std::size_t count_stage(const std::vector<mgs::obs::SpanRecord>& spans,
+                        const std::string& name) {
+  return static_cast<std::size_t>(
+      std::count_if(spans.begin(), spans.end(), [&](const auto& s) {
+        return s.kind == mgs::obs::SpanKind::kStage && s.name == name;
+      }));
+}
+
+/// Midpoint of the first kStage span called `name`; fails the test (and
+/// returns 0) when the trace has no such stage.
+double stage_midpoint(const std::vector<mgs::obs::SpanRecord>& spans,
+                      const std::string& name) {
+  for (const auto& s : spans) {
+    if (s.kind == mgs::obs::SpanKind::kStage && s.name == name) {
+      return (s.start_seconds + s.end_seconds) / 2.0;
+    }
+  }
+  ADD_FAILURE() << "no '" << name << "' stage span in the healthy trace";
+  return 0.0;
+}
+
+}  // namespace
+
+// The flagship resume scenario: a non-master device dies in the middle of
+// Stage 2 on the synchronous Scan-MPS path. Completed Stage-1 and gather
+// work must survive -- the run resumes from the Stage2 boundary
+// (re-scattering only the dead device's portions) without re-running
+// Stage 1, and the output stays bit-identical to the healthy run.
+TEST(ExecutorFaults, MidStage2DeviceDownResumesWithoutRerunningStage1) {
   const auto data =
       mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 19);
-  // at > 0: the device is alive at placement time and dies mid-run; the
-  // run must raise a typed error, not return wrong data.
-  Factory mps = [](mc::ScanContext& c) { return mc::make_mps_executor(c, 4); };
-  EXPECT_THROW(run_proposal(mps, "device-down:dev=1,at=1e-9", data, kN, kG),
-               mt::TransferError);
+  Factory mps_sync = [](mc::ScanContext& c) {
+    return mc::make_mps_executor(
+        c, 4, false, mc::PipelineChoice{mc::PipelineMode::kSync, 0});
+  };
+  const auto healthy = run_traced(mps_sync, nullptr, data, kN, kG);
+  const double at = stage_midpoint(healthy.spans, "Stage2");
+  ASSERT_GT(at, 0.0);
+
+  ms::FaultPlan plan;
+  ms::FaultEvent ev;
+  ev.kind = ms::FaultKind::kDeviceDown;
+  ev.device = 1;  // non-master: the master keeps the gathered aux array
+  ev.at_seconds = at;
+  plan.events.push_back(ev);
+  const auto faulted = run_traced(mps_sync, &plan, data, kN, kG);
+
+  EXPECT_EQ(faulted.o.out, healthy.o.out);  // bit-identical, not just close
+  const auto& f = faulted.o.result.faults;
+  ASSERT_EQ(f.resumed_stages.size(), 1u);
+  EXPECT_EQ(f.resumed_stages.front(), "Stage2");
+  EXPECT_TRUE(f.degraded);
+  EXPECT_EQ(f.excluded_devices, std::vector<int>{1});
+  // The span trace proves Stage 1 never re-ran: one Stage1 span, one
+  // Recovery span covering the re-plan window.
+  EXPECT_EQ(count_stage(faulted.spans, "Stage1"), 1u);
+  EXPECT_EQ(count_stage(faulted.spans, "Recovery"), 1u);
+  EXPECT_EQ(count_stage(healthy.spans, "Recovery"), 0u);
+  // Recovery costs time: the degraded run is slower, never faster.
+  EXPECT_GT(faulted.o.seconds, healthy.o.seconds);
+}
+
+// Same mid-run loss on the event-driven overlap pipeline: the checkpoint
+// must resume (from whichever boundary held) with bit-identical output.
+TEST(ExecutorFaults, OverlapMidRunDeviceDownResumesBitIdentical) {
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 20);
+  Factory mps_over = [](mc::ScanContext& c) {
+    return mc::make_mps_executor(
+        c, 4, false, mc::PipelineChoice{mc::PipelineMode::kOverlap, 0});
+  };
+  const auto healthy = run_traced(mps_over, nullptr, data, kN, kG);
+  const double at = stage_midpoint(healthy.spans, "Stage2+Comm");
+  ASSERT_GT(at, 0.0);
+
+  ms::FaultPlan plan;
+  ms::FaultEvent ev;
+  ev.kind = ms::FaultKind::kDeviceDown;
+  ev.device = 2;
+  ev.at_seconds = at;
+  plan.events.push_back(ev);
+  const auto faulted = run_traced(mps_over, &plan, data, kN, kG);
+
+  EXPECT_EQ(faulted.o.out, healthy.o.out);
+  const auto& f = faulted.o.result.faults;
+  EXPECT_FALSE(f.resumed_stages.empty());
+  EXPECT_TRUE(f.degraded);
+  EXPECT_EQ(count_stage(faulted.spans, "Recovery"), f.resumed_stages.size());
+}
+
+// Death of the MASTER mid-run: the gathered aux array dies with it, so
+// the resume must regress the gather/scan flags, re-place the master role
+// and still produce bit-identical output.
+TEST(ExecutorFaults, MasterDeathMidRunResumesOnNewMaster) {
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 21);
+  Factory mps_sync = [](mc::ScanContext& c) {
+    return mc::make_mps_executor(
+        c, 4, false, mc::PipelineChoice{mc::PipelineMode::kSync, 0});
+  };
+  const auto healthy = run_traced(mps_sync, nullptr, data, kN, kG);
+  const double at = stage_midpoint(healthy.spans, "Stage2");
+  ASSERT_GT(at, 0.0);
+
+  ms::FaultPlan plan;
+  ms::FaultEvent ev;
+  ev.kind = ms::FaultKind::kDeviceDown;
+  ev.device = 0;  // the master
+  ev.at_seconds = at;
+  plan.events.push_back(ev);
+  const auto faulted = run_traced(mps_sync, &plan, data, kN, kG);
+
+  EXPECT_EQ(faulted.o.out, healthy.o.out);
+  EXPECT_TRUE(faulted.o.result.faults.degraded);
+  EXPECT_EQ(faulted.o.result.faults.excluded_devices, std::vector<int>{0});
+  EXPECT_FALSE(faulted.o.result.faults.resumed_stages.empty());
+}
+
+// A device death the placement could not see (at > 0) must still end in a
+// correct scan for every multi-GPU proposal: Scan-MPS resumes from its
+// checkpoint, the direct / MP-PC / multinode paths restart on survivors.
+TEST(ExecutorFaults, MidRunDeviceDownRecoversEveryProposal) {
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 22);
+  const auto expect = reference_batch_scan<std::int32_t>(
+      data, kN, kG, mc::ScanKind::kInclusive);
+  for (const auto& p : multi_gpu_proposals()) {
+    const auto r =
+        run_proposal(p.make, "device-down:dev=1,at=1e-9", data, kN, kG);
+    EXPECT_EQ(r.out, expect) << p.name;
+    EXPECT_TRUE(r.result.faults.degraded) << p.name;
+    ASSERT_FALSE(r.result.faults.excluded_devices.empty()) << p.name;
+    EXPECT_EQ(r.result.faults.excluded_devices.front(), 1) << p.name;
+    EXPECT_FALSE(r.result.faults.replanned.empty()) << p.name;
+  }
+}
+
+// --------------------------------------------------- compute stragglers
+
+// kStraggler now reaches compute kernels through simt::launch, not just
+// transfers: the whole scan slows (monotonically in the factor), on both
+// pipeline paths, without deadlock and without losing bit-identity.
+TEST(ExecutorFaults, ComputeStragglerSlowsTheScanButStaysCorrect) {
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 23);
+  const auto expect = reference_batch_scan<std::int32_t>(
+      data, kN, kG, mc::ScanKind::kInclusive);
+  for (const auto mode :
+       {mc::PipelineMode::kSync, mc::PipelineMode::kOverlap}) {
+    Factory mps = [mode](mc::ScanContext& c) {
+      return mc::make_mps_executor(c, 4, false,
+                                   mc::PipelineChoice{mode, 0});
+    };
+    const auto healthy = run_proposal(mps, "", data, kN, kG);
+    const auto slow2 =
+        run_proposal(mps, "straggler:dev=1,factor=2", data, kN, kG);
+    const auto slow8 =
+        run_proposal(mps, "straggler:dev=1,factor=8", data, kN, kG);
+    EXPECT_EQ(slow2.out, expect);
+    EXPECT_EQ(slow8.out, expect);
+    EXPECT_GT(slow2.seconds, healthy.seconds);
+    EXPECT_GT(slow8.seconds, slow2.seconds);
+    EXPECT_FALSE(slow8.result.faults.degraded);
+  }
+}
+
+// A straggling MASTER stretches Stage 2 itself; the schedule must absorb
+// it on every proposal (the multinode sync path once mis-attributed this
+// window and tripped the breakdown invariant).
+TEST(ExecutorFaults, ComputeStragglerOnTheMasterEveryProposal) {
+  const auto data =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), 24);
+  const auto expect = reference_batch_scan<std::int32_t>(
+      data, kN, kG, mc::ScanKind::kInclusive);
+  for (const auto& p : multi_gpu_proposals()) {
+    const auto slow =
+        run_proposal(p.make, "straggler:dev=0,factor=4", data, kN, kG);
+    EXPECT_EQ(slow.out, expect) << p.name;
+    // Telescoping must survive the skewed clocks.
+    EXPECT_NEAR(slow.result.breakdown.total(), slow.seconds,
+                1e-12 + 1e-9 * slow.seconds)
+        << p.name;
+  }
 }

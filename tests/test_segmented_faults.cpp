@@ -1,0 +1,190 @@
+// Segmented scans under every fault class. SegmentedScan rides the same
+// executors as the plain scans, so the whole resilience stack -- retry,
+// reroute, checksum repair, degraded re-planning, stage-granular resume,
+// compute stragglers -- must hold for the packed SegPair representation
+// too: under any injected fault the segmented result stays bit-identical
+// to the serial reference, inclusive and exclusive alike.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mgs/baselines/reference.hpp"
+#include "mgs/core/segmented_context.hpp"
+#include "mgs/sim/fault.hpp"
+#include "mgs/topo/topology.hpp"
+#include "mgs/util/random.hpp"
+
+namespace mc = mgs::core;
+namespace ms = mgs::sim;
+namespace mt = mgs::topo;
+using mgs::baselines::reference_segmented_scan;
+
+namespace {
+
+constexpr std::int64_t kN = 1 << 12;
+constexpr std::int64_t kG = 2;
+
+/// One fault spec per FaultKind (plus healthy and a mid-run death): the
+/// full resilience matrix the plain executors already pass.
+const char* const kSpecs[] = {
+    "",
+    "transient:op=0,count=2",
+    "link-down:src=0,dst=1",
+    "device-down:dev=2",
+    "device-down:dev=1,at=1e-9",  // mid-run: exercises checkpoint resume
+    "corrupt:op=0",
+    "straggler:dev=1,factor=4",
+};
+
+struct SegOutcome {
+  std::vector<int> out;
+  mc::RunResult result;
+};
+
+SegOutcome run_segmented(const std::string& spec,
+                         std::span<const int> values,
+                         std::span<const int> flags, mc::ScanKind kind) {
+  auto cluster = mt::tsubame_kfc_cluster(1);
+  std::unique_ptr<ms::FaultInjector> fi;
+  if (!spec.empty()) {
+    fi = std::make_unique<ms::FaultInjector>(ms::parse_fault_plan(spec));
+    cluster.set_fault_injector(fi.get());
+  }
+  mc::ScanContext ctx(cluster);
+  mc::ExecutorParams params;
+  params.w = 4;
+  mc::SegmentedScan<int> seg(ctx, "Scan-MPS", params);
+  seg.prepare(kN, kG);
+  SegOutcome o;
+  o.out.resize(static_cast<std::size_t>(kN * kG));
+  o.result = seg.run(values, flags, o.out, kind);
+  return o;
+}
+
+/// Per-sequence serial reference; exclusive derives from the inclusive
+/// pass exactly as SegmentedScan documents: a head (explicit flag or the
+/// implicit one at each sequence start) yields the identity, everything
+/// else the inclusive value of its left neighbor.
+std::vector<int> expected(std::span<const int> values,
+                          std::span<const int> flags, mc::ScanKind kind) {
+  std::vector<int> inc(values.size());
+  for (std::int64_t p = 0; p < kG; ++p) {
+    const auto sub = reference_segmented_scan<int>(
+        values.subspan(static_cast<std::size_t>(p * kN),
+                       static_cast<std::size_t>(kN)),
+        flags.subspan(static_cast<std::size_t>(p * kN),
+                      static_cast<std::size_t>(kN)));
+    std::copy(sub.begin(), sub.end(),
+              inc.begin() + static_cast<std::ptrdiff_t>(p * kN));
+  }
+  if (kind == mc::ScanKind::kInclusive) return inc;
+  std::vector<int> exc(values.size());
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(values.size());
+       ++i) {
+    const bool head = i % kN == 0 || flags[static_cast<std::size_t>(i)] != 0;
+    exc[static_cast<std::size_t>(i)] =
+        head ? 0 : inc[static_cast<std::size_t>(i) - 1];
+  }
+  return exc;
+}
+
+std::vector<int> make_values(std::uint64_t seed) {
+  const auto raw =
+      mgs::util::random_i32(static_cast<std::size_t>(kN * kG), seed);
+  std::vector<int> v(raw.begin(), raw.end());
+  for (auto& x : v) x %= 101;  // keep segment sums far from overflow
+  return v;
+}
+
+/// Mixed segment shapes: a regular period, a burst of adjacent heads
+/// (empty segments between them), and random extras.
+std::vector<int> make_flags(std::uint64_t seed) {
+  std::vector<int> flags(static_cast<std::size_t>(kN * kG), 0);
+  for (std::size_t i = 0; i < flags.size(); i += 97) flags[i] = 1;
+  for (std::size_t i = 500; i < 508; ++i) flags[i] = 1;  // adjacent heads
+  mgs::util::SplitMix64 rng(seed);
+  for (int j = 0; j < 64; ++j) {
+    flags[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(kN * kG)))] = 1;
+  }
+  return flags;
+}
+
+}  // namespace
+
+class SegmentedFaults
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SegmentedFaults, InclusiveMatchesReferenceBitExactly) {
+  const std::string spec = GetParam();
+  const auto values = make_values(31);
+  const auto flags = make_flags(32);
+  const auto r =
+      run_segmented(spec, values, flags, mc::ScanKind::kInclusive);
+  EXPECT_EQ(r.out, expected(values, flags, mc::ScanKind::kInclusive))
+      << "spec: " << spec;
+  if (spec.empty()) {
+    EXPECT_FALSE(r.result.faults.any());
+  }
+}
+
+TEST_P(SegmentedFaults, ExclusiveMatchesReferenceBitExactly) {
+  const std::string spec = GetParam();
+  const auto values = make_values(33);
+  const auto flags = make_flags(34);
+  const auto r =
+      run_segmented(spec, values, flags, mc::ScanKind::kExclusive);
+  EXPECT_EQ(r.out, expected(values, flags, mc::ScanKind::kExclusive))
+      << "spec: " << spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EveryFaultKind, SegmentedFaults, ::testing::ValuesIn(kSpecs),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      if (name.empty()) return std::string("healthy");
+      for (char& c : name) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)))) c = '_';
+      }
+      return name;
+    });
+
+// Degenerate flag shapes, under a mid-run device death: every element a
+// head (all segments length 1) and no explicit head at all (one segment
+// per sequence).
+TEST(SegmentedFaults, AllHeadsAndNoHeadsSurviveMidRunDeviceDown) {
+  const auto values = make_values(35);
+  const std::string spec = "device-down:dev=1,at=1e-9";
+  for (const int fill : {1, 0}) {
+    const std::vector<int> flags(static_cast<std::size_t>(kN * kG), fill);
+    for (const auto kind :
+         {mc::ScanKind::kInclusive, mc::ScanKind::kExclusive}) {
+      const auto r = run_segmented(spec, values, flags, kind);
+      EXPECT_EQ(r.out, expected(values, flags, kind))
+          << "fill=" << fill
+          << " kind=" << (kind == mc::ScanKind::kInclusive ? "inc" : "exc");
+      EXPECT_TRUE(r.result.faults.degraded);
+    }
+  }
+}
+
+// The mid-run death must recover through the checkpoint path (resume),
+// not a silent full restart: resumed_stages is recorded on the packed
+// executor exactly as on the plain one.
+TEST(SegmentedFaults, MidRunDeathOnPackedPathRecordsResume) {
+  const auto values = make_values(36);
+  const auto flags = make_flags(37);
+  const auto r = run_segmented("device-down:dev=1,at=1e-9", values, flags,
+                               mc::ScanKind::kInclusive);
+  EXPECT_EQ(r.out, expected(values, flags, mc::ScanKind::kInclusive));
+  EXPECT_TRUE(r.result.faults.degraded);
+  EXPECT_FALSE(r.result.faults.resumed_stages.empty());
+  EXPECT_EQ(r.result.faults.excluded_devices, std::vector<int>{1});
+}

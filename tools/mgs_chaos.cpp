@@ -1,0 +1,103 @@
+/// mgs_chaos: deterministic chaos campaigns for the scan stack
+/// (docs/resilience.md).
+///
+///   mgs_chaos --seed 42 --count 500          run a 500-scenario campaign;
+///                                            exit 1 if any invariant broke
+///   mgs_chaos --seed 42 --count 500 --out D  also write every shrunk repro
+///                                            to D/repro_<index>.txt
+///   mgs_chaos --replay "<scenario line>"     re-run one scenario (a repro
+///                                            line from a campaign log)
+///   mgs_chaos --list --seed 42 --count 20    print the scenarios a campaign
+///                                            would run, without running them
+///
+/// Campaigns are fully seeded: the same (seed, count) runs the same
+/// scenarios everywhere, and every repro line replays standalone.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "mgs/chaos/chaos.hpp"
+#include "mgs/util/check.hpp"
+#include "mgs/util/cli.hpp"
+
+namespace {
+
+using namespace mgs;
+
+int replay(const std::string& line) {
+  const chaos::Scenario s = chaos::parse_scenario(line);
+  std::printf("replaying: %s\n", chaos::to_string(s).c_str());
+  if (const auto v = chaos::check_scenario(s)) {
+    std::printf("VIOLATION: %s\n", v->c_str());
+    return 1;
+  }
+  std::printf("ok: every invariant holds\n");
+  return 0;
+}
+
+int campaign(std::uint64_t seed, int count, const std::string& out_dir) {
+  const auto r = chaos::run_campaign(seed, count, &std::cout);
+  std::printf(
+      "[chaos] campaign done: %d scenarios (%d healthy, %d faulted), "
+      "%d typed rejections, %zu violations\n",
+      r.total, r.healthy, r.faulted, r.rejected, r.violations.size());
+  if (r.ok()) return 0;
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    for (const auto& v : r.violations) {
+      const std::string path =
+          out_dir + "/repro_" + std::to_string(v.scenario.index) + ".txt";
+      std::ofstream os(path);
+      os << "violation: " << v.what << "\n"
+         << "scenario:  " << chaos::to_string(v.scenario) << "\n"
+         << "repro:     " << chaos::to_string(v.shrunk) << "\n";
+      std::printf("[chaos] wrote %s\n", path.c_str());
+    }
+  }
+  std::printf(
+      "[chaos] replay any repro line with: mgs_chaos --replay \"<line>\"\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Cli cli(argc, argv);
+    cli.describe("seed", "campaign seed (default 20260808)");
+    cli.describe("count", "scenarios to run (default 100)");
+    cli.describe("replay", "re-check one scenario line instead of a campaign");
+    cli.describe("out", "directory for shrunk-repro files on failure");
+    cli.describe("list", "print the sampled scenarios and exit");
+    if (cli.help_requested()) {
+      cli.print_help(
+          "Run seeded chaos campaigns over the scan proposals and shrink "
+          "any invariant violation to a minimal repro.");
+      return 0;
+    }
+    cli.reject_unknown();
+
+    const auto seed =
+        static_cast<std::uint64_t>(cli.get_int("seed", 20260808));
+    const int count = static_cast<int>(cli.get_int("count", 100));
+    MGS_REQUIRE(count > 0, "mgs_chaos: --count must be positive");
+
+    const std::string line = cli.get_string("replay", "");
+    if (!line.empty()) return replay(line);
+
+    if (cli.get_bool("list", false)) {
+      for (int i = 0; i < count; ++i) {
+        std::printf("%s\n",
+                    chaos::to_string(chaos::sample_scenario(seed, i)).c_str());
+      }
+      return 0;
+    }
+    return campaign(seed, count, cli.get_string("out", ""));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mgs_chaos: %s\n", e.what());
+    return 1;
+  }
+}
