@@ -42,13 +42,16 @@ int main(int argc, char** argv) {
     int best_w = 2;
     for (int w : {2, 4, 8}) {
       if (n % w != 0) continue;
-      const double s = bc.run("Scan-MPS", {.w = w}, data, n, 1).seconds;
-      if (s < best_ours) {
-        best_ours = s;
+      const auto r = bc.run("Scan-MPS", {.w = w}, data, n, 1);
+      bench::record_history(cfg, "Scan-MPS", n, 1, w, "auto", r);
+      if (r.seconds < best_ours) {
+        best_ours = r.seconds;
         best_w = w;
       }
     }
-    const double sp = bc.run("Scan-SP", {}, data, n, 1).seconds;
+    const auto rsp = bc.run("Scan-SP", {}, data, n, 1);
+    bench::record_history(cfg, "Scan-SP", n, 1, 1, "sync", rsp);
+    const double sp = rsp.seconds;
 
     std::vector<std::string> row = {
         std::to_string(nlog), util::fmt_double(bench::gbps(n, best_ours), 2),

@@ -45,9 +45,12 @@ int main(int argc, char** argv) {
     // Our best proposal: MP-PC with V=4 over both networks while G >= 2,
     // falling back to one network at G = 1 (the paper's n=28 dip).
     const int y = g >= 2 ? 2 : 1;
-    const double ours =
-        bc.run("Scan-MP-PC", {.y = y, .v = 4}, data, n, g).seconds;
-    const double sp = bc.run("Scan-SP", {}, data, n, g).seconds;
+    const auto rours = bc.run("Scan-MP-PC", {.y = y, .v = 4}, data, n, g);
+    bench::record_history(cfg, "Scan-MP-PC", n, g, y * 4, "auto", rours);
+    const double ours = rours.seconds;
+    const auto rsp = bc.run("Scan-SP", {}, data, n, g);
+    bench::record_history(cfg, "Scan-SP", n, g, 1, "sync", rsp);
+    const double sp = rsp.seconds;
 
     std::vector<std::string> row = {
         std::to_string(nlog), std::to_string(g),

@@ -39,7 +39,9 @@ int main(int argc, char** argv) {
     nlogs.push_back(nlog);
 
     const auto plan = bench::tuned_plan_multinode(2, 4, data, n, g);
-    const double ours = bench::multinode_run(2, 4, data, n, g, plan).seconds;
+    const auto rours = bench::multinode_run(2, 4, data, n, g, plan);
+    bench::record_history(cfg, "Scan-MPS-multinode", n, g, 8, "auto", rours);
+    const double ours = rours.seconds;
 
     std::vector<std::string> row = {
         std::to_string(nlog), std::to_string(g),

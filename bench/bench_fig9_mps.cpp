@@ -146,6 +146,7 @@ int run_sweep(const bench::BenchConfig& cfg) {
           util::fmt_double(bench::gbps(total, r.seconds, elem_bytes), 2));
       if (w == 4) t4 = r.seconds;
       if (w == 8 && t4 > 0.0) w8_over_w4.push_back(t4 / r.seconds);
+      bench::record_history(cfg, "Scan-MPS", n, g, w, "overlap", r);
       if (w > 1 && g > 1) {
         // Same point on the forced-synchronous stage path: the overlap
         // comparison the pipeline doc quotes.
@@ -160,6 +161,7 @@ int run_sweep(const bench::BenchConfig& cfg) {
         p.sync_s = rs.seconds;
         p.overlap_s = r.seconds;
         overlap_points.push_back(p);
+        bench::record_history(cfg, "Scan-MPS", n, g, w, "sync", rs);
       }
       if (!cfg.faults.empty()) {
         FaultPoint p;

@@ -121,6 +121,10 @@ BENCHMARK(BM_LaunchOverheadHost);
 struct MicroOptions {
   std::string faults;
   std::string trace = "bench_results/bench_micro_run_report.json";
+  std::string out;  ///< results JSON override (e.g. for fault-seeded runs
+                    ///< that must not clobber the tracked snapshot)
+  std::string history_label;  ///< append traced run to the history store
+  std::string history_file = "bench_results/history.ndjson";
   mc::DType dtype = mc::DType::kI32;
   mc::OpTag op = mc::OpTag::kPlus;
 
@@ -372,7 +376,9 @@ SegmentedComparison run_segmented_comparison(const MicroOptions& opts) {
 // ------------------------------------------------------------------------
 // Traced representative run: one Scan-MPS invocation through the unified
 // API under an obs::TraceSession. The full run-report goes to its own
-// file; bench_micro.json gets a "trace" section summarizing it.
+// file; bench_micro.json gets a "trace" section summarizing it. The
+// --faults schedule (when given) rides this run too, so a seeded
+// straggler shows up in the traced report the CI gate diffs.
 
 struct TraceSummary {
   std::string report_path;
@@ -390,6 +396,7 @@ TraceSummary run_traced_case(const MicroOptions& opts,
   s.report_path = opts.trace;
   mgs::obs::TraceSession ts;
   mgs::bench::BenchContext bc(1);
+  if (!opts.faults.empty()) bc.attach_faults(opts.faults);
   const auto r =
       bc.run_typed<T>("Scan-MPS", {.w = 4, .op = opts.op}, data, n, g);
   mgs::core::write_run_report_file(
@@ -400,6 +407,26 @@ TraceSummary run_traced_case(const MicroOptions& opts,
   s.metric_series = ts.metrics().snapshot().size();
   s.makespan_s = cp.total_seconds;
   s.by_category = cp.by_category;
+  if (!opts.history_label.empty()) {
+    try {
+      mgs::obs::HistoryEntry e;
+      e.key.executor = "Scan-MPS";
+      e.key.dtype = opts.dtype_name();
+      e.key.op = opts.op_name();
+      e.key.pipeline = "overlap";
+      e.key.n = static_cast<std::uint64_t>(n);
+      e.key.g = g;
+      e.key.devices = 4;
+      e.label = opts.history_label;
+      e.seconds = r.seconds;
+      e.payload_bytes = r.payload_bytes;
+      e.breakdown = r.breakdown.entries();
+      e.by_category = cp.by_category;
+      mgs::obs::RunHistory(opts.history_file).append(e);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "history: %s\n", ex.what());
+    }
+  }
   return s;
 }
 
@@ -409,14 +436,20 @@ void json_path(std::ostream& os, const char* key, const PathTiming& t) {
      << ", \"amortized_gbps\": " << t.amortized_gbps << "}";
 }
 
+std::string report_path(const MicroOptions& opts) {
+  if (!opts.out.empty()) return opts.out;
+  return "bench_results/bench_micro" + opts.file_suffix() + ".json";
+}
+
 void write_repeated_report(const MicroOptions& opts,
                            const std::vector<RepeatedCase>& cases,
                            const std::vector<ResilienceCase>& resilience,
                            const SegmentedComparison& seg,
                            const TraceSummary& trace) {
-  std::filesystem::create_directories("bench_results");
-  std::ofstream os("bench_results/bench_micro" + opts.file_suffix() +
-                   ".json");
+  const std::string path = report_path(opts);
+  const auto dir = std::filesystem::path(path).parent_path();
+  if (!dir.empty()) std::filesystem::create_directories(dir);
+  std::ofstream os(path);
   os << "{\n"
      << "  \"bench\": \"bench_micro\",\n"
      << "  \"dtype\": \"" << opts.dtype_name() << "\",\n"
@@ -565,8 +598,7 @@ void report_repeated_invocation(const MicroOptions& opts) {
               trace.spans, trace.makespan_s * 1e3,
               trace.report_path.c_str());
   write_repeated_report(opts, cases, resilience, seg, trace);
-  std::printf("  -> bench_results/bench_micro%s.json\n\n",
-              opts.file_suffix().c_str());
+  std::printf("  -> %s\n\n", report_path(opts).c_str());
 }
 
 template <typename T>
@@ -610,6 +642,10 @@ int main(int argc, char** argv) {
       opts.trace = argv[++i];
     } else if (a.rfind("--trace=", 0) == 0) {
       opts.trace = a.substr(8);
+    } else if (a == "--out" && i + 1 < argc) {
+      opts.out = argv[++i];
+    } else if (a.rfind("--out=", 0) == 0) {
+      opts.out = a.substr(6);
     } else if (a == "--dtype" && i + 1 < argc) {
       dtype = argv[++i];
     } else if (a.rfind("--dtype=", 0) == 0) {
@@ -618,6 +654,14 @@ int main(int argc, char** argv) {
       op = argv[++i];
     } else if (a.rfind("--op=", 0) == 0) {
       op = a.substr(5);
+    } else if (a == "--history-label" && i + 1 < argc) {
+      opts.history_label = argv[++i];
+    } else if (a.rfind("--history-label=", 0) == 0) {
+      opts.history_label = a.substr(16);
+    } else if (a == "--history-file" && i + 1 < argc) {
+      opts.history_file = argv[++i];
+    } else if (a.rfind("--history-file=", 0) == 0) {
+      opts.history_file = a.substr(15);
     } else {
       keep.push_back(argv[i]);
     }

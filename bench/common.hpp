@@ -22,6 +22,7 @@
 
 #include "mgs/baselines/registry.hpp"
 #include "mgs/core/api.hpp"
+#include "mgs/obs/history.hpp"
 #include "mgs/util/cli.hpp"
 #include "mgs/util/random.hpp"
 #include "mgs/util/stats.hpp"
@@ -104,6 +105,9 @@ struct BenchConfig {
   std::shared_ptr<TraceGuard> trace_guard;  ///< live session when tracing
   core::DType dtype = core::DType::kI32;  ///< --dtype: element type
   core::OpTag op = core::OpTag::kPlus;    ///< --op: scan operator
+  std::string history_label;  ///< --history-label: append runs to the
+                              ///< NDJSON history under this label ("" = off)
+  std::string history_file = "bench_results/history.ndjson";
 
   const char* dtype_name() const { return core::to_string(dtype); }
   const char* op_name() const { return core::to_string(op); }
@@ -132,6 +136,11 @@ inline BenchConfig parse_bench_config(int argc, char** argv,
   cli.describe("dtype",
                "element type: i32 (default), i64, u32, f32, f64");
   cli.describe("op", "scan operator: plus (default), max, min");
+  cli.describe("history-label",
+               "append this harness's data points to the run history under "
+               "this label, e.g. the git sha (mgs_perf history show)");
+  cli.describe("history-file",
+               "history store path (default bench_results/history.ndjson)");
   if (cli.help_requested()) {
     cli.print_help(summary);
     std::exit(0);
@@ -152,9 +161,43 @@ inline BenchConfig parse_bench_config(int argc, char** argv,
   }
   cfg.dtype = core::parse_dtype(cli.get_string("dtype", "i32"));
   cfg.op = core::parse_op(cli.get_string("op", "plus"));
+  cfg.history_label = cli.get_string("history-label", "");
+  cfg.history_file =
+      cli.get_string("history-file", "bench_results/history.ndjson");
   MGS_REQUIRE(cfg.total_log2 >= cfg.min_n_log2 && cfg.total_log2 <= 28,
               "--total-log2 must be in [--min-n-log2, 28]");
   return cfg;
+}
+
+/// Append one labeled data point to the NDJSON run history -- the shared
+/// hook every bench binary calls behind --history-label (a no-op without
+/// it). by_category stays zero for untraced runs; the traced paths fill
+/// it from the analyzer before appending. Store failures are reported,
+/// never fatal: history is telemetry, not a gate.
+inline void record_history(const BenchConfig& cfg, const std::string& executor,
+                           std::int64_t n, std::int64_t g, int devices,
+                           const std::string& pipeline,
+                           const core::RunResult& r,
+                           const obs::CategorySeconds& by_category = {}) {
+  if (cfg.history_label.empty()) return;
+  try {
+    obs::HistoryEntry e;
+    e.key.executor = executor;
+    e.key.dtype = cfg.dtype_name();
+    e.key.op = cfg.op_name();
+    e.key.pipeline = pipeline;
+    e.key.n = static_cast<std::uint64_t>(n);
+    e.key.g = g;
+    e.key.devices = devices;
+    e.label = cfg.history_label;
+    e.seconds = r.seconds;
+    e.payload_bytes = r.payload_bytes;
+    e.breakdown = r.breakdown.entries();
+    e.by_category = by_category;
+    obs::RunHistory(cfg.history_file).append(e);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "history: %s\n", ex.what());
+  }
 }
 
 inline void print_table(const util::Table& table, const BenchConfig& cfg) {

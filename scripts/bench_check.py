@@ -3,19 +3,36 @@
 
 Compares the critical-path makespan of a freshly traced run-report
 (`bench_micro --trace FILE` writes one) against the committed baseline
-`bench_results/BENCH_baseline.json` and fails if the modeled makespan
-regressed by more than the tolerance (default 5%).
+for the report's (dtype, op) configuration and fails if the modeled
+makespan regressed by more than the tolerance (default 5%).
+
+Baselines are per-configuration files following the bench suffix
+convention: `bench_results/BENCH_baseline.json` gates i32/plus,
+`bench_results/BENCH_baseline_f64_max.json` gates f64/max, and so on
+(`BENCH_baseline_<dtype>_<op>.json`). `--baseline auto` (the default)
+picks the file matching the current report; a configuration without a
+committed baseline SKIPs with a hint instead of failing, so new cells
+of the dtype/op matrix can be brought under the gate incrementally.
 
 The makespan is *simulated* device time, so it is deterministic: any
 drift is a real change to the performance model or the pipeline
 schedule, never host noise. Improvements are reported and always pass;
-intentional model changes should re-snapshot the baseline
-(`cp bench_results/bench_micro_run_report.json
-bench_results/BENCH_baseline.json`) in the same commit.
+intentional model changes should re-snapshot the baseline in the same
+commit (e.g. `cp bench_results/bench_micro_run_report.json
+bench_results/BENCH_baseline.json`).
+
+On a regression the gate attributes the delta before failing: the top-3
+(stage, category) contributors computed from the two reports'
+critical-path sections are printed into the CI log, and when the
+`mgs_perf` binary is available (`--mgs-perf`, default
+build/tools/mgs_perf) its full ranked diff table is printed too and the
+machine-readable diff JSON is written to `--diff-out` for artifact
+upload.
 
 Usage:
-  scripts/bench_check.py [--baseline FILE] [--current FILE]
-                         [--tolerance-pct PCT]
+  scripts/bench_check.py [--baseline FILE|auto] [--current FILE]
+                         [--tolerance-pct PCT] [--mgs-perf BIN]
+                         [--diff-out FILE]
 
 Exit status: 0 on pass, 1 on regression, 2 on malformed input.
 Stdlib-only; no third-party packages.
@@ -25,6 +42,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 
 
@@ -65,35 +84,134 @@ def run_config(doc: dict) -> tuple[str, str]:
     return str(run.get("dtype", "i32")), str(run.get("op", "plus"))
 
 
+def baseline_for(cfg: tuple[str, str]) -> str:
+    """Per-configuration baseline path, bench suffix convention."""
+    suffix = "" if cfg == ("i32", "plus") else f"_{cfg[0]}_{cfg[1]}"
+    return f"bench_results/BENCH_baseline{suffix}.json"
+
+
+def stage_rows(doc: dict) -> list[tuple[str, int, dict[str, float], int]]:
+    """(name, occurrence, category->seconds, critical_device) per
+    critical-path stage row, aligned the way mgs_perf aligns them: the
+    i-th occurrence of a stage name pairs with the i-th in the other
+    report."""
+    rows = []
+    seen: dict[str, int] = {}
+    for st in doc.get("critical_path", {}).get("stages", []):
+        name = str(st.get("name", "?"))
+        occ = seen.get(name, 0)
+        seen[name] = occ + 1
+        cats = {k: float(v)
+                for k, v in st.get("by_category", {}).items()}
+        rows.append((name, occ, cats, int(st.get("critical_device", -1))))
+    return rows
+
+
+def attribution(base_doc: dict, cur_doc: dict,
+                base_total: float, cur_total: float,
+                top: int = 3) -> list[str]:
+    """Top contributors to the makespan delta, as printable lines.
+
+    Mirrors the mgs_perf alignment: per-(stage, category) deltas over
+    name+occurrence-matched stage rows, plus a residual '(outside
+    stages)' row so the attributed deltas telescope to the full delta."""
+    base = {(n, o): (c, d) for n, o, c, d in stage_rows(base_doc)}
+    cur = {(n, o): (c, d) for n, o, c, d in stage_rows(cur_doc)}
+    rows: list[tuple[float, str]] = []
+    base_staged = cur_staged = 0.0
+    for key in sorted(set(base) | set(cur), key=str):
+        bcats, _ = base.get(key, ({}, -1))
+        ccats, cdev = cur.get(key, ({}, -1))
+        if not ccats:
+            cdev = base.get(key, ({}, -1))[1]
+        for cat in sorted(set(bcats) | set(ccats)):
+            b = bcats.get(cat, 0.0)
+            c = ccats.get(cat, 0.0)
+            base_staged += b
+            cur_staged += c
+            if b == 0.0 and c == 0.0:
+                continue
+            delta = c - b
+            name = key[0] if key[1] == 0 else f"{key[0]}#{key[1] + 1}"
+            rows.append((delta,
+                         f"{name} dev{cdev} {cat}: "
+                         f"{b * 1e6:9.3f} -> {c * 1e6:9.3f} us "
+                         f"({delta * 1e6:+9.3f} us)"))
+    residual = (cur_total - cur_staged) - (base_total - base_staged)
+    if residual != 0.0:
+        rows.append((residual,
+                     f"(outside stages) other: residual "
+                     f"({residual * 1e6:+9.3f} us)"))
+    rows.sort(key=lambda r: abs(r[0]), reverse=True)
+    return [line for _, line in rows[:top]]
+
+
+def run_mgs_perf(binary: str, baseline: str, current: str,
+                 diff_out: str | None) -> None:
+    """Best-effort full diff via the mgs_perf CLI: ranked table into the
+    log, machine-readable JSON to diff_out for artifact upload."""
+    if not (binary and os.path.exists(binary)):
+        print(f"bench_check: ({binary or 'mgs_perf'} not found; "
+              "Python attribution above is the summary)")
+        return
+    cmd = [binary, "diff", baseline, current, "--top", "10"]
+    if diff_out:
+        os.makedirs(os.path.dirname(diff_out) or ".", exist_ok=True)
+        cmd += ["--json", diff_out]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=60)
+        sys.stdout.write(proc.stdout)
+        if proc.stderr:
+            sys.stderr.write(proc.stderr)
+        if diff_out and os.path.exists(diff_out):
+            print(f"bench_check: diff JSON -> {diff_out}")
+    except (OSError, subprocess.SubprocessError) as e:
+        print(f"bench_check: mgs_perf failed: {e}", file=sys.stderr)
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline",
-                    default="bench_results/BENCH_baseline.json")
+    ap.add_argument("--baseline", default="auto",
+                    help="baseline run-report, or 'auto' to pick the "
+                    "per-dtype BENCH_baseline file matching --current")
     ap.add_argument("--current",
                     default="bench_results/bench_micro_run_report.json")
     ap.add_argument("--tolerance-pct", type=float, default=5.0,
                     help="max allowed makespan regression, percent")
+    ap.add_argument("--mgs-perf", default="build/tools/mgs_perf",
+                    help="mgs_perf binary for the full ranked diff "
+                    "(skipped silently when absent)")
+    ap.add_argument("--diff-out", default=None,
+                    help="write the mgs_perf diff JSON here on regression")
     args = ap.parse_args()
 
-    base_total, base_doc = load_makespan(args.baseline)
     cur_total, cur_doc = load_makespan(args.current)
-
-    # The gate tracks the i32/plus baseline only: a report traced with
-    # --dtype/--op selects a different performance model (element bytes,
-    # operator), so comparing it against the i32 snapshot would be noise.
-    # Skip cleanly instead of failing -- the dtype sweep is informational.
-    base_cfg = run_config(base_doc)
     cur_cfg = run_config(cur_doc)
-    if cur_cfg != ("i32", "plus") or base_cfg != cur_cfg:
-        print(f"bench_check: SKIP - current report is "
-              f"{cur_cfg[0]}/{cur_cfg[1]}, baseline is "
-              f"{base_cfg[0]}/{base_cfg[1]}; the makespan gate only tracks "
-              "the i32/plus baseline.")
-        return 0
+
+    baseline = args.baseline
+    if baseline == "auto":
+        baseline = baseline_for(cur_cfg)
+        if not os.path.exists(baseline):
+            print(f"bench_check: SKIP - no committed baseline for "
+                  f"{cur_cfg[0]}/{cur_cfg[1]} ({baseline} missing). "
+                  f"Snapshot one with `cp {args.current} {baseline}` to "
+                  "bring this configuration under the gate.")
+            return 0
+
+    base_total, base_doc = load_makespan(baseline)
+    base_cfg = run_config(base_doc)
+    if base_cfg != cur_cfg:
+        print(f"bench_check: baseline {baseline} is "
+              f"{base_cfg[0]}/{base_cfg[1]} but the current report is "
+              f"{cur_cfg[0]}/{cur_cfg[1]}; comparing across performance "
+              "models would be noise.", file=sys.stderr)
+        return 2
 
     delta_pct = (cur_total / base_total - 1.0) * 100.0
+    print(f"bench_check: config {cur_cfg[0]}/{cur_cfg[1]}")
     print(f"bench_check: baseline makespan {base_total * 1e6:10.3f} us "
-          f"({args.baseline})")
+          f"({baseline})")
     print(f"bench_check: current  makespan {cur_total * 1e6:10.3f} us "
           f"({args.current})")
     print(f"bench_check: delta {delta_pct:+.2f}% "
@@ -112,10 +230,15 @@ def main() -> int:
                   f"{'(new)' if b is None else '(removed)'}")
 
     if delta_pct > args.tolerance_pct:
+        print("bench_check: top attribution of the regression:")
+        for i, line in enumerate(
+                attribution(base_doc, cur_doc, base_total, cur_total), 1):
+            print(f"bench_check:   #{i} {line}")
+        run_mgs_perf(args.mgs_perf, baseline, args.current, args.diff_out)
         print(
             f"bench_check: FAIL - modeled makespan regressed "
             f"{delta_pct:+.2f}% (> {args.tolerance_pct:.1f}%). If the "
-            "change is intentional, re-snapshot BENCH_baseline.json in "
+            f"change is intentional, re-snapshot {baseline} in "
             "the same commit.",
             file=sys.stderr,
         )

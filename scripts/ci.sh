@@ -39,28 +39,62 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 # Prometheus metrics, rendered once to prove the loader works.
 "$BUILD_DIR"/tools/mgs_trace --demo --out "$BUILD_DIR/obs_sample"
 
-# Bench smoke: trace one representative Scan-MPS run (simulated time is
-# deterministic) and gate on the modeled makespan against the committed
-# baseline. The microbenchmark sweep itself is skipped via the filter --
-# only the traced run-report matters here.
-"$BUILD_DIR"/bench/bench_micro \
-  --trace bench_results/bench_micro_run_report.json \
-  --benchmark_filter='^$'
-python3 scripts/bench_check.py \
-  --baseline bench_results/BENCH_baseline.json \
-  --current bench_results/bench_micro_run_report.json
+# Bench smoke: trace one representative Scan-MPS run per gated (dtype,
+# op) cell (simulated time is deterministic) and gate each modeled
+# makespan against its committed per-configuration baseline
+# (BENCH_baseline.json for i32/plus, BENCH_baseline_<dtype>_<op>.json
+# otherwise; bench_check --baseline auto picks the right file). The
+# microbenchmark sweep itself is skipped via the filter -- only the
+# traced run-reports matter here. Every run also appends a labeled point
+# to the bench_results/history.ndjson longitudinal store; on a >5%
+# regression bench_check prints the top-3 attribution from the two
+# reports' critical paths, renders the full mgs_perf ranked diff table,
+# and writes the diff JSON for artifact upload.
+HISTORY_LABEL=${HISTORY_LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}
+for cfg in "i32 plus" "f64 max" "i64 min"; do
+  read -r DT OP <<<"$cfg"
+  SUFFIX=""
+  [[ "$DT/$OP" != "i32/plus" ]] && SUFFIX="_${DT}_${OP}"
+  "$BUILD_DIR"/bench/bench_micro --dtype "$DT" --op "$OP" \
+    --trace "bench_results/bench_micro_run_report${SUFFIX}.json" \
+    --history-label "$HISTORY_LABEL" \
+    --benchmark_filter='^$'
+  python3 scripts/bench_check.py \
+    --baseline auto \
+    --current "bench_results/bench_micro_run_report${SUFFIX}.json" \
+    --mgs-perf "$BUILD_DIR"/tools/mgs_perf \
+    --diff-out "$BUILD_DIR/bench_diff${SUFFIX}.json"
+done
 
-# Dtype/op sweep smoke: the same traced run on a non-default cell of the
-# (dtype, op) matrix. Writes suffixed artifacts (never clobbers the
-# tracked i32 baselines); bench_check recognizes the config and SKIPs the
-# makespan gate -- the point is that the erased f64/max path runs
-# end-to-end and its report parses.
-"$BUILD_DIR"/bench/bench_micro --dtype f64 --op max \
-  --trace bench_results/bench_micro_run_report_f64_max.json \
+# Longitudinal history: show the per-key summaries and the latest movers
+# (informational -- the gate above is what fails the build).
+"$BUILD_DIR"/tools/mgs_perf history show --file bench_results/history.ndjson
+"$BUILD_DIR"/tools/mgs_perf history top --file bench_results/history.ndjson
+
+# Gate self-test: seed a deliberate straggler (device 1 running 8x slow)
+# into the traced run and assert the gate both FAILS and prints the
+# attribution table pointing at the injected slowdown. Guards the
+# regression path itself -- a gate that silently passes a 8x straggler
+# is worse than no gate.
+"$BUILD_DIR"/bench/bench_micro \
+  --faults "straggler:dev=1,factor=8" \
+  --trace "$BUILD_DIR/bench_micro_straggler.json" \
+  --out "$BUILD_DIR/bench_micro_straggler_results.json" \
   --benchmark_filter='^$'
-python3 scripts/bench_check.py \
-  --baseline bench_results/BENCH_baseline.json \
-  --current bench_results/bench_micro_run_report_f64_max.json
+if python3 scripts/bench_check.py \
+    --baseline auto \
+    --current "$BUILD_DIR/bench_micro_straggler.json" \
+    --mgs-perf "$BUILD_DIR"/tools/mgs_perf \
+    --diff-out "$BUILD_DIR/bench_diff_straggler.json" \
+    | tee "$BUILD_DIR/bench_check_straggler.log"; then
+  echo "ci: ERROR - bench_check passed a seeded 8x straggler" >&2
+  exit 1
+fi
+grep -q "top attribution" "$BUILD_DIR/bench_check_straggler.log" || {
+  echo "ci: ERROR - bench_check failed without printing attribution" >&2
+  exit 1
+}
+echo "ci: gate self-test OK (seeded straggler caught and attributed)"
 
 # The dtype test group on its own (matrix correctness + the instantiation
 # guard that compiles every proposal over every (dtype, op) cell).

@@ -8,6 +8,7 @@
 #include "mgs/baselines/reference.hpp"
 #include "mgs/core/executor.hpp"
 #include "mgs/core/executor_registry.hpp"
+#include "mgs/core/segmented_context.hpp"
 #include "mgs/msg/comm.hpp"
 #include "mgs/obs/span.hpp"
 #include "mgs/sim/fault.hpp"
@@ -70,6 +71,50 @@ std::vector<T> scenario_data(const Scenario& s) {
   return out;
 }
 
+/// Deterministic segment heads for a segmented scenario: an independent
+/// stream from the data values, ~1/16 head probability (segments average
+/// a few dozen elements, so every sampled shape sees multi-segment and
+/// multi-wave traffic).
+template <typename T>
+std::vector<T> scenario_flags(const Scenario& s) {
+  const auto raw = util::random_i32(
+      static_cast<std::size_t>(s.n * s.g),
+      s.seed ^ 0xd6e8feb86659fd93ull ^
+          (0x94d049bb133111ebull * static_cast<std::uint64_t>(s.index + 1)));
+  std::vector<T> flags(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    flags[i] = (raw[i] & 15) == 0 ? T{1} : T{0};
+  }
+  return flags;
+}
+
+/// Serial segmented reference, mirroring SegmentedScan's head convention:
+/// element i restarts when it opens a sequence (i % n == 0) or its flag
+/// is set; exclusive heads yield Op::identity(), everything else the
+/// inclusive value of the left neighbor.
+template <typename T, typename Op>
+std::vector<T> reference_segmented(const std::vector<T>& values,
+                                   const std::vector<T>& flags,
+                                   std::int64_t n, core::ScanKind kind) {
+  const auto total = static_cast<std::int64_t>(values.size());
+  std::vector<T> incl(values.size());
+  T running = Op::identity();
+  for (std::int64_t i = 0; i < total; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    const bool head = i % n == 0 || flags[u] != T{0};
+    running = head ? values[u] : Op{}(running, values[u]);
+    incl[u] = running;
+  }
+  if (kind == core::ScanKind::kInclusive) return incl;
+  std::vector<T> excl(values.size());
+  for (std::int64_t i = 0; i < total; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    const bool head = i % n == 0 || flags[u] != T{0};
+    excl[u] = head ? Op::identity() : incl[u - 1];
+  }
+  return excl;
+}
+
 template <typename T, typename Op>
 RunOutcome run_typed(const Scenario& s) {
   RunOutcome o;
@@ -94,10 +139,21 @@ RunOutcome run_typed(const Scenario& s) {
                                             : core::OpTag::kMin;
   const auto data = scenario_data<T>(s);
   std::vector<T> out(data.size());
+  std::vector<T> ref;
   try {
-    auto ex = core::make_executor(s.executor, ctx, p);
-    ex->prepare(s.n, s.g);
-    o.result = ex->run(std::span<const T>(data), std::span<T>(out), s.kind);
+    if (s.segmented) {
+      const auto flags = scenario_flags<T>(s);
+      core::SegmentedScan<T, Op> seg(ctx, s.executor, p);
+      seg.prepare(s.n, s.g);
+      o.result = seg.run(std::span<const T>(data), std::span<const T>(flags),
+                         std::span<T>(out), s.kind);
+      ref = reference_segmented<T, Op>(data, flags, s.n, s.kind);
+    } else {
+      auto ex = core::make_executor(s.executor, ctx, p);
+      ex->prepare(s.n, s.g);
+      o.result = ex->run(std::span<const T>(data), std::span<T>(out), s.kind);
+      ref = baselines::reference_batch_scan<T, Op>(data, s.n, s.g, s.kind);
+    }
   } catch (const std::exception& e) {
     o.threw = true;
     o.error = e.what();
@@ -108,8 +164,6 @@ RunOutcome run_typed(const Scenario& s) {
       ++o.recovery_spans;
     }
   }
-  const auto ref =
-      baselines::reference_batch_scan<T, Op>(data, s.n, s.g, s.kind);
   o.reference_match = (out == ref);
   o.bits.resize(out.size() * sizeof(T));
   std::memcpy(o.bits.data(), out.data(), o.bits.size());
@@ -228,6 +282,9 @@ std::string to_string(const Scenario& s) {
      << ";y=" << s.y << ";v=" << s.v << ";m=" << s.m
      << ";pipe=" << to_string(s.pipeline) << ";waves=" << s.waves
      << ";seed=" << s.seed << ";index=" << s.index;
+  // Optional keys keep pre-existing repro lines byte-identical; faults
+  // stays last (its value embeds ';' and '=').
+  if (s.segmented) os << ";seg=1";
   if (!s.faults.empty()) os << ";faults=" << s.faults;
   return os.str();
 }
@@ -276,6 +333,7 @@ Scenario parse_scenario(const std::string& line) {
     else if (key == "m") s.m = static_cast<int>(to_i64(key, val));
     else if (key == "pipe") s.pipeline = parse_pipeline(val);
     else if (key == "waves") s.waves = static_cast<int>(to_i64(key, val));
+    else if (key == "seg") s.segmented = to_i64(key, val) != 0;
     else if (key == "seed")
       s.seed = static_cast<std::uint64_t>(to_i64(key, val));
     else if (key == "index") s.index = static_cast<int>(to_i64(key, val));
@@ -405,6 +463,11 @@ Scenario sample_scenario(std::uint64_t seed, int index) {
     plan.max_retries = static_cast<int>(pick(st, {1, 2, 6}));
   }
   if (!plan.events.empty()) s.faults = sim::to_spec(plan);
+
+  // ~1/8 of scenarios run through the SegmentedScan wrapper, so the
+  // packed SegPair path sees the same fault schedules as plain scans.
+  // Drawn last: earlier draws stay identical to pre-segmented campaigns.
+  s.segmented = splitmix64(st) % 8 == 0;
   return s;
 }
 
@@ -487,6 +550,12 @@ Scenario shrink(const Scenario& s,
     if (cur.kind != core::ScanKind::kInclusive) {
       Scenario c = cur;
       c.kind = core::ScanKind::kInclusive;
+      try_apply(std::move(c));
+    }
+    if (cur.segmented) {
+      // A failure that survives without the wrapper is a plain-scan bug.
+      Scenario c = cur;
+      c.segmented = false;
       try_apply(std::move(c));
     }
     if (cur.w > 2) {

@@ -56,6 +56,7 @@ struct Scenario {
   int m = 0;              ///< multinode node count
   core::PipelineMode pipeline = core::PipelineMode::kAuto;
   int waves = 0;          ///< 0 = planner's pick
+  bool segmented = false;  ///< run through the SegmentedScan wrapper
   std::string faults;     ///< sim::parse_fault_plan spec; "" = none
 
   friend bool operator==(const Scenario&, const Scenario&) = default;

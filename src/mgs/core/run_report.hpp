@@ -68,7 +68,7 @@ inline void write_chrome_trace_file(const std::string& path,
                                     const obs::TraceSession& ts) {
   std::ofstream os(path);
   MGS_REQUIRE(os.good(), "trace: cannot open " + path);
-  obs::write_chrome_trace(os, ts.spans());
+  obs::write_chrome_trace(os, ts.spans(), ts.metrics().snapshot());
   MGS_REQUIRE(os.good(), "trace: write failed for " + path);
 }
 

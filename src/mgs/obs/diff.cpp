@@ -1,0 +1,382 @@
+#include "mgs/obs/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "mgs/obs/export.hpp"
+#include "mgs/util/table.hpp"
+
+namespace mgs::obs {
+
+namespace {
+
+/// Stage alignment key: stage rows repeat per wave (and per recovery), so
+/// the i-th occurrence of a name on one side pairs with the i-th on the
+/// other. Occurrence indices follow the analyzer's start-order rows.
+struct StageKey {
+  std::string name;
+  int occurrence = 0;
+  bool operator<(const StageKey& o) const {
+    return name != o.name ? name < o.name : occurrence < o.occurrence;
+  }
+};
+
+std::map<StageKey, const CriticalPathReport::StageRow*> index_stages(
+    const CriticalPathReport& cp) {
+  std::map<std::string, int> seen;
+  std::map<StageKey, const CriticalPathReport::StageRow*> out;
+  for (const auto& s : cp.stages) {
+    out[{s.name, seen[s.name]++}] = &s;
+  }
+  return out;
+}
+
+std::string fmt_signed_us(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%+.2f", seconds * 1e6);
+  return buf;
+}
+
+void flag_run_header_changes(const RunInfo& base, const RunInfo& cur,
+                             std::vector<std::string>& out) {
+  if (base.executor != cur.executor) {
+    out.push_back("executor changed: '" + base.executor + "' -> '" +
+                  cur.executor + "'");
+  }
+  if (base.dtype != cur.dtype || base.op != cur.op) {
+    out.push_back("element space changed: " + base.dtype + "/" + base.op +
+                  " -> " + cur.dtype + "/" + cur.op);
+  }
+  if (base.n != cur.n) {
+    out.push_back("problem size changed: n=" + std::to_string(base.n) +
+                  " -> n=" + std::to_string(cur.n));
+  }
+  if (base.devices != cur.devices) {
+    out.push_back("device count changed: " + std::to_string(base.devices) +
+                  " -> " + std::to_string(cur.devices));
+  }
+  const auto counter = [](const RunInfo& info, const char* key) {
+    for (const auto& [k, v] : info.fault_counters) {
+      if (k == key) return v;
+    }
+    return std::uint64_t{0};
+  };
+  const std::uint64_t base_resumed = counter(base, "resumed_stages");
+  const std::uint64_t cur_resumed = counter(cur, "resumed_stages");
+  if (base_resumed != cur_resumed) {
+    out.push_back("resumed stages: " + std::to_string(base_resumed) +
+                  " -> " + std::to_string(cur_resumed) +
+                  " (mid-run recovery fired)");
+  }
+  const bool base_faulted = !base.fault_counters.empty();
+  const bool cur_faulted = !cur.fault_counters.empty();
+  if (base_faulted != cur_faulted) {
+    out.push_back(std::string("fault counters only in the ") +
+                  (cur_faulted ? "current" : "baseline") +
+                  " run (injected or recovered faults)");
+  }
+}
+
+void flag_stage_multiset_changes(const CriticalPathReport& base,
+                                 const CriticalPathReport& cur,
+                                 std::vector<std::string>& out) {
+  std::map<std::string, int> bc, cc;
+  for (const auto& s : base.stages) ++bc[s.name];
+  for (const auto& s : cur.stages) ++cc[s.name];
+  for (const auto& [name, nb] : bc) {
+    const int nc = cc.count(name) ? cc.at(name) : 0;
+    if (nb != nc) {
+      out.push_back("stage '" + name + "' ran " + std::to_string(nb) +
+                    "x in baseline vs " + std::to_string(nc) +
+                    "x in current (plan or wave count changed)");
+    }
+  }
+  for (const auto& [name, nc] : cc) {
+    if (bc.count(name) == 0) {
+      out.push_back("stage '" + name + "' ran " + std::to_string(nc) +
+                    "x in current only (plan or wave count changed)");
+    }
+  }
+}
+
+}  // namespace
+
+ReportDiff diff_reports(const RunReport& base, const RunReport& cur) {
+  ReportDiff d;
+  const CriticalPathReport& bcp = base.critical_path;
+  const CriticalPathReport& ccp = cur.critical_path;
+  d.base_total = bcp.total_seconds;
+  d.cur_total = ccp.total_seconds;
+  for (int c = 0; c < kNumCategories; ++c) {
+    const auto cat = static_cast<Category>(c);
+    d.base_by_category[cat] = bcp.by_category[cat];
+    d.cur_by_category[cat] = ccp.by_category[cat];
+    d.by_category[cat] = ccp.by_category[cat] - bcp.by_category[cat];
+  }
+
+  flag_run_header_changes(base.run, cur.run, d.structural);
+  flag_stage_multiset_changes(bcp, ccp, d.structural);
+
+  // Stage-aligned attribution rows. Every (stage occurrence, category)
+  // with any time on either side becomes one row; a stage present on only
+  // one side is a structural row with the other side at zero.
+  const auto bstages = index_stages(bcp);
+  const auto cstages = index_stages(ccp);
+  std::vector<StageKey> keys;
+  for (const auto& [k, _] : bstages) keys.push_back(k);
+  for (const auto& [k, _] : cstages) {
+    if (bstages.count(k) == 0) keys.push_back(k);
+  }
+  double base_staged = 0.0, cur_staged = 0.0;
+  for (const auto& k : keys) {
+    const auto* b = bstages.count(k) ? bstages.at(k) : nullptr;
+    const auto* c = cstages.count(k) ? cstages.at(k) : nullptr;
+    for (int ci = 0; ci < kNumCategories; ++ci) {
+      const auto cat = static_cast<Category>(ci);
+      ReportDiff::Row row;
+      row.stage = k.name;
+      row.category = cat;
+      row.device = c != nullptr ? c->critical_device : b->critical_device;
+      row.base_seconds = b != nullptr ? b->by_category[cat] : 0.0;
+      row.cur_seconds = c != nullptr ? c->by_category[cat] : 0.0;
+      row.structural = (b == nullptr) != (c == nullptr);
+      if (row.base_seconds == 0.0 && row.cur_seconds == 0.0) continue;
+      base_staged += row.base_seconds;
+      cur_staged += row.cur_seconds;
+      d.rows.push_back(std::move(row));
+    }
+  }
+  // Residual row: whatever the stage windows do not cover (gaps between
+  // stages, or negative when MP-PC group rows overlap in time). Forces
+  // the exact telescoping Sigma row deltas == cur_total - base_total.
+  ReportDiff::Row resid;
+  resid.stage = "(outside stages)";
+  resid.category = Category::kOther;
+  resid.base_seconds = d.base_total - base_staged;
+  resid.cur_seconds = d.cur_total - cur_staged;
+  if (resid.base_seconds != 0.0 || resid.cur_seconds != 0.0) {
+    d.rows.push_back(std::move(resid));
+  }
+
+  // Per-(device, engine) busy/idle drift.
+  std::map<std::pair<int, std::string>,
+           const CriticalPathReport::DeviceRow*> bdev, cdev;
+  for (const auto& r : bcp.devices) bdev[{r.device, r.engine}] = &r;
+  for (const auto& r : ccp.devices) cdev[{r.device, r.engine}] = &r;
+  for (const auto& [k, b] : bdev) {
+    ReportDiff::DeviceDelta dd;
+    dd.device = k.first;
+    dd.engine = k.second;
+    dd.base_busy = b->busy.total();
+    dd.base_idle = b->idle_seconds;
+    if (const auto it = cdev.find(k); it != cdev.end()) {
+      dd.cur_busy = it->second->busy.total();
+      dd.cur_idle = it->second->idle_seconds;
+    }
+    d.devices.push_back(dd);
+  }
+  for (const auto& [k, c] : cdev) {
+    if (bdev.count(k) != 0) continue;
+    ReportDiff::DeviceDelta dd;
+    dd.device = k.first;
+    dd.engine = k.second;
+    dd.cur_busy = c->busy.total();
+    dd.cur_idle = c->idle_seconds;
+    d.devices.push_back(dd);
+  }
+
+  // Per-link drift.
+  std::map<std::tuple<int, int, std::string>,
+           const CriticalPathReport::LinkRow*> blink, clink;
+  for (const auto& l : bcp.links) blink[{l.src, l.dst, l.link}] = &l;
+  for (const auto& l : ccp.links) clink[{l.src, l.dst, l.link}] = &l;
+  for (const auto& [k, b] : blink) {
+    ReportDiff::LinkDelta ld;
+    ld.src = std::get<0>(k);
+    ld.dst = std::get<1>(k);
+    ld.link = std::get<2>(k);
+    ld.base_bytes = b->bytes;
+    ld.base_seconds = b->seconds;
+    if (const auto it = clink.find(k); it != clink.end()) {
+      ld.cur_bytes = it->second->bytes;
+      ld.cur_seconds = it->second->seconds;
+    }
+    d.links.push_back(ld);
+  }
+  for (const auto& [k, c] : clink) {
+    if (blink.count(k) != 0) continue;
+    ReportDiff::LinkDelta ld;
+    ld.src = std::get<0>(k);
+    ld.dst = std::get<1>(k);
+    ld.link = std::get<2>(k);
+    ld.cur_bytes = c->bytes;
+    ld.cur_seconds = c->seconds;
+    d.links.push_back(ld);
+  }
+  return d;
+}
+
+std::vector<const ReportDiff::Row*> ranked_rows(const ReportDiff& d) {
+  std::vector<const ReportDiff::Row*> out;
+  out.reserve(d.rows.size());
+  for (const auto& r : d.rows) out.push_back(&r);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ReportDiff::Row* a, const ReportDiff::Row* b) {
+                     return std::abs(a->delta()) > std::abs(b->delta());
+                   });
+  return out;
+}
+
+std::string format_diff(const ReportDiff& d, std::size_t top) {
+  std::ostringstream os;
+  os << "makespan: " << util::fmt_time_us(d.base_total) << " -> "
+     << util::fmt_time_us(d.cur_total) << "  (" << fmt_signed_us(d.delta())
+     << " us";
+  if (d.base_total > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, ", %+.2f%%", d.delta_pct());
+    os << buf;
+  }
+  os << ")\n";
+
+  if (d.structural_change()) {
+    os << "\nstructural changes (schedule shape, not time drift):\n";
+    for (const auto& s : d.structural) os << "  - " << s << "\n";
+  }
+
+  os << "\ncategory attribution (current - baseline):\n";
+  {
+    util::Table t({"category", "base(us)", "cur(us)", "delta(us)"});
+    for (int c = 0; c < kNumCategories; ++c) {
+      const auto cat = static_cast<Category>(c);
+      if (d.base_by_category[cat] == 0.0 && d.cur_by_category[cat] == 0.0) {
+        continue;
+      }
+      t.add_row({to_string(cat),
+                 util::fmt_double(d.base_by_category[cat] * 1e6, 2),
+                 util::fmt_double(d.cur_by_category[cat] * 1e6, 2),
+                 fmt_signed_us(d.by_category[cat])});
+    }
+    t.print(os);
+  }
+
+  const auto ranked = ranked_rows(d);
+  const std::size_t limit =
+      top == 0 ? ranked.size() : std::min(top, ranked.size());
+  os << "\nranked attribution -- what got slower and where (top "
+     << limit << " of " << ranked.size() << " rows):\n";
+  {
+    util::Table t({"#", "stage", "crit-dev", "category", "base(us)",
+                   "cur(us)", "delta(us)"});
+    for (std::size_t i = 0; i < limit; ++i) {
+      const auto* r = ranked[i];
+      if (r->delta() == 0.0) break;
+      t.add_row({std::to_string(i + 1),
+                 r->stage + (r->structural ? " *" : ""),
+                 r->device < 0 ? "-" : std::to_string(r->device),
+                 to_string(r->category),
+                 util::fmt_double(r->base_seconds * 1e6, 2),
+                 util::fmt_double(r->cur_seconds * 1e6, 2),
+                 fmt_signed_us(r->delta())});
+    }
+    t.print(os);
+    os << "(* = stage present in only one report; rows telescope exactly: "
+          "Sigma delta == makespan delta)\n";
+  }
+
+  bool any_dev = false;
+  for (const auto& dd : d.devices) {
+    if (dd.busy_delta() != 0.0 || dd.cur_idle != dd.base_idle) {
+      any_dev = true;
+      break;
+    }
+  }
+  if (any_dev) {
+    os << "\nper-engine busy drift:\n";
+    util::Table t({"device", "engine", "busy delta(us)", "idle delta(us)"});
+    for (const auto& dd : d.devices) {
+      if (dd.busy_delta() == 0.0 && dd.cur_idle == dd.base_idle) continue;
+      t.add_row({std::to_string(dd.device), dd.engine,
+                 fmt_signed_us(dd.busy_delta()),
+                 fmt_signed_us(dd.cur_idle - dd.base_idle)});
+    }
+    t.print(os);
+  }
+
+  bool any_link = false;
+  for (const auto& l : d.links) {
+    if (l.delta() != 0.0) {
+      any_link = true;
+      break;
+    }
+  }
+  if (any_link) {
+    os << "\nper-link drift:\n";
+    util::Table t({"src", "dst", "link", "bytes delta", "delta(us)"});
+    for (const auto& l : d.links) {
+      if (l.delta() == 0.0) continue;
+      const auto bytes_delta = static_cast<std::int64_t>(l.cur_bytes) -
+                               static_cast<std::int64_t>(l.base_bytes);
+      t.add_row({l.src < 0 ? "-" : std::to_string(l.src),
+                 l.dst < 0 ? "-" : std::to_string(l.dst), l.link,
+                 (bytes_delta >= 0 ? "+" : "") + std::to_string(bytes_delta),
+                 fmt_signed_us(l.delta())});
+    }
+    t.print(os);
+  }
+  return os.str();
+}
+
+void write_diff_json(std::ostream& os, const ReportDiff& d) {
+  os << "{\n\"schema\":\"mgs-perf-diff-v1\"";
+  os << ",\n\"base_total\":" << json_double(d.base_total);
+  os << ",\"cur_total\":" << json_double(d.cur_total);
+  os << ",\"delta\":" << json_double(d.delta());
+  os << ",\n\"by_category\":{";
+  for (int c = 0; c < kNumCategories; ++c) {
+    if (c != 0) os << ",";
+    const auto cat = static_cast<Category>(c);
+    os << "\"" << to_string(cat) << "\":" << json_double(d.by_category[cat]);
+  }
+  os << "},\n\"structural\":[";
+  for (std::size_t i = 0; i < d.structural.size(); ++i) {
+    os << (i ? "," : "") << "\"" << json_escape(d.structural[i]) << "\"";
+  }
+  os << "],\n\"rows\":[";
+  const auto ranked = ranked_rows(d);
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const auto* r = ranked[i];
+    os << (i ? "," : "") << "\n{\"stage\":\"" << json_escape(r->stage)
+       << "\",\"category\":\"" << to_string(r->category)
+       << "\",\"device\":" << r->device
+       << ",\"base\":" << json_double(r->base_seconds)
+       << ",\"cur\":" << json_double(r->cur_seconds)
+       << ",\"delta\":" << json_double(r->delta())
+       << ",\"structural\":" << (r->structural ? "true" : "false") << "}";
+  }
+  os << "],\n\"devices\":[";
+  for (std::size_t i = 0; i < d.devices.size(); ++i) {
+    const auto& dd = d.devices[i];
+    os << (i ? "," : "") << "\n{\"device\":" << dd.device << ",\"engine\":\""
+       << dd.engine << "\",\"base_busy\":" << json_double(dd.base_busy)
+       << ",\"cur_busy\":" << json_double(dd.cur_busy)
+       << ",\"base_idle\":" << json_double(dd.base_idle)
+       << ",\"cur_idle\":" << json_double(dd.cur_idle) << "}";
+  }
+  os << "],\n\"links\":[";
+  for (std::size_t i = 0; i < d.links.size(); ++i) {
+    const auto& l = d.links[i];
+    os << (i ? "," : "") << "\n{\"src\":" << l.src << ",\"dst\":" << l.dst
+       << ",\"link\":\"" << json_escape(l.link)
+       << "\",\"base_bytes\":" << l.base_bytes
+       << ",\"cur_bytes\":" << l.cur_bytes
+       << ",\"base\":" << json_double(l.base_seconds)
+       << ",\"cur\":" << json_double(l.cur_seconds) << "}";
+  }
+  os << "]\n}\n";
+}
+
+}  // namespace mgs::obs

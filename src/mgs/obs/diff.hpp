@@ -1,0 +1,97 @@
+#pragma once
+/// \file diff.hpp
+/// Differential critical-path attribution: align two run-reports
+/// stage-by-stage / device-by-device on the analyzer's existing rows and
+/// attribute the makespan delta to compute / p2p / host-staged / mpi /
+/// idle per (stage, device) and per link. The attribution rows form an
+/// exact decomposition: Sigma row deltas == delta makespan (a residual
+/// "(outside stages)" row absorbs whatever the stage windows do not
+/// cover, so the telescoping holds even for the overlapping MP-PC rows
+/// and for window gaps). Structural changes (different plan shape, wave
+/// count, resumed stages) are flagged separately from time drift so a
+/// reader never mistakes "the schedule changed" for "the same schedule
+/// got slower".
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mgs/obs/critical_path.hpp"
+#include "mgs/obs/report.hpp"
+
+namespace mgs::obs {
+
+/// Differential attribution between a baseline and a current run-report.
+struct ReportDiff {
+  double base_total = 0.0;  ///< baseline makespan (seconds)
+  double cur_total = 0.0;   ///< current makespan (seconds)
+  double delta() const { return cur_total - base_total; }
+  double delta_pct() const {
+    return base_total > 0.0 ? (cur_total / base_total - 1.0) * 100.0 : 0.0;
+  }
+
+  /// Per-category makespan deltas (current - baseline). Exact by the
+  /// analyzer invariant: each report's by_category sums to its makespan.
+  CategorySeconds by_category;
+  CategorySeconds base_by_category;  ///< the baseline's attribution
+  CategorySeconds cur_by_category;   ///< the current run's attribution
+
+  /// One attribution row per (stage occurrence, category), plus one
+  /// residual "(outside stages)" row per category pair. Together the rows
+  /// are an exact decomposition of delta(): Sigma delta() over rows ==
+  /// cur_total - base_total (to fp rounding of the sums -- the 1e-9*t
+  /// acceptance bound).
+  struct Row {
+    std::string stage;       ///< stage name, or "(outside stages)"
+    Category category = Category::kOther;
+    int device = -1;         ///< critical device of the slower side's row
+    double base_seconds = 0.0;
+    double cur_seconds = 0.0;
+    bool structural = false; ///< stage exists in only one report
+    double delta() const { return cur_seconds - base_seconds; }
+  };
+  std::vector<Row> rows;
+
+  /// Per-(device, engine) busy/idle drift (supplementary; each side's
+  /// rows independently satisfy busy + idle == makespan).
+  struct DeviceDelta {
+    int device = -1;
+    std::string engine = "compute";
+    double base_busy = 0.0, cur_busy = 0.0;
+    double base_idle = 0.0, cur_idle = 0.0;
+    double busy_delta() const { return cur_busy - base_busy; }
+  };
+  std::vector<DeviceDelta> devices;
+
+  /// Per-link traffic drift (supplementary).
+  struct LinkDelta {
+    int src = -1, dst = -1;
+    std::string link;
+    std::uint64_t base_bytes = 0, cur_bytes = 0;
+    double base_seconds = 0.0, cur_seconds = 0.0;
+    double delta() const { return cur_seconds - base_seconds; }
+  };
+  std::vector<LinkDelta> links;
+
+  /// Human-readable structural changes: different executor/dtype/op/shape,
+  /// stage multiset drift (wave-count or plan changes), mid-run resumes.
+  std::vector<std::string> structural;
+  bool structural_change() const { return !structural.empty(); }
+};
+
+/// Compute the differential attribution `cur - base`.
+ReportDiff diff_reports(const RunReport& base, const RunReport& cur);
+
+/// The attribution rows ranked by |delta| descending (pointers into
+/// d.rows; stable for equal magnitudes).
+std::vector<const ReportDiff::Row*> ranked_rows(const ReportDiff& d);
+
+/// Render the ranked "what got slower and where" tables. `top` == 0
+/// prints every non-zero attribution row; otherwise the top-N by |delta|.
+std::string format_diff(const ReportDiff& d, std::size_t top = 0);
+
+/// Machine-readable form ("mgs-perf-diff-v1") for CI artifacts.
+void write_diff_json(std::ostream& os, const ReportDiff& d);
+
+}  // namespace mgs::obs

@@ -1,7 +1,9 @@
 #include "mgs/obs/export.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <set>
 
 namespace mgs::obs {
@@ -84,6 +86,52 @@ void write_categories_json(std::ostream& os, const CategorySeconds& cs) {
 
 void write_chrome_trace(std::ostream& os,
                         const std::vector<SpanRecord>& spans) {
+  write_chrome_trace(os, spans, MetricsSnapshot{});
+}
+
+namespace {
+
+/// One Perfetto counter sample ("C" event; tracks are keyed by name).
+void emit_counter_sample(std::ostream& os, bool& first,
+                         const std::string& track, double ts_us,
+                         double value) {
+  if (!first) os << ",";
+  first = false;
+  os << "\n{\"name\":\"" << json_escape(track)
+     << "\",\"ph\":\"C\",\"pid\":0,\"ts\":" << json_double(ts_us)
+     << ",\"args\":{\"value\":" << json_double(value) << "}}";
+}
+
+/// The transfer kind a span's bytes count toward (the label the
+/// transfer_bytes{kind=...} counter uses).
+const char* transfer_kind(const SpanRecord& s) {
+  if (s.kind == SpanKind::kCollective) return "mpi";
+  switch (s.category) {
+    case Category::kP2P: return "p2p";
+    case Category::kHostStaged: return "host-staged";
+    case Category::kMpi: return "mpi";
+    default: return nullptr;
+  }
+}
+
+std::string metric_track_name(const MetricValue& m, const char* suffix) {
+  std::string name = m.name + suffix;
+  if (!m.labels.empty()) {
+    name += "{";
+    bool first = true;
+    for (const auto& [k, v] : m.labels) {
+      name += (first ? "" : ",") + k + "=" + v;
+      first = false;
+    }
+    name += "}";
+  }
+  return name;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<SpanRecord>& spans,
+                        const MetricsSnapshot& metrics) {
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
   // DMA-engine spans render on their own track per device (tid offset by
@@ -128,6 +176,55 @@ void write_chrome_trace(std::ostream& os,
     if (t >= kDmaTidOffset) name += " dma";
     os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << t
        << ",\"args\":{\"name\":\"" << name << "\"}}";
+  }
+
+  // Perfetto counter tracks. Transfer bytes are reconstructed over time
+  // from the span ends (each transfer/collective completion bumps its
+  // kind's cumulative track); metric series without simulated timestamps
+  // (plan-cache counters/gauges, histogram totals) render as start->end
+  // step tracks so the viewer still shows their final magnitude.
+  double window_start = 0.0, window_end = 0.0;
+  for (const SpanRecord& s : spans) {
+    window_start = std::min(window_start, s.start_seconds);
+    window_end = std::max(window_end, s.end_seconds);
+  }
+  std::map<std::string, std::vector<std::pair<double, std::uint64_t>>>
+      by_kind;
+  for (const SpanRecord& s : spans) {
+    if (s.bytes == 0 ||
+        (s.kind != SpanKind::kTransfer && s.kind != SpanKind::kCollective)) {
+      continue;
+    }
+    if (const char* kind = transfer_kind(s)) {
+      by_kind[kind].emplace_back(s.end_seconds, s.bytes);
+    }
+  }
+  for (auto& [kind, events] : by_kind) {
+    std::sort(events.begin(), events.end());
+    const std::string track = "transfer_bytes[" + kind + "]";
+    emit_counter_sample(os, first, track, window_start * 1e6, 0.0);
+    double cum = 0.0;
+    for (const auto& [end_seconds, bytes] : events) {
+      cum += static_cast<double>(bytes);
+      emit_counter_sample(os, first, track, end_seconds * 1e6, cum);
+    }
+  }
+  for (const MetricValue& m : metrics) {
+    if (m.type == MetricType::kHistogram) {
+      emit_counter_sample(os, first, metric_track_name(m, "_count"),
+                          window_start * 1e6, 0.0);
+      emit_counter_sample(os, first, metric_track_name(m, "_count"),
+                          window_end * 1e6, static_cast<double>(m.count));
+      emit_counter_sample(os, first, metric_track_name(m, "_sum"),
+                          window_start * 1e6, 0.0);
+      emit_counter_sample(os, first, metric_track_name(m, "_sum"),
+                          window_end * 1e6, m.value);
+    } else if (m.name.rfind("plan_cache", 0) == 0) {
+      emit_counter_sample(os, first, metric_track_name(m, ""),
+                          window_start * 1e6, 0.0);
+      emit_counter_sample(os, first, metric_track_name(m, ""),
+                          window_end * 1e6, m.value);
+    }
   }
   os << "\n]}\n";
 }

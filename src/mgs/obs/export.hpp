@@ -47,6 +47,14 @@ std::string json_double(double v);
 /// plus thread-name metadata per device.
 void write_chrome_trace(std::ostream& os, const std::vector<SpanRecord>& spans);
 
+/// Same, plus Perfetto counter tracks ("C" events): cumulative
+/// transfer_bytes[kind] reconstructed over time from the transfer /
+/// collective span ends, and every plan_cache_* series plus histogram
+/// _count/_sum totals from the snapshot as start->end step tracks (their
+/// updates carry no simulated timestamps of their own).
+void write_chrome_trace(std::ostream& os, const std::vector<SpanRecord>& spans,
+                        const MetricsSnapshot& metrics);
+
 /// Prometheus text exposition format; every series is prefixed "mgs_".
 /// Histograms emit cumulative _bucket{le=...}, _sum and _count.
 void write_prometheus(std::ostream& os, const MetricsSnapshot& snap);

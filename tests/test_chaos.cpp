@@ -49,6 +49,30 @@ TEST(ChaosSampler, CoversEveryProposalAndFaultedness) {
   EXPECT_LT(faulted, 200);  // and healthy runs stay in the mix
 }
 
+TEST(ChaosSampler, CoversSegmentedAndPlainScans) {
+  int segmented = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (ch::sample_scenario(20260808, i).segmented) ++segmented;
+  }
+  // ~1/8 of draws route through the SegmentedScan wrapper; plain scans
+  // must stay the bulk of the campaign.
+  EXPECT_GT(segmented, 5);
+  EXPECT_LT(segmented, 100);
+}
+
+TEST(ChaosScenario, SegmentedRoundTripsAndDefaultsToFalse) {
+  ch::Scenario s;
+  s.segmented = true;
+  s.faults = "straggler:dev=1,factor=4";
+  const auto line = ch::to_string(s);
+  // seg precedes faults: the faults value may embed ';' and '='.
+  EXPECT_LT(line.find("seg=1"), line.find("faults="));
+  EXPECT_EQ(ch::parse_scenario(line), s);
+  // Pre-segmented repro lines (no seg key) still parse, as plain scans.
+  ch::Scenario plain;
+  EXPECT_FALSE(ch::parse_scenario(ch::to_string(plain)).segmented);
+}
+
 TEST(ChaosScenario, SpecLineRoundTrips) {
   for (int i = 0; i < 50; ++i) {
     const auto s = ch::sample_scenario(42, i);
@@ -128,6 +152,42 @@ TEST(ChaosCheck, HealthyAndFaultedScenariosHoldEveryInvariant) {
   ch::Scenario faulted = healthy;
   faulted.faults = "device-down:dev=1,at=1e-09";
   EXPECT_EQ(ch::check_scenario(faulted), std::nullopt);
+}
+
+TEST(ChaosCheck, SegmentedScenariosHoldEveryInvariant) {
+  // The SegmentedScan wrapper path: healthy on two proposals and under
+  // an injected straggler -- reference match here exercises the inline
+  // serial segmented reference against the packed SegPair executors.
+  ch::Scenario seg;
+  seg.executor = "Scan-MPS";
+  seg.w = 4;
+  seg.n = 1024;
+  seg.g = 2;
+  seg.segmented = true;
+  EXPECT_EQ(ch::check_scenario(seg), std::nullopt);
+
+  seg.kind = mgs::core::ScanKind::kExclusive;
+  EXPECT_EQ(ch::check_scenario(seg), std::nullopt);
+
+  ch::Scenario sp = seg;
+  sp.executor = "Scan-SP";
+  sp.w = 0;
+  EXPECT_EQ(ch::check_scenario(sp), std::nullopt);
+
+  ch::Scenario faulted = seg;
+  faulted.faults = "straggler:dev=1,factor=4";
+  EXPECT_EQ(ch::check_scenario(faulted), std::nullopt);
+}
+
+TEST(ChaosShrink, DropsSegmentedWrapperWhenPlainScanStillFails) {
+  ch::Scenario s;
+  s.segmented = true;
+  s.faults = "device-down:dev=3";
+  const auto fails = [](const ch::Scenario& c) {
+    return c.faults.find("device-down") != std::string::npos;
+  };
+  const auto small = ch::shrink(s, fails);
+  EXPECT_FALSE(small.segmented);
 }
 
 TEST(ChaosCampaign, SmallSeededCampaignIsCleanAndAccountedFor) {

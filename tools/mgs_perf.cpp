@@ -1,0 +1,231 @@
+/// mgs_perf: cross-run performance comparison (docs/observability.md).
+///
+///   mgs_perf diff BASE.json CUR.json [--top N] [--json OUT]
+///       differential critical-path attribution between two run-reports:
+///       a ranked "what got slower and where" table whose rows telescope
+///       exactly to the makespan delta, with structural changes (plan
+///       shape, wave count, resumed stages) flagged separately.
+///   mgs_perf history append --report R.json --label L
+///              [--pipeline P] [--g G] [--file F]
+///       append one run-report to the NDJSON history store.
+///   mgs_perf history show [--file F]
+///       per-configuration p50/p95/max summaries from the store.
+///   mgs_perf history top [--file F] [--top N]
+///       the configurations whose latest run regressed the most vs their
+///       previous run, with the stage that moved the most.
+///
+/// The subcommand and its file operands are positional; util::Cli parses
+/// the remaining --flags.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mgs/obs/diff.hpp"
+#include "mgs/obs/history.hpp"
+#include "mgs/obs/report.hpp"
+#include "mgs/util/check.hpp"
+#include "mgs/util/cli.hpp"
+#include "mgs/util/table.hpp"
+
+namespace {
+
+using namespace mgs;
+
+constexpr const char* kDefaultHistory = "bench_results/history.ndjson";
+
+int usage(int status) {
+  std::fprintf(
+      stderr,
+      "usage: mgs_perf diff BASE.json CUR.json [--top N] [--json OUT]\n"
+      "       mgs_perf history append --report R.json --label L\n"
+      "                [--pipeline P] [--g G] [--file F]\n"
+      "       mgs_perf history show [--file F]\n"
+      "       mgs_perf history top [--file F] [--top N]\n");
+  return status;
+}
+
+int cmd_diff(const std::string& base_path, const std::string& cur_path,
+             util::Cli& cli) {
+  cli.describe("top", "show only the N largest attribution rows (0 = all)");
+  cli.describe("json", "also write the machine-readable diff here");
+  cli.reject_unknown();
+  const auto base = obs::load_run_report(base_path);
+  const auto cur = obs::load_run_report(cur_path);
+  const auto d = obs::diff_reports(base, cur);
+  std::printf("baseline: %s\ncurrent:  %s\n\n%s", base_path.c_str(),
+              cur_path.c_str(),
+              obs::format_diff(
+                  d, static_cast<std::size_t>(cli.get_int("top", 0)))
+                  .c_str());
+  const std::string out = cli.get_string("json", "");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    MGS_REQUIRE(os.good(), "mgs_perf: cannot open " + out);
+    obs::write_diff_json(os, d);
+    std::printf("\nwrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_history_append(util::Cli& cli) {
+  cli.describe("report", "run-report JSON to append (required)");
+  cli.describe("label", "entry label, e.g. the git sha (required)");
+  cli.describe("pipeline", "pipeline the run used: auto/sync/overlap");
+  cli.describe("g", "problems in the batch (the report header omits G)");
+  cli.describe("file", "history store path (default bench_results/"
+                       "history.ndjson)");
+  cli.reject_unknown();
+  const std::string report = cli.get_string("report", "");
+  const std::string label = cli.get_string("label", "");
+  MGS_REQUIRE(!report.empty() && !label.empty(),
+              "mgs_perf: history append needs --report and --label");
+  const obs::RunHistory hist(cli.get_string("file", kDefaultHistory));
+  const auto entry = obs::entry_from_report(
+      obs::load_run_report(report), label,
+      cli.get_string("pipeline", "auto"), cli.get_int("g", 0));
+  hist.append(entry);
+  std::printf("appended [%s] %s  makespan %.3f us -> %s\n", label.c_str(),
+              entry.key.str().c_str(), entry.seconds * 1e6,
+              hist.path().c_str());
+  return 0;
+}
+
+int cmd_history_show(util::Cli& cli) {
+  cli.describe("file", "history store path");
+  cli.reject_unknown();
+  const obs::RunHistory hist(cli.get_string("file", kDefaultHistory));
+  const auto entries = hist.load();
+  if (entries.empty()) {
+    std::printf("history: no entries in %s\n", hist.path().c_str());
+    return 0;
+  }
+  std::printf("history: %zu entries in %s\n\n", entries.size(),
+              hist.path().c_str());
+  std::printf("%s",
+              obs::RunHistory::format_summary(
+                  obs::RunHistory::summarize(entries))
+                  .c_str());
+  return 0;
+}
+
+int cmd_history_top(util::Cli& cli) {
+  cli.describe("file", "history store path");
+  cli.describe("top", "configurations to show (default 10)");
+  cli.reject_unknown();
+  const obs::RunHistory hist(cli.get_string("file", kDefaultHistory));
+  const auto entries = hist.load();
+  // Latest vs previous entry per key: the "what got slower" ranking, with
+  // the breakdown phase that moved the most as the where.
+  struct Pair {
+    const obs::HistoryEntry* prev = nullptr;
+    const obs::HistoryEntry* latest = nullptr;
+  };
+  std::map<std::string, Pair> by_key;
+  for (const auto& e : entries) {
+    Pair& p = by_key[e.key.str()];
+    p.prev = p.latest;
+    p.latest = &e;
+  }
+  struct Row {
+    const Pair* p;
+    double delta_pct;
+  };
+  std::vector<Row> rows;
+  for (const auto& [key, p] : by_key) {
+    if (p.prev == nullptr || p.prev->seconds <= 0.0) continue;
+    rows.push_back({&p, (p.latest->seconds / p.prev->seconds - 1.0) * 100.0});
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.delta_pct > b.delta_pct;
+  });
+  const auto top = static_cast<std::size_t>(cli.get_int("top", 10));
+  if (rows.empty()) {
+    std::printf("history: need at least two runs of a configuration for a "
+                "regression ranking (%zu entries in %s)\n",
+                entries.size(), hist.path().c_str());
+    return 0;
+  }
+  util::Table t({"config", "prev(us)", "latest(us)", "delta", "slowest mover",
+                 "labels"});
+  for (std::size_t i = 0; i < std::min(top, rows.size()); ++i) {
+    const auto& [p, delta_pct] = rows[i];
+    // The breakdown phase with the largest absolute drift.
+    std::map<std::string, double> prev_phases(p->prev->breakdown.begin(),
+                                              p->prev->breakdown.end());
+    std::string mover = "-";
+    double mover_delta = 0.0;
+    for (const auto& [phase, secs] : p->latest->breakdown) {
+      const double d = secs - (prev_phases.count(phase) != 0
+                                   ? prev_phases.at(phase)
+                                   : 0.0);
+      if (std::abs(d) > std::abs(mover_delta)) {
+        mover_delta = d;
+        mover = phase;
+      }
+    }
+    char delta[32], mover_buf[96];
+    std::snprintf(delta, sizeof delta, "%+.2f%%", delta_pct);
+    std::snprintf(mover_buf, sizeof mover_buf, "%s (%+.2f us)", mover.c_str(),
+                  mover_delta * 1e6);
+    t.add_row({p->latest->key.str(),
+               util::fmt_double(p->prev->seconds * 1e6, 1),
+               util::fmt_double(p->latest->seconds * 1e6, 1), delta,
+               mover_buf,
+               (p->prev->label.empty() ? "-" : p->prev->label) + " -> " +
+                   (p->latest->label.empty() ? "-" : p->latest->label)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    // Split "mgs_perf <subcommand> [operands] --flags" by hand: util::Cli
+    // rejects positional arguments, so the leading non-flag words are
+    // peeled off before it sees argv.
+    std::vector<std::string> pos;
+    std::vector<char*> flags;
+    flags.push_back(argv[0]);
+    bool flags_started = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (!flags_started && a.rfind("--", 0) != 0) {
+        pos.push_back(a);
+      } else {
+        flags_started = true;
+        flags.push_back(argv[i]);
+      }
+    }
+    util::Cli cli(static_cast<int>(flags.size()), flags.data());
+    if (pos.empty()) {
+      return usage(cli.help_requested() ? 0 : 2);
+    }
+    if (pos[0] == "diff") {
+      MGS_REQUIRE(pos.size() == 3,
+                  "mgs_perf: diff needs exactly two report paths");
+      return cmd_diff(pos[1], pos[2], cli);
+    }
+    if (pos[0] == "history") {
+      MGS_REQUIRE(pos.size() == 2,
+                  "mgs_perf: history needs a subcommand (append/show/top)");
+      if (pos[1] == "append") return cmd_history_append(cli);
+      if (pos[1] == "show") return cmd_history_show(cli);
+      if (pos[1] == "top") return cmd_history_top(cli);
+      throw util::Error("mgs_perf: unknown history subcommand '" + pos[1] +
+                        "'");
+    }
+    std::fprintf(stderr, "mgs_perf: unknown command '%s'\n", pos[0].c_str());
+    return usage(2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mgs_perf: %s\n", e.what());
+    return 1;
+  }
+}

@@ -139,7 +139,7 @@ int main(int argc, char** argv) {
     if (!perfetto.empty()) {
       std::ofstream os(perfetto);
       MGS_REQUIRE(os.good(), "mgs_trace: cannot open " + perfetto);
-      obs::write_chrome_trace(os, rep.spans);
+      obs::write_chrome_trace(os, rep.spans, rep.metrics);
       std::printf("\nwrote %s\n", perfetto.c_str());
     }
     const std::string prom = cli.get_string("prometheus", "");
