@@ -123,7 +123,8 @@ struct MicroOptions {
   std::string trace = "bench_results/bench_micro_run_report.json";
   std::string out;  ///< results JSON override (e.g. for fault-seeded runs
                     ///< that must not clobber the tracked snapshot)
-  std::string history_label;  ///< append traced run to the history store
+  std::string history_label;  ///< history-store label; auto-detected from
+                              ///< git when omitted ("none" disables)
   std::string history_file = "bench_results/history.ndjson";
   mc::DType dtype = mc::DType::kI32;
   mc::OpTag op = mc::OpTag::kPlus;
@@ -668,6 +669,12 @@ int main(int argc, char** argv) {
   }
   opts.dtype = mc::parse_dtype(dtype);
   opts.op = mc::parse_op(op);
+  // Same auto-label convention as parse_bench_config: unlabeled runs
+  // record under the current commit, "none" opts out.
+  if (opts.history_label.empty()) {
+    opts.history_label = mgs::bench::detect_git_label();
+  }
+  if (opts.history_label == "none") opts.history_label.clear();
   if (opts.trace == "bench_results/bench_micro_run_report.json") {
     // Default trace path follows the dtype/op suffix convention too.
     opts.trace =

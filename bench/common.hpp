@@ -94,6 +94,24 @@ class TraceGuard {
   obs::TraceSession session_;
 };
 
+/// The label bench runs record history under when --history-label is
+/// omitted: `git rev-parse --short HEAD`, or "local" outside a repo (or
+/// when git is unavailable) -- so ad-hoc laptop runs still land on a
+/// consistent timeline point instead of being dropped.
+inline std::string detect_git_label() {
+  std::string out;
+  if (FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    while (std::fgets(buf, sizeof buf, p) != nullptr) out += buf;
+    const int rc = ::pclose(p);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+      out.pop_back();
+    }
+    if (rc != 0) out.clear();
+  }
+  return out.empty() ? "local" : out;
+}
+
 struct BenchConfig {
   int total_log2 = 22;    ///< total elements per data point (paper: 28)
   int min_n_log2 = 13;    ///< smallest problem size exponent (paper: 13)
@@ -105,8 +123,10 @@ struct BenchConfig {
   std::shared_ptr<TraceGuard> trace_guard;  ///< live session when tracing
   core::DType dtype = core::DType::kI32;  ///< --dtype: element type
   core::OpTag op = core::OpTag::kPlus;    ///< --op: scan operator
-  std::string history_label;  ///< --history-label: append runs to the
-                              ///< NDJSON history under this label ("" = off)
+  std::string history_label;  ///< label runs append to the NDJSON history
+                              ///< under; auto-detected from git when the
+                              ///< flag is omitted, "" (--history-label
+                              ///< none) = off
   std::string history_file = "bench_results/history.ndjson";
 
   const char* dtype_name() const { return core::to_string(dtype); }
@@ -138,7 +158,9 @@ inline BenchConfig parse_bench_config(int argc, char** argv,
   cli.describe("op", "scan operator: plus (default), max, min");
   cli.describe("history-label",
                "append this harness's data points to the run history under "
-               "this label, e.g. the git sha (mgs_perf history show)");
+               "this label (mgs_perf history show). Default: the current "
+               "git short sha, or 'local' outside a repo; 'none' disables "
+               "recording");
   cli.describe("history-file",
                "history store path (default bench_results/history.ndjson)");
   if (cli.help_requested()) {
@@ -161,7 +183,12 @@ inline BenchConfig parse_bench_config(int argc, char** argv,
   }
   cfg.dtype = core::parse_dtype(cli.get_string("dtype", "i32"));
   cfg.op = core::parse_op(cli.get_string("op", "plus"));
+  // Auto-label: an explicit --history-label wins; otherwise every run is
+  // recorded under the current commit so local timelines accumulate for
+  // free. "none" is the opt-out.
   cfg.history_label = cli.get_string("history-label", "");
+  if (cfg.history_label.empty()) cfg.history_label = detect_git_label();
+  if (cfg.history_label == "none") cfg.history_label.clear();
   cfg.history_file =
       cli.get_string("history-file", "bench_results/history.ndjson");
   MGS_REQUIRE(cfg.total_log2 >= cfg.min_n_log2 && cfg.total_log2 <= 28,
@@ -170,8 +197,10 @@ inline BenchConfig parse_bench_config(int argc, char** argv,
 }
 
 /// Append one labeled data point to the NDJSON run history -- the shared
-/// hook every bench binary calls behind --history-label (a no-op without
-/// it). by_category stays zero for untraced runs; the traced paths fill
+/// hook every bench binary calls. Runs record under the auto-detected git
+/// label by default (--history-label none disables, leaving the label
+/// empty and making this a no-op). by_category stays zero for untraced
+/// runs; the traced paths fill
 /// it from the analyzer before appending. Store failures are reported,
 /// never fatal: history is telemetry, not a gate.
 inline void record_history(const BenchConfig& cfg, const std::string& executor,

@@ -27,7 +27,10 @@ critical-path sections are printed into the CI log, and when the
 `mgs_perf` binary is available (`--mgs-perf`, default
 build/tools/mgs_perf) its full ranked diff table is printed too and the
 machine-readable diff JSON is written to `--diff-out` for artifact
-upload.
+upload. When the binary is missing or fails, the gate degrades
+gracefully: a clear WARNING is printed, the Python attribution is the
+summary, and a stdlib-generated fallback diff JSON is written to
+`--diff-out` so the regression artifact always exists.
 
 Usage:
   scripts/bench_check.py [--baseline FILE|auto] [--current FILE]
@@ -147,13 +150,15 @@ def attribution(base_doc: dict, cur_doc: dict,
 
 
 def run_mgs_perf(binary: str, baseline: str, current: str,
-                 diff_out: str | None) -> None:
+                 diff_out: str | None) -> bool:
     """Best-effort full diff via the mgs_perf CLI: ranked table into the
-    log, machine-readable JSON to diff_out for artifact upload."""
+    log, machine-readable JSON to diff_out for artifact upload. Returns
+    True when the binary ran successfully (and wrote diff_out if asked);
+    the caller degrades to the Python fallback otherwise."""
     if not (binary and os.path.exists(binary)):
-        print(f"bench_check: ({binary or 'mgs_perf'} not found; "
-              "Python attribution above is the summary)")
-        return
+        print(f"bench_check: WARNING - {binary or 'mgs_perf'} not found; "
+              "degrading to the Python top-3 attribution above")
+        return False
     cmd = [binary, "diff", baseline, current, "--top", "10"]
     if diff_out:
         os.makedirs(os.path.dirname(diff_out) or ".", exist_ok=True)
@@ -164,10 +169,41 @@ def run_mgs_perf(binary: str, baseline: str, current: str,
         sys.stdout.write(proc.stdout)
         if proc.stderr:
             sys.stderr.write(proc.stderr)
-        if diff_out and os.path.exists(diff_out):
+        if proc.returncode != 0:
+            print(f"bench_check: WARNING - mgs_perf exited "
+                  f"{proc.returncode}; degrading to the Python top-3 "
+                  "attribution above", file=sys.stderr)
+            return False
+        if diff_out and not os.path.exists(diff_out):
+            return False
+        if diff_out:
             print(f"bench_check: diff JSON -> {diff_out}")
+        return True
     except (OSError, subprocess.SubprocessError) as e:
-        print(f"bench_check: mgs_perf failed: {e}", file=sys.stderr)
+        print(f"bench_check: WARNING - mgs_perf failed ({e}); degrading "
+              "to the Python top-3 attribution above", file=sys.stderr)
+        return False
+
+
+def write_fallback_diff(diff_out: str, baseline: str, current: str,
+                        base_doc: dict, cur_doc: dict,
+                        base_total: float, cur_total: float) -> None:
+    """Stdlib-only stand-in for the mgs_perf diff JSON so the regression
+    artifact exists even when the binary is missing or broken."""
+    doc = {
+        "schema": "bench-check-fallback-diff-v1",
+        "baseline": baseline,
+        "current": current,
+        "makespan": {"base": base_total, "cur": cur_total,
+                     "delta": cur_total - base_total},
+        "top_rows": attribution(base_doc, cur_doc, base_total, cur_total,
+                                top=10),
+    }
+    os.makedirs(os.path.dirname(diff_out) or ".", exist_ok=True)
+    with open(diff_out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"bench_check: fallback diff JSON -> {diff_out}")
 
 
 def main() -> int:
@@ -234,7 +270,10 @@ def main() -> int:
         for i, line in enumerate(
                 attribution(base_doc, cur_doc, base_total, cur_total), 1):
             print(f"bench_check:   #{i} {line}")
-        run_mgs_perf(args.mgs_perf, baseline, args.current, args.diff_out)
+        if (not run_mgs_perf(args.mgs_perf, baseline, args.current,
+                             args.diff_out) and args.diff_out):
+            write_fallback_diff(args.diff_out, baseline, args.current,
+                                base_doc, cur_doc, base_total, cur_total)
         print(
             f"bench_check: FAIL - modeled makespan regressed "
             f"{delta_pct:+.2f}% (> {args.tolerance_pct:.1f}%). If the "

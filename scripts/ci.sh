@@ -67,19 +67,33 @@ for cfg in "i32 plus" "f64 max" "i64 min"; do
 done
 
 # Longitudinal history: show the per-key summaries and the latest movers
-# (informational -- the gate above is what fails the build).
+# (informational -- the gates are bench_check above and trend below).
 "$BUILD_DIR"/tools/mgs_perf history show --file bench_results/history.ndjson
 "$BUILD_DIR"/tools/mgs_perf history top --file bench_results/history.ndjson
+
+# Cross-commit trend gate + dashboard over the chained store (the CI
+# workflow restores the previous history.ndjson before this script runs
+# and re-uploads the merged store after). trend exits non-zero when any
+# key has an unacknowledged regression change-point; sign off intentional
+# steps by listing their sha in bench_results/history_ack.txt.
+"$BUILD_DIR"/tools/mgs_perf history compact --file bench_results/history.ndjson
+"$BUILD_DIR"/tools/mgs_perf trend --file bench_results/history.ndjson \
+  --json bench_results/trend.json
+"$BUILD_DIR"/tools/mgs_perf dashboard --file bench_results/history.ndjson \
+  --out bench_results/dashboard.html
 
 # Gate self-test: seed a deliberate straggler (device 1 running 8x slow)
 # into the traced run and assert the gate both FAILS and prints the
 # attribution table pointing at the injected slowdown. Guards the
 # regression path itself -- a gate that silently passes a 8x straggler
 # is worse than no gate.
+# --history-label none: a deliberately broken run must not land on the
+# chained timeline the trend gate below watches.
 "$BUILD_DIR"/bench/bench_micro \
   --faults "straggler:dev=1,factor=8" \
   --trace "$BUILD_DIR/bench_micro_straggler.json" \
   --out "$BUILD_DIR/bench_micro_straggler_results.json" \
+  --history-label none \
   --benchmark_filter='^$'
 if python3 scripts/bench_check.py \
     --baseline auto \
@@ -95,6 +109,47 @@ grep -q "top attribution" "$BUILD_DIR/bench_check_straggler.log" || {
   exit 1
 }
 echo "ci: gate self-test OK (seeded straggler caught and attributed)"
+
+# Trend-gate self-test: build a synthetic chained store -- the same
+# healthy report under three fake shas (simulated time is deterministic,
+# so the series is flat) must pass with no change-point; appending the
+# 8x-straggler report under a fourth fake sha must trip the gate, name
+# that sha as the first offending label, and mark it on the dashboard.
+TREND_HIST="$BUILD_DIR/trend_selftest.ndjson"
+rm -f "$TREND_HIST"
+for FAKE in aaaa111 bbbb222 cccc333; do
+  "$BUILD_DIR"/tools/mgs_perf history append \
+    --report bench_results/bench_micro_run_report.json \
+    --label "$FAKE" --file "$TREND_HIST"
+done
+"$BUILD_DIR"/tools/mgs_perf trend --file "$TREND_HIST" || {
+  echo "ci: ERROR - trend flagged a change-point on a flat 3-label chain" >&2
+  exit 1
+}
+"$BUILD_DIR"/tools/mgs_perf history append \
+  --report "$BUILD_DIR/bench_micro_straggler.json" \
+  --label badc0de --file "$TREND_HIST"
+if "$BUILD_DIR"/tools/mgs_perf trend --file "$TREND_HIST" \
+    | tee "$BUILD_DIR/trend_selftest.log"; then
+  echo "ci: ERROR - trend passed a seeded 8x regression step" >&2
+  exit 1
+fi
+grep -q "badc0de" "$BUILD_DIR/trend_selftest.log" || {
+  echo "ci: ERROR - trend failed without naming the offending sha" >&2
+  exit 1
+}
+"$BUILD_DIR"/tools/mgs_perf dashboard --file "$TREND_HIST" \
+  --out "$BUILD_DIR/trend_selftest_dashboard.html"
+grep -q "badc0de" "$BUILD_DIR/trend_selftest_dashboard.html" || {
+  echo "ci: ERROR - dashboard does not mark the offending sha" >&2
+  exit 1
+}
+# Acknowledging the sha must clear the gate (the sign-off workflow).
+"$BUILD_DIR"/tools/mgs_perf trend --file "$TREND_HIST" --ack badc0de || {
+  echo "ci: ERROR - acknowledged change-point still trips the gate" >&2
+  exit 1
+}
+echo "ci: trend self-test OK (flat chain clean, seeded step caught at badc0de)"
 
 # The dtype test group on its own (matrix correctness + the instantiation
 # guard that compiles every proposal over every (dtype, op) cell).

@@ -214,9 +214,11 @@ std::vector<KeySummary> RunHistory::summarize(
     }
     out.push_back(std::move(s));
   }
+  // Lexicographic by key: summaries render identically run-to-run, so CI
+  // logs diff cleanly (history top owns the worst-regression ranking).
   std::stable_sort(out.begin(), out.end(),
                    [](const KeySummary& a, const KeySummary& b) {
-                     return a.trend_pct() > b.trend_pct();
+                     return a.key.str() < b.key.str();
                    });
   return out;
 }

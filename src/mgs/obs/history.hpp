@@ -102,7 +102,8 @@ class RunHistory {
   /// enough that the interpolated percentiles land within a bucket width.
   static const std::vector<double>& makespan_bounds();
 
-  /// Render the summaries as an aligned table, slowest-trend first.
+  /// Render the summaries as an aligned table (summarize() emits them in
+  /// lexicographic key order, so the table is stable across runs).
   static std::string format_summary(const std::vector<KeySummary>& rows);
 
  private:

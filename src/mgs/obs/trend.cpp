@@ -1,0 +1,667 @@
+#include "mgs/obs/trend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "mgs/obs/export.hpp"
+#include "mgs/util/table.hpp"
+
+namespace mgs::obs {
+
+namespace {
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  std::nth_element(v.begin(),
+                   v.begin() + static_cast<std::ptrdiff_t>(mid - 1),
+                   v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (v[mid - 1] + hi);
+}
+
+/// Median absolute deviation scaled to a sigma-equivalent (1.4826 is the
+/// consistency constant for normally distributed jitter).
+double scaled_mad(const std::vector<double>& v, double median) {
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (double x : v) dev.push_back(std::abs(x - median));
+  return 1.4826 * median_of(std::move(dev));
+}
+
+/// Largest-|delta| breakdown phase across a step, history-top style.
+std::string top_mover_between(const HistoryEntry& prev,
+                              const HistoryEntry& cur) {
+  if (prev.breakdown.empty() && cur.breakdown.empty()) return "-";
+  std::map<std::string, double> p(prev.breakdown.begin(),
+                                  prev.breakdown.end());
+  std::map<std::string, double> c(cur.breakdown.begin(), cur.breakdown.end());
+  std::string mover = "-";
+  double mover_delta = 0.0;
+  for (const auto& [phase, secs] : c) {
+    const double d = secs - (p.count(phase) != 0 ? p.at(phase) : 0.0);
+    if (std::abs(d) > std::abs(mover_delta)) {
+      mover_delta = d;
+      mover = phase;
+    }
+  }
+  for (const auto& [phase, secs] : p) {
+    if (c.count(phase) != 0) continue;
+    if (std::abs(secs) > std::abs(mover_delta)) {
+      mover_delta = -secs;
+      mover = phase;
+    }
+  }
+  if (mover == "-") return mover;
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s (%+.2f us)", mover.c_str(),
+                mover_delta * 1e6);
+  return buf;
+}
+
+/// Greedy segmentation: walk the series left to right, compare the
+/// leading-window median against the trailing-window median (trailing
+/// never reaches past the previous change-point, so one step is reported
+/// once, at its first offending label), and restart the regime at every
+/// flagged index.
+std::vector<ChangePoint> detect(const std::vector<HistoryEntry>& pts,
+                                const TrendOptions& opt) {
+  std::vector<ChangePoint> out;
+  const std::size_t m = pts.size();
+  const auto w = static_cast<std::size_t>(std::max(1, opt.window));
+  std::size_t seg_start = 0;
+  for (std::size_t i = 1; i < m; ++i) {
+    const std::size_t lo = std::max(seg_start, i >= w ? i - w : 0);
+    std::vector<double> before, after;
+    for (std::size_t j = lo; j < i; ++j) before.push_back(pts[j].seconds);
+    for (std::size_t j = i; j < std::min(m, i + w); ++j) {
+      after.push_back(pts[j].seconds);
+    }
+    const double mb = median_of(before);
+    const double ma = median_of(after);
+    const double noise = opt.mad_k * scaled_mad(before, mb);
+    const double threshold = std::max(opt.min_effect * mb, noise);
+    if (threshold <= 0.0) continue;
+    // Both the regime medians and the candidate point itself must clear
+    // the threshold: the flag names the first label that actually moved.
+    if (std::abs(ma - mb) <= threshold) continue;
+    if (std::abs(pts[i].seconds - mb) <= threshold) continue;
+    ChangePoint cp;
+    cp.index = i;
+    cp.label = pts[i].label;
+    cp.prev_label = pts[i - 1].label;
+    cp.before = mb;
+    cp.after = ma;
+    cp.noise_floor = noise;
+    cp.regression = ma > mb;
+    cp.top_mover = top_mover_between(pts[i - 1], pts[i]);
+    out.push_back(std::move(cp));
+    seg_start = i;
+  }
+  return out;
+}
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string us(double seconds, int precision = 2) {
+  return util::fmt_double(seconds * 1e6, precision);
+}
+
+std::string fmt_pct(double pct) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", pct);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<HistoryEntry> dedup_entries(const std::vector<HistoryEntry>& in) {
+  std::vector<HistoryEntry> out;
+  std::map<std::string, std::size_t> slot;  // (key, label) -> out index
+  for (const auto& e : in) {
+    const std::string id = e.key.str() + '\n' + e.label;
+    if (const auto it = slot.find(id); it != slot.end()) {
+      out[it->second] = e;  // latest entry wins, position stays first-seen
+    } else {
+      slot.emplace(id, out.size());
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<KeyTrend> analyze_trends(const std::vector<HistoryEntry>& entries,
+                                     const TrendOptions& opt) {
+  const auto deduped = dedup_entries(entries);
+  std::map<std::string, KeyTrend> by_key;  // lexicographic key order
+  for (const auto& e : deduped) {
+    KeyTrend& t = by_key[e.key.str()];
+    t.key = e.key;
+    t.points.push_back(e);
+  }
+  std::vector<KeyTrend> out;
+  out.reserve(by_key.size());
+  for (auto& [_, t] : by_key) {
+    t.changes = detect(t.points, opt);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void acknowledge(std::vector<KeyTrend>& trends,
+                 const std::vector<std::string>& acks) {
+  const std::set<std::string> set(acks.begin(), acks.end());
+  for (auto& t : trends) {
+    for (auto& cp : t.changes) {
+      if (set.count(cp.label) != 0) cp.acknowledged = true;
+    }
+  }
+}
+
+bool has_unacknowledged_regression(const std::vector<KeyTrend>& trends) {
+  for (const auto& t : trends) {
+    for (const auto& cp : t.changes) {
+      if (cp.regression && !cp.acknowledged) return true;
+    }
+  }
+  return false;
+}
+
+RunReport report_from_entry(const HistoryEntry& e) {
+  RunReport rep;
+  rep.run.executor = e.key.executor;
+  rep.run.dtype = e.key.dtype;
+  rep.run.op = e.key.op;
+  rep.run.n = e.key.n;
+  rep.run.devices = e.key.devices;
+  rep.run.seconds = e.seconds;
+  rep.run.payload_bytes = e.payload_bytes;
+  rep.run.breakdown = e.breakdown;
+  auto& cp = rep.critical_path;
+  cp.start_seconds = 0.0;
+  cp.end_seconds = e.seconds;
+  cp.total_seconds = e.seconds;
+  cp.by_category = e.by_category;
+  if (cp.by_category.total() == 0.0 && e.seconds > 0.0) {
+    cp.by_category[Category::kOther] = e.seconds;  // untraced entry
+  }
+  double at = 0.0;
+  for (const auto& [phase, secs] : e.breakdown) {
+    CriticalPathReport::StageRow row;
+    row.name = phase;
+    row.start_seconds = at;
+    row.end_seconds = at + secs;
+    // The store keeps per-stage durations but not their category split;
+    // the duration lands in "other" so diff rows still telescope exactly.
+    row.by_category[Category::kOther] = secs;
+    at += secs;
+    cp.stages.push_back(std::move(row));
+  }
+  return rep;
+}
+
+std::string format_trends(const std::vector<KeyTrend>& trends,
+                          const TrendOptions& opt) {
+  std::ostringstream os;
+  {
+    util::Table t({"config", "runs", "first", "latest(us)", "trend",
+                   "change-points"});
+    for (const auto& tr : trends) {
+      if (tr.points.empty()) continue;
+      const double first = tr.points.front().seconds;
+      const double latest = tr.points.back().seconds;
+      int regressions = 0, improvements = 0;
+      for (const auto& cp : tr.changes) {
+        (cp.regression ? regressions : improvements) += 1;
+      }
+      std::string cps = "none";
+      if (!tr.changes.empty()) {
+        cps = std::to_string(regressions) + " regression(s), " +
+              std::to_string(improvements) + " improvement(s)";
+      }
+      t.add_row({tr.key.str(), std::to_string(tr.points.size()),
+                 tr.points.front().label.empty() ? "-"
+                                                 : tr.points.front().label,
+                 us(latest, 1),
+                 fmt_pct(first > 0.0 ? (latest / first - 1.0) * 100.0 : 0.0),
+                 cps});
+    }
+    t.print(os);
+  }
+  int unacked = 0;
+  for (const auto& tr : trends) {
+    for (const auto& cp : tr.changes) {
+      os << "\n" << (cp.regression ? "REGRESSION" : "improvement") << " @ "
+         << (cp.label.empty() ? "?" : cp.label) << "  " << tr.key.str()
+         << "\n  " << us(cp.before) << " -> " << us(cp.after) << " us ("
+         << fmt_pct(cp.step_pct()) << "), noise floor " << us(cp.noise_floor)
+         << " us, after " << (cp.prev_label.empty() ? "?" : cp.prev_label)
+         << ", top mover " << cp.top_mover
+         << (cp.acknowledged ? "  [acknowledged]" : "") << "\n";
+      if (cp.regression && !cp.acknowledged) ++unacked;
+    }
+  }
+  os << "\ntrend: ";
+  if (unacked > 0) {
+    os << unacked << " unacknowledged regression change-point(s) "
+       << "(acknowledge an intentional change with --ack LABEL or a line "
+       << "in the ack file)\n";
+  } else {
+    os << "OK -- no unacknowledged regressions (" << trends.size()
+       << " configs, window " << opt.window << ", min effect "
+       << fmt_pct(opt.min_effect * 100.0).substr(1) << ")\n";
+  }
+  return os.str();
+}
+
+void write_trend_json(std::ostream& os, const std::vector<KeyTrend>& trends,
+                      const TrendOptions& opt) {
+  os << "{\n\"schema\":\"mgs-perf-trend-v1\"";
+  os << ",\n\"options\":{\"window\":" << opt.window
+     << ",\"min_effect\":" << json_double(opt.min_effect)
+     << ",\"mad_k\":" << json_double(opt.mad_k) << "}";
+  int unacked = 0;
+  os << ",\n\"keys\":[";
+  for (std::size_t k = 0; k < trends.size(); ++k) {
+    const auto& t = trends[k];
+    os << (k ? "," : "") << "\n{\"key\":{\"executor\":\""
+       << json_escape(t.key.executor) << "\",\"dtype\":\""
+       << json_escape(t.key.dtype) << "\",\"op\":\"" << json_escape(t.key.op)
+       << "\",\"pipeline\":\"" << json_escape(t.key.pipeline)
+       << "\",\"n\":" << t.key.n << ",\"g\":" << t.key.g
+       << ",\"devices\":" << t.key.devices << "}";
+    os << ",\"labels\":[";
+    for (std::size_t i = 0; i < t.points.size(); ++i) {
+      os << (i ? "," : "") << "\"" << json_escape(t.points[i].label) << "\"";
+    }
+    os << "],\"seconds\":[";
+    for (std::size_t i = 0; i < t.points.size(); ++i) {
+      os << (i ? "," : "") << json_double(t.points[i].seconds);
+    }
+    os << "],\"change_points\":[";
+    for (std::size_t i = 0; i < t.changes.size(); ++i) {
+      const auto& cp = t.changes[i];
+      if (cp.regression && !cp.acknowledged) ++unacked;
+      os << (i ? "," : "") << "{\"index\":" << cp.index << ",\"label\":\""
+         << json_escape(cp.label) << "\",\"prev_label\":\""
+         << json_escape(cp.prev_label)
+         << "\",\"before\":" << json_double(cp.before)
+         << ",\"after\":" << json_double(cp.after)
+         << ",\"step_pct\":" << json_double(cp.step_pct())
+         << ",\"noise_floor\":" << json_double(cp.noise_floor)
+         << ",\"regression\":" << (cp.regression ? "true" : "false")
+         << ",\"acknowledged\":" << (cp.acknowledged ? "true" : "false")
+         << ",\"top_mover\":\"" << json_escape(cp.top_mover) << "\"}";
+    }
+    os << "]}";
+  }
+  os << "],\n\"unacknowledged_regressions\":" << unacked << "\n}\n";
+}
+
+namespace {
+
+/// One sparkline SVG: the series polyline, a p50..p95 band, a hoverable
+/// dot per point (native <title> tooltips -- no scripts) and a marker per
+/// change-point. Classes "spark" and "cp-marker" are the stable hooks the
+/// tests count.
+void write_sparkline(std::ostream& os, const KeyTrend& t, double p50,
+                     double p95) {
+  const int W = 640, H = 120, pad = 10;
+  const std::size_t m = t.points.size();
+  double lo = p50, hi = p95;
+  for (const auto& p : t.points) {
+    lo = std::min(lo, p.seconds);
+    hi = std::max(hi, p.seconds);
+  }
+  if (hi <= lo) hi = lo + (lo > 0.0 ? 0.05 * lo : 1.0);
+  const double margin = 0.08 * (hi - lo);
+  lo -= margin;
+  hi += margin;
+  const auto x = [&](std::size_t i) {
+    return m <= 1 ? W / 2.0
+                  : pad + static_cast<double>(i) * (W - 2.0 * pad) /
+                              static_cast<double>(m - 1);
+  };
+  const auto y = [&](double v) {
+    return H - pad - (v - lo) * (H - 2.0 * pad) / (hi - lo);
+  };
+  char buf[256];
+  os << "<svg class=\"spark\" viewBox=\"0 0 " << W << " " << H
+     << "\" width=\"" << W << "\" height=\"" << H
+     << "\" role=\"img\" aria-label=\"makespan trend for "
+     << html_escape(t.key.str()) << "\">\n";
+  // p50..p95 band + dashed bounds (recessive, behind the series).
+  std::snprintf(buf, sizeof buf,
+                "<rect class=\"band\" x=\"%d\" y=\"%.1f\" width=\"%d\" "
+                "height=\"%.1f\"/>\n",
+                pad, y(p95), W - 2 * pad, std::max(0.0, y(p50) - y(p95)));
+  os << buf;
+  for (const double q : {p50, p95}) {
+    std::snprintf(buf, sizeof buf,
+                  "<line class=\"qline\" x1=\"%d\" y1=\"%.1f\" x2=\"%d\" "
+                  "y2=\"%.1f\"/>\n",
+                  pad, y(q), W - pad, y(q));
+    os << buf;
+  }
+  // The series.
+  os << "<polyline class=\"series\" points=\"";
+  for (std::size_t i = 0; i < m; ++i) {
+    std::snprintf(buf, sizeof buf, "%s%.1f,%.1f", i ? " " : "", x(i),
+                  y(t.points[i].seconds));
+    os << buf;
+  }
+  os << "\"/>\n";
+  // Change-point markers first so the hover dots stay on top.
+  for (const auto& cp : t.changes) {
+    os << "<g class=\"cp-marker" << (cp.acknowledged ? " ack" : "")
+       << (cp.regression ? "" : " improvement") << "\">";
+    std::snprintf(buf, sizeof buf,
+                  "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\"/>"
+                  "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"6\"/>",
+                  x(cp.index), pad, x(cp.index), H - pad, x(cp.index),
+                  y(t.points[cp.index].seconds));
+    os << buf << "<title>" << html_escape(cp.label) << ": "
+       << us(cp.before) << " -> " << us(cp.after) << " us ("
+       << fmt_pct(cp.step_pct()) << ")"
+       << (cp.acknowledged ? " [acknowledged]" : "") << "</title></g>\n";
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    std::snprintf(buf, sizeof buf,
+                  "<circle class=\"dot\" cx=\"%.1f\" cy=\"%.1f\" r=\"4\">",
+                  x(i), y(t.points[i].seconds));
+    os << buf << "<title>" << html_escape(t.points[i].label) << ": "
+       << us(t.points[i].seconds) << " us</title></circle>\n";
+  }
+  // Direct label on the latest point; first/last labels on the x axis.
+  std::snprintf(buf, sizeof buf,
+                "<text class=\"vlabel\" x=\"%.1f\" y=\"%.1f\">%s us</text>\n",
+                std::min<double>(x(m - 1), W - 4),
+                std::max<double>(pad + 10, y(t.points[m - 1].seconds) - 8),
+                us(t.points[m - 1].seconds).c_str());
+  os << buf;
+  os << "<text class=\"alabel\" x=\"" << pad << "\" y=\"" << (H - 1)
+     << "\">" << html_escape(t.points.front().label) << "</text>";
+  os << "<text class=\"alabel end\" x=\"" << (W - pad) << "\" y=\""
+     << (H - 1) << "\">" << html_escape(t.points.back().label)
+     << "</text>\n";
+  os << "</svg>\n";
+}
+
+/// Embedded diff table for one flagged step, from diff_reports over the
+/// two sides' reconstituted reports. Every non-zero row is printed and
+/// the footer states the telescoping check with both sums, so the exact
+/// invariant is visible (and test-able) in the artifact itself.
+void write_step_diff(std::ostream& os, const KeyTrend& t,
+                     const ChangePoint& cp) {
+  const RunReport base = report_from_entry(t.points[cp.index - 1]);
+  const RunReport cur = report_from_entry(t.points[cp.index]);
+  const ReportDiff d = diff_reports(base, cur);
+  double row_sum = 0.0;
+  for (const auto& r : d.rows) row_sum += r.delta();
+  os << "<table class=\"diff\"><thead><tr><th>stage</th><th>category</th>"
+     << "<th>base (us)</th><th>current (us)</th><th>delta (us)</th></tr>"
+     << "</thead><tbody>\n";
+  for (const auto* r : ranked_rows(d)) {
+    if (r->delta() == 0.0) continue;
+    os << "<tr><td>" << html_escape(r->stage)
+       << (r->structural ? " *" : "") << "</td><td>"
+       << to_string(r->category) << "</td><td class=\"num\">"
+       << us(r->base_seconds) << "</td><td class=\"num\">"
+       << us(r->cur_seconds) << "</td><td class=\"num\">"
+       << (r->delta() >= 0 ? "+" : "") << us(r->delta())
+       << "</td></tr>\n";
+  }
+  os << "</tbody><tfoot><tr><td colspan=\"4\">&Sigma; row deltas (exact "
+     << "telescoping)</td><td class=\"num\">" << (row_sum >= 0 ? "+" : "")
+     << us(row_sum) << " == " << (d.delta() >= 0 ? "+" : "")
+     << us(d.delta()) << "</td></tr></tfoot></table>\n";
+  if (d.structural_change()) {
+    os << "<ul class=\"structural\">";
+    for (const auto& s : d.structural) {
+      os << "<li>" << html_escape(s) << "</li>";
+    }
+    os << "</ul>\n";
+  }
+}
+
+const char* kDashboardCss = R"css(
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --surface-2: #f0efec;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --grid: #d8d7d2; --series-1: #2a78d6; --band: #cde2fb;
+  --cp: #e34948; --ok: #008300;
+  font: 14px/1.45 system-ui, sans-serif;
+  background: var(--surface-1); color: var(--text-primary);
+  max-width: 1080px; margin: 0 auto; padding: 16px 24px 48px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --surface-2: #383835;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --grid: #44443f; --series-1: #3987e5; --band: #104281;
+    --cp: #e66767; --ok: #2da44e;
+  }
+}
+.viz-root h1 { font-size: 22px; margin: 8px 0 2px; }
+.viz-root h2 { font-size: 17px; margin: 28px 0 8px; }
+.viz-root h3 { font-size: 14px; margin: 0 0 4px; font-weight: 600; }
+.viz-root .meta { color: var(--text-secondary); margin: 0 0 8px; }
+.viz-root .verdict { font-weight: 600; }
+.viz-root .verdict.fail { color: var(--cp); }
+.viz-root .verdict.ok { color: var(--ok); }
+.viz-root table { border-collapse: collapse; margin: 6px 0 12px; }
+.viz-root th, .viz-root td {
+  text-align: left; padding: 3px 12px 3px 0;
+  border-bottom: 1px solid var(--grid);
+}
+.viz-root td.num, .viz-root th.num { text-align: right; }
+.viz-root tfoot td { color: var(--text-secondary); }
+.key-card {
+  border: 1px solid var(--grid); border-radius: 8px;
+  padding: 10px 14px; margin: 10px 0;
+}
+.key-card.flagged { border-color: var(--cp); }
+.key-card .stat { color: var(--text-secondary); margin: 0 0 4px; }
+.spark { display: block; }
+.spark .band { fill: var(--band); opacity: 0.45; }
+.spark .qline {
+  stroke: var(--text-secondary); stroke-width: 1;
+  stroke-dasharray: 4 4; opacity: 0.6;
+}
+.spark .series {
+  fill: none; stroke: var(--series-1); stroke-width: 2;
+  stroke-linejoin: round; stroke-linecap: round;
+}
+.spark .dot { fill: var(--series-1); stroke: var(--surface-1); stroke-width: 2; }
+.spark .cp-marker line { stroke: var(--cp); stroke-width: 1.5; stroke-dasharray: 3 3; }
+.spark .cp-marker circle { fill: none; stroke: var(--cp); stroke-width: 2.5; }
+.spark .cp-marker.ack line, .spark .cp-marker.ack circle { stroke: var(--text-secondary); }
+.spark .cp-marker.improvement line, .spark .cp-marker.improvement circle { stroke: var(--ok); }
+.spark .vlabel { fill: var(--text-primary); font-size: 12px; text-anchor: end; }
+.spark .alabel { fill: var(--text-secondary); font-size: 10px; }
+.spark .alabel.end { text-anchor: end; }
+.step { border-left: 3px solid var(--cp); padding-left: 12px; margin: 14px 0; }
+.step.ack { border-left-color: var(--text-secondary); }
+.step .meta b { color: var(--text-primary); }
+.structural { color: var(--text-secondary); }
+details summary { cursor: pointer; color: var(--text-secondary); }
+)css";
+
+}  // namespace
+
+void write_dashboard(std::ostream& os, const std::vector<KeyTrend>& trends,
+                     const TrendOptions& opt, const std::string& title) {
+  // Per-key p50/p95 from the same labeled-histogram machinery history
+  // show uses, over the deduped points the sparklines plot.
+  std::vector<HistoryEntry> flat;
+  for (const auto& t : trends) {
+    flat.insert(flat.end(), t.points.begin(), t.points.end());
+  }
+  std::map<std::string, KeySummary> summaries;
+  for (auto& s : RunHistory::summarize(flat)) {
+    summaries.emplace(s.key.str(), std::move(s));
+  }
+  int regressions = 0, improvements = 0, unacked = 0;
+  std::size_t labels = 0;
+  for (const auto& t : trends) {
+    labels = std::max(labels, t.points.size());
+    for (const auto& cp : t.changes) {
+      (cp.regression ? regressions : improvements) += 1;
+      if (cp.regression && !cp.acknowledged) ++unacked;
+    }
+  }
+
+  os << "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+     << "<meta charset=\"utf-8\">\n"
+     << "<meta name=\"viewport\" content=\"width=device-width, "
+        "initial-scale=1\">\n"
+     << "<title>" << html_escape(title) << "</title>\n<style>"
+     << kDashboardCss << "</style>\n</head>\n<body>\n"
+     << "<div class=\"viz-root\">\n<header>\n<h1>" << html_escape(title)
+     << "</h1>\n<p class=\"meta\">" << trends.size()
+     << " tracked configs &middot; up to " << labels
+     << " labels per config &middot; detection window " << opt.window
+     << ", min effect " << util::fmt_double(opt.min_effect * 100.0, 0)
+     << "%, noise floor " << util::fmt_double(opt.mad_k, 1)
+     << "&times;MAD</p>\n";
+  if (unacked > 0) {
+    os << "<p class=\"verdict fail\">&#9888; " << unacked
+       << " unacknowledged regression change-point(s)</p>\n";
+  } else {
+    os << "<p class=\"verdict ok\">&#10003; no unacknowledged regressions ("
+       << regressions << " acknowledged/none, " << improvements
+       << " improvement(s))</p>\n";
+  }
+  os << "</header>\n";
+
+  // Top movers: latest vs previous point per key, worst first.
+  struct Mover {
+    const KeyTrend* t;
+    double delta_pct;
+  };
+  std::vector<Mover> movers;
+  for (const auto& t : trends) {
+    if (t.points.size() < 2) continue;
+    const double prev = t.points[t.points.size() - 2].seconds;
+    if (prev <= 0.0) continue;
+    movers.push_back({&t, (t.points.back().seconds / prev - 1.0) * 100.0});
+  }
+  std::stable_sort(movers.begin(), movers.end(),
+                   [](const Mover& a, const Mover& b) {
+                     return a.delta_pct > b.delta_pct;
+                   });
+  if (!movers.empty()) {
+    os << "<section>\n<h2>Top movers (latest vs previous)</h2>\n"
+       << "<table><thead><tr><th>config</th><th class=\"num\">prev (us)"
+       << "</th><th class=\"num\">latest (us)</th><th class=\"num\">delta"
+       << "</th><th>top mover</th><th>labels</th></tr></thead><tbody>\n";
+    for (const auto& mv : movers) {
+      const auto& pts = mv.t->points;
+      const auto& prev = pts[pts.size() - 2];
+      const auto& latest = pts.back();
+      os << "<tr><td>" << html_escape(mv.t->key.str())
+         << "</td><td class=\"num\">" << us(prev.seconds, 1)
+         << "</td><td class=\"num\">" << us(latest.seconds, 1)
+         << "</td><td class=\"num\">" << fmt_pct(mv.delta_pct) << "</td><td>"
+         << html_escape(top_mover_between(prev, latest)) << "</td><td>"
+         << html_escape(prev.label) << " &rarr; "
+         << html_escape(latest.label) << "</td></tr>\n";
+    }
+    os << "</tbody></table>\n</section>\n";
+  }
+
+  // One card per key: stat line, sparkline, table view of the series.
+  os << "<section>\n<h2>Per-config trends</h2>\n";
+  for (const auto& t : trends) {
+    if (t.points.empty()) continue;
+    bool flagged = false;
+    for (const auto& cp : t.changes) {
+      if (cp.regression && !cp.acknowledged) flagged = true;
+    }
+    const auto sit = summaries.find(t.key.str());
+    const double p50 = sit != summaries.end() ? sit->second.p50 : 0.0;
+    const double p95 = sit != summaries.end() ? sit->second.p95 : 0.0;
+    const double first = t.points.front().seconds;
+    const double latest = t.points.back().seconds;
+    os << "<article class=\"key-card" << (flagged ? " flagged" : "")
+       << "\">\n<h3>" << html_escape(t.key.str()) << "</h3>\n"
+       << "<p class=\"stat\">" << t.points.size() << " runs &middot; latest "
+       << us(latest) << " us &middot; p50 " << us(p50) << " &middot; p95 "
+       << us(p95) << " &middot; trend "
+       << fmt_pct(first > 0.0 ? (latest / first - 1.0) * 100.0 : 0.0)
+       << " since " << html_escape(t.points.front().label) << "</p>\n";
+    write_sparkline(os, t, p50, p95);
+    os << "<details><summary>series (" << t.points.size()
+       << " points)</summary><table><thead><tr><th>label</th>"
+       << "<th class=\"num\">makespan (us)</th><th class=\"num\">vs prev"
+       << "</th></tr></thead><tbody>\n";
+    for (std::size_t i = 0; i < t.points.size(); ++i) {
+      const double prev = i > 0 ? t.points[i - 1].seconds : 0.0;
+      os << "<tr><td>" << html_escape(t.points[i].label)
+         << "</td><td class=\"num\">" << us(t.points[i].seconds)
+         << "</td><td class=\"num\">"
+         << (i > 0 && prev > 0.0
+                 ? fmt_pct((t.points[i].seconds / prev - 1.0) * 100.0)
+                 : std::string("-"))
+         << "</td></tr>\n";
+    }
+    os << "</tbody></table></details>\n</article>\n";
+  }
+  os << "</section>\n";
+
+  // Flagged steps with the embedded exact-telescoping diff tables.
+  bool any_step = false;
+  for (const auto& t : trends) any_step |= !t.changes.empty();
+  if (any_step) {
+    os << "<section>\n<h2>Change-points</h2>\n";
+    for (const auto& t : trends) {
+      for (const auto& cp : t.changes) {
+        os << "<article class=\"step" << (cp.acknowledged ? " ack" : "")
+           << "\">\n<h3>" << html_escape(t.key.str()) << " &mdash; "
+           << html_escape(cp.prev_label) << " &rarr; <b>"
+           << html_escape(cp.label) << "</b> ("
+           << fmt_pct(cp.step_pct()) << ")"
+           << (cp.regression ? "" : " improvement")
+           << (cp.acknowledged ? " [acknowledged]" : "") << "</h3>\n"
+           << "<p class=\"meta\">regime median " << us(cp.before)
+           << " &rarr; " << us(cp.after) << " us &middot; noise floor "
+           << us(cp.noise_floor) << " us &middot; top mover <b>"
+           << html_escape(cp.top_mover) << "</b></p>\n";
+        if (cp.index > 0) write_step_diff(os, t, cp);
+        os << "</article>\n";
+      }
+    }
+    os << "</section>\n";
+  }
+
+  os << "<footer><p class=\"meta\">Generated by <code>mgs_perf dashboard"
+     << "</code> from the chained NDJSON run history. Acknowledge an "
+     << "intentional regression by adding its label to the ack file "
+     << "(<code>bench_results/history_ack.txt</code>) or re-running the "
+     << "gate with <code>--ack LABEL</code>.</p></footer>\n"
+     << "</div>\n</body>\n</html>\n";
+}
+
+}  // namespace mgs::obs

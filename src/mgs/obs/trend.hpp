@@ -1,0 +1,113 @@
+#pragma once
+/// \file trend.hpp
+/// Cross-commit perf intelligence over the run history: per-key
+/// change-point detection on the label-ordered makespan series, and the
+/// self-contained HTML trend dashboard.
+///
+/// The history store is chained across CI runs (the workflow restores
+/// the previous bench_results/history.ndjson, benches append under the
+/// current git sha, the merged store is re-uploaded), so a key's series
+/// is a real multi-commit timeline. Detection is robust to run-to-run
+/// jitter: the noise floor is a MAD estimate over the trailing window
+/// and a step must clear both that floor and a configurable minimum
+/// relative effect before it is flagged. Each detected step is
+/// attributed to the *first offending label* (the commit that moved the
+/// series) and explained from the two sides' stored stage breakdowns via
+/// obs::diff_reports -- the same exact-telescoping attribution mgs_perf
+/// diff prints, so Sigma row deltas == Delta makespan holds in the
+/// dashboard's embedded tables too.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mgs/obs/diff.hpp"
+#include "mgs/obs/history.hpp"
+
+namespace mgs::obs {
+
+/// Deduplicate by (key, label): the LATEST appended entry of a pair wins
+/// (a re-run of the same commit supersedes its earlier point), while the
+/// series keeps the first-seen order of labels -- the commit timeline the
+/// chained store accumulated.
+std::vector<HistoryEntry> dedup_entries(const std::vector<HistoryEntry>& in);
+
+/// Detection knobs. A step at index i is flagged when the leading-window
+/// median differs from the trailing-window median by more than
+///   max(min_effect * trailing_median, mad_k * 1.4826 * trailing_MAD)
+/// and the offending point itself clears the same threshold (so the flag
+/// lands on the first label that moved, not on a window midpoint).
+struct TrendOptions {
+  int window = 5;           ///< points per side of the candidate split
+  double min_effect = 0.10; ///< minimum relative step (0.10 = 10%)
+  double mad_k = 4.0;       ///< noise floor: k * scaled trailing MAD
+};
+
+/// One detected step in a key's series.
+struct ChangePoint {
+  std::size_t index = 0;    ///< series index of the first offending label
+  std::string label;        ///< the commit that moved the series
+  std::string prev_label;   ///< last label of the previous regime
+  double before = 0.0;      ///< trailing-window median (seconds)
+  double after = 0.0;       ///< leading-window median (seconds)
+  double noise_floor = 0.0; ///< mad_k-scaled trailing MAD (seconds)
+  bool regression = true;   ///< step up (slower); false = improvement
+  bool acknowledged = false; ///< label is in the ack set; never gates
+  /// Breakdown phase that moved the most across the step, e.g.
+  /// "Stage2 (+123.40 us)"; "-" when either side lacks a breakdown.
+  std::string top_mover = "-";
+  double step() const { return after - before; }
+  double step_pct() const {
+    return before > 0.0 ? (after / before - 1.0) * 100.0 : 0.0;
+  }
+};
+
+/// One key's label-ordered series plus its detected change-points.
+struct KeyTrend {
+  HistoryKey key;
+  std::vector<HistoryEntry> points;  ///< deduped, first-seen label order
+  std::vector<ChangePoint> changes;
+};
+
+/// Dedup + group by key (keys sorted lexicographically) + detect change
+/// points per key with the given options.
+std::vector<KeyTrend> analyze_trends(const std::vector<HistoryEntry>& entries,
+                                     const TrendOptions& opt = {});
+
+/// Mark every change-point whose label appears in `acks` as acknowledged
+/// (an intentional, signed-off regression -- it stays on the dashboard
+/// but no longer fails the gate).
+void acknowledge(std::vector<KeyTrend>& trends,
+                 const std::vector<std::string>& acks);
+
+/// True when any key has an unacknowledged *regression* change-point
+/// (improvements never gate).
+bool has_unacknowledged_regression(const std::vector<KeyTrend>& trends);
+
+/// Reconstitute a diff-able RunReport from a stored history entry: the
+/// header from the key, sequential stage rows from the stored breakdown
+/// (per-stage category split is not stored, so each stage's time lands in
+/// "other"), by_category from the stored attribution. diff_reports over
+/// two such reports telescopes exactly -- the residual "(outside stages)"
+/// row absorbs whatever the breakdown does not cover.
+RunReport report_from_entry(const HistoryEntry& e);
+
+/// Render the per-key verdict tables (the mgs_perf trend output).
+std::string format_trends(const std::vector<KeyTrend>& trends,
+                          const TrendOptions& opt);
+
+/// Machine-readable form ("mgs-perf-trend-v1") for tooling and the gate.
+void write_trend_json(std::ostream& os, const std::vector<KeyTrend>& trends,
+                      const TrendOptions& opt);
+
+/// The zero-dependency single-file HTML dashboard: one inline-SVG
+/// sparkline per key (p50/p95 band, change-point markers), the top-movers
+/// table, and an embedded diff_reports table per flagged step (rows
+/// telescope exactly to the step's makespan delta). No external assets,
+/// no scripts -- openable from a CI artifact as-is.
+void write_dashboard(std::ostream& os, const std::vector<KeyTrend>& trends,
+                     const TrendOptions& opt,
+                     const std::string& title = "mgs perf trends");
+
+}  // namespace mgs::obs

@@ -1,0 +1,243 @@
+/// Cross-commit trend intelligence (obs/trend.hpp): change-point
+/// detection on synthetic label-ordered series (flat, noisy, stepped,
+/// drifting), dedup semantics of the chained store, the machine-readable
+/// trend JSON, and the self-contained HTML dashboard.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mgs/obs/diff.hpp"
+#include "mgs/obs/report.hpp"
+#include "mgs/obs/trend.hpp"
+
+namespace {
+
+using namespace mgs;
+
+/// One synthetic entry of the default key at `seconds`, labeled like a
+/// short git sha ("c0000", "c0001", ...).
+obs::HistoryEntry entry(std::size_t i, double seconds,
+                        const std::string& executor = "scan-mps") {
+  obs::HistoryEntry e;
+  e.key.executor = executor;
+  e.key.n = 1 << 20;
+  e.key.g = 4;
+  e.key.devices = 4;
+  char label[16];
+  std::snprintf(label, sizeof label, "c%04zu", i);
+  e.label = label;
+  e.seconds = seconds;
+  e.breakdown = {{"Stage1", 0.25 * seconds},
+                 {"Stage2", 0.50 * seconds},
+                 {"Stage3", 0.25 * seconds}};
+  return e;
+}
+
+std::vector<obs::HistoryEntry> series(const std::vector<double>& seconds) {
+  std::vector<obs::HistoryEntry> out;
+  for (std::size_t i = 0; i < seconds.size(); ++i) {
+    out.push_back(entry(i, seconds[i]));
+  }
+  return out;
+}
+
+/// Count non-overlapping occurrences of `needle` in `hay`.
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (auto at = hay.find(needle); at != std::string::npos;
+       at = hay.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Trend, FlatSeriesHasNoChangePoint) {
+  const auto trends = obs::analyze_trends(
+      series(std::vector<double>(12, 1e-3)));
+  ASSERT_EQ(trends.size(), 1u);
+  EXPECT_EQ(trends[0].points.size(), 12u);
+  EXPECT_TRUE(trends[0].changes.empty());
+  EXPECT_FALSE(obs::has_unacknowledged_regression(trends));
+}
+
+TEST(Trend, JitterBelowMinEffectDoesNotFlag) {
+  // +-2% deterministic jitter around 1 ms: far under the 10% min effect.
+  std::vector<double> s;
+  for (int i = 0; i < 16; ++i) {
+    s.push_back(1e-3 * (1.0 + 0.02 * ((i % 3) - 1)));
+  }
+  const auto trends = obs::analyze_trends(series(s));
+  ASSERT_EQ(trends.size(), 1u);
+  EXPECT_TRUE(trends[0].changes.empty());
+}
+
+TEST(Trend, SlowDriftStaysUnderTheWindowedThreshold) {
+  // +1%/commit compounding drift: no single window-to-window step clears
+  // the 10% min effect, so no point is blamed. (A drift is real, but it
+  // has no first offending commit -- the summary-table trend column is
+  // where it shows up.)
+  std::vector<double> s;
+  double v = 1e-3;
+  for (int i = 0; i < 20; ++i, v *= 1.01) s.push_back(v);
+  const auto trends = obs::analyze_trends(series(s));
+  ASSERT_EQ(trends.size(), 1u);
+  EXPECT_TRUE(trends[0].changes.empty());
+}
+
+TEST(Trend, SeededStepBlamesExactlyTheFirstOffendingLabel) {
+  // Ten commits at 1 ms, then a 1.3x step that persists: exactly one
+  // change-point, at index 10, blaming label c0010.
+  std::vector<double> s(10, 1e-3);
+  s.insert(s.end(), 8, 1.3e-3);
+  const auto trends = obs::analyze_trends(series(s));
+  ASSERT_EQ(trends.size(), 1u);
+  ASSERT_EQ(trends[0].changes.size(), 1u);
+  const auto& cp = trends[0].changes[0];
+  EXPECT_EQ(cp.index, 10u);
+  EXPECT_EQ(cp.label, "c0010");
+  EXPECT_EQ(cp.prev_label, "c0009");
+  EXPECT_TRUE(cp.regression);
+  EXPECT_NEAR(cp.step_pct(), 30.0, 1.0);
+  EXPECT_FALSE(cp.acknowledged);
+  EXPECT_TRUE(obs::has_unacknowledged_regression(trends));
+}
+
+TEST(Trend, StepDownIsAnImprovementAndNeverGates) {
+  std::vector<double> s(8, 1e-3);
+  s.insert(s.end(), 8, 0.7e-3);
+  const auto trends = obs::analyze_trends(series(s));
+  ASSERT_EQ(trends.size(), 1u);
+  ASSERT_EQ(trends[0].changes.size(), 1u);
+  EXPECT_FALSE(trends[0].changes[0].regression);
+  EXPECT_FALSE(obs::has_unacknowledged_regression(trends));
+}
+
+TEST(Trend, MinEffectThresholdIsRespected) {
+  // A 5% step: invisible at the default 10% min effect, flagged at 3%.
+  std::vector<double> s(10, 1e-3);
+  s.insert(s.end(), 10, 1.05e-3);
+  EXPECT_TRUE(obs::analyze_trends(series(s))[0].changes.empty());
+  obs::TrendOptions sensitive;
+  sensitive.min_effect = 0.03;
+  const auto trends = obs::analyze_trends(series(s), sensitive);
+  ASSERT_EQ(trends[0].changes.size(), 1u);
+  EXPECT_EQ(trends[0].changes[0].label, "c0010");
+}
+
+TEST(Trend, AcknowledgedLabelClearsTheGateButStaysReported) {
+  std::vector<double> s(8, 1e-3);
+  s.insert(s.end(), 8, 1.5e-3);
+  auto trends = obs::analyze_trends(series(s));
+  ASSERT_TRUE(obs::has_unacknowledged_regression(trends));
+  obs::acknowledge(trends, {"c0008"});
+  EXPECT_TRUE(trends[0].changes[0].acknowledged);
+  EXPECT_FALSE(obs::has_unacknowledged_regression(trends));
+}
+
+TEST(Trend, DedupKeepsLatestEntryAtFirstSeenPosition) {
+  auto entries = series({1e-3, 2e-3, 3e-3});
+  // Re-run of commit c0001 supersedes its first append...
+  auto rerun = entry(1, 9e-3);
+  entries.push_back(rerun);
+  const auto deduped = obs::dedup_entries(entries);
+  ASSERT_EQ(deduped.size(), 3u);
+  EXPECT_EQ(deduped[1].label, "c0001");
+  EXPECT_DOUBLE_EQ(deduped[1].seconds, 9e-3);
+  // ...while the label order stays first-seen.
+  EXPECT_EQ(deduped[0].label, "c0000");
+  EXPECT_EQ(deduped[2].label, "c0002");
+}
+
+TEST(Trend, StepDiffTelescopesExactly) {
+  // The dashboard's embedded diff tables reuse obs::diff_reports over
+  // reconstituted reports: Sigma row deltas == makespan delta, exactly.
+  const auto base = obs::report_from_entry(entry(0, 1e-3));
+  const auto cur = obs::report_from_entry(entry(1, 1.4e-3));
+  const auto d = obs::diff_reports(base, cur);
+  double row_sum = 0.0;
+  for (const auto& r : d.rows) row_sum += r.delta();
+  // Exact to the analyzer's fp acceptance bound (1e-9 x makespan).
+  EXPECT_NEAR(row_sum, d.delta(), 1e-9 * cur.critical_path.total_seconds);
+  EXPECT_DOUBLE_EQ(d.delta(), cur.critical_path.total_seconds -
+                                  base.critical_path.total_seconds);
+}
+
+TEST(Trend, JsonReportRoundTrips) {
+  std::vector<double> s(8, 1e-3);
+  s.insert(s.end(), 8, 1.3e-3);
+  auto entries = series(s);
+  // A second, flat key exercises per-key grouping.
+  for (std::size_t i = 0; i < 8; ++i) {
+    entries.push_back(entry(i, 2e-3, "scan-sp"));
+  }
+  const obs::TrendOptions opt;
+  const auto trends = obs::analyze_trends(entries, opt);
+  std::ostringstream os;
+  obs::write_trend_json(os, trends, opt);
+  const auto doc = obs::parse_json(os.str());
+  ASSERT_EQ(doc.find("schema")->str, "mgs-perf-trend-v1");
+  EXPECT_EQ(doc.find("options")->find("window")->number, opt.window);
+  const auto* keys = doc.find("keys");
+  ASSERT_NE(keys, nullptr);
+  ASSERT_EQ(keys->array.size(), trends.size());
+  EXPECT_EQ(doc.find("unacknowledged_regressions")->number, 1.0);
+  // The flagged key's change-point survives the round trip verbatim.
+  bool found = false;
+  for (const auto& k : keys->array) {
+    if (k.find("key")->find("executor")->str != "scan-mps") continue;
+    found = true;
+    ASSERT_EQ(k.find("labels")->array.size(), 16u);
+    ASSERT_EQ(k.find("seconds")->array.size(), 16u);
+    const auto& cps = k.find("change_points")->array;
+    ASSERT_EQ(cps.size(), 1u);
+    EXPECT_EQ(cps[0].find("label")->str, "c0008");
+    EXPECT_EQ(cps[0].find("index")->number, 8.0);
+    EXPECT_TRUE(cps[0].find("regression")->boolean);
+    EXPECT_NEAR(cps[0].find("step_pct")->number, 30.0, 1.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trend, DashboardHasOneSparklinePerKeyAndAMarkerPerChangePoint) {
+  std::vector<double> s(8, 1e-3);
+  s.insert(s.end(), 8, 1.3e-3);
+  auto entries = series(s);
+  for (std::size_t i = 0; i < 8; ++i) {
+    entries.push_back(entry(i, 2e-3, "scan-sp"));
+  }
+  const obs::TrendOptions opt;
+  const auto trends = obs::analyze_trends(entries, opt);
+  std::ostringstream os;
+  obs::write_dashboard(os, trends, opt);
+  const std::string html = os.str();
+  EXPECT_EQ(count_occurrences(html, "class=\"spark\""), trends.size());
+  std::size_t cps = 0;
+  for (const auto& t : trends) cps += t.changes.size();
+  EXPECT_EQ(count_occurrences(html, "class=\"cp-marker"), cps);
+  // The offending commit is named, the verdict fails, and the embedded
+  // diff table states the telescoping invariant.
+  EXPECT_NE(html.find("c0008"), std::string::npos);
+  EXPECT_NE(html.find("verdict fail"), std::string::npos);
+  EXPECT_NE(html.find("exact telescoping"), std::string::npos);
+  // Self-contained: no external scripts or stylesheets.
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("<link"), std::string::npos);
+}
+
+TEST(Trend, DashboardVerdictIsCleanOnFlatHistory) {
+  const auto trends =
+      obs::analyze_trends(series(std::vector<double>(6, 1e-3)));
+  std::ostringstream os;
+  obs::write_dashboard(os, trends, {});
+  const std::string html = os.str();
+  EXPECT_NE(html.find("verdict ok"), std::string::npos);
+  EXPECT_EQ(count_occurrences(html, "class=\"cp-marker"), 0u);
+}
+
+}  // namespace
